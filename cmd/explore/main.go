@@ -1,0 +1,124 @@
+// Command explore is the sensitivity-analysis tool behind the paper's
+// closing question — how the collective wall and ParColl's benefit move on
+// machines with different networks and file systems. It sweeps one model
+// parameter, runs the tile workload with the baseline protocol and with
+// ParColl, and reports bandwidth plus the baseline's synchronization share
+// at each point.
+//
+// Usage:
+//
+//	explore -param latency  -values 1e-6,5e-6,2e-5,1e-4
+//	explore -param tailprob -values 0,0.02,0.1
+//	explore -param ostbw    -values 7e7,1.4e8,5.6e8
+//	explore -param osts     -values 18,72,288
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	param := flag.String("param", "latency", "parameter to sweep: latency, tailprob, jitter, ostbw, osts, switch")
+	values := flag.String("values", "", "comma-separated values (defaults depend on param)")
+	procs := flag.Int("procs", 128, "simulated processes")
+	groups := flag.Int("groups", 16, "ParColl subgroup count")
+	flag.Parse()
+
+	vals, err := parseValues(*param, *values)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	t := stats.NewTable(*param, "baseline", "sync-share", fmt.Sprintf("ParColl-%d", *groups), "speedup")
+	var xs, speedups []float64
+	for _, v := range vals {
+		p := applyParam(experiments.PaperPreset(), *param, v)
+		base, share := runTile(p, *procs, 1)
+		pc, _ := runTile(p, *procs, *groups)
+		t.AddRow(fmt.Sprintf("%g", v), stats.MBps(base), fmt.Sprintf("%.0f%%", share*100),
+			stats.MBps(pc), fmt.Sprintf("%.2fx", pc/base))
+		xs = append(xs, v)
+		speedups = append(speedups, pc/base)
+	}
+	fmt.Printf("sensitivity of the collective wall to %s (%d procs, tile workload)\n\n", *param, *procs)
+	fmt.Println(t)
+	fmt.Println(viz.TrendChart([]viz.Series{
+		{Name: "ParColl speedup", X: xs, Y: speedups, Marker: 'x'},
+	}, 8))
+}
+
+// runTile measures tile-IO collective-write bandwidth and the mean sync
+// share for one configuration.
+func runTile(p experiments.Preset, nprocs, groups int) (bw, syncShare float64) {
+	env := experiments.EnvFor(p, p.TileScale, core.Options{NumGroups: groups})
+	mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+		res := p.Tile.Write(r, env, "tile")
+		m := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
+		if r.WorldRank() == 0 {
+			bw = res.Bandwidth()
+			if tot := m.Total(); tot > 0 {
+				syncShare = m.Sync / tot
+			}
+		}
+	})
+	return bw, syncShare
+}
+
+func applyParam(p experiments.Preset, param string, v float64) experiments.Preset {
+	switch param {
+	case "latency":
+		p.Cluster.Latency = v
+	case "tailprob":
+		p.Lustre.TailProb = v
+	case "jitter":
+		p.Lustre.Jitter = v
+	case "ostbw":
+		p.Lustre.OSTBandwidth = v
+	case "osts":
+		p.Lustre.NumOSTs = int(v)
+	case "switch":
+		p.Lustre.SwitchPenalty = v
+	}
+	return p
+}
+
+func parseValues(param, s string) ([]float64, error) {
+	if s == "" {
+		defaults := map[string][]float64{
+			"latency":  {1e-6, 5e-6, 2e-5, 1e-4},
+			"tailprob": {0, 0.02, 0.05, 0.1},
+			"jitter":   {0, 0.05, 0.1, 0.3},
+			"ostbw":    {7e7, 1.4e8, 2.8e8, 5.6e8},
+			"osts":     {18, 36, 72, 144},
+			"switch":   {0, 1.5e-3, 5e-3},
+		}
+		if d, ok := defaults[param]; ok {
+			return d, nil
+		}
+		return nil, fmt.Errorf("unknown param %q", param)
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values")
+	}
+	return out, nil
+}

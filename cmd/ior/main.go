@@ -1,0 +1,129 @@
+// Command ior mirrors the IOR shared-file collective experiment of the
+// paper's Section 5.1: every process writes a contiguous block into one
+// shared file in fixed-size transfer units through collective I/O, with a
+// configurable number of ParColl subgroups.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	procs := flag.Int("procs", 128, "number of simulated processes")
+	groups := flag.String("groups", "1,2,4,8,16", "comma list of subgroup counts to sweep")
+	verify := flag.Bool("verify", false, "verify file contents after each run")
+	ostStats := flag.Bool("oststats", false, "print per-OST service statistics for the last configuration")
+	flag.Parse()
+
+	p := experiments.PaperPreset()
+	gs, err := parseInts(*groups)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("IOR collective write: %d procs, %s virtual per proc in %s units\n\n",
+		*procs, stats.Bytes(p.IORBlock*int64(p.IORScale)), stats.Bytes(p.IORTransfer*int64(p.IORScale)))
+	t := stats.NewTable("config", "bandwidth")
+	points := p.IORGroups([]int{*procs}, func(int) []int { return gs })
+	for _, pt := range points {
+		label := fmt.Sprintf("ParColl-%d", pt.Groups)
+		if pt.Groups == 1 {
+			label = "baseline"
+		}
+		t.AddRow(label, stats.MBps(pt.BW))
+	}
+	fmt.Println(t)
+	if *ostStats {
+		printOSTStats(p, *procs, gs[len(gs)-1])
+	}
+	if *verify {
+		if err := verifyRun(p, *procs, gs[len(gs)-1]); err != nil {
+			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("verify: file contents byte-exact")
+	}
+}
+
+func verifyRun(p experiments.Preset, nprocs, groups int) error {
+	return experiments.VerifyIOR(p, nprocs, core.Options{NumGroups: groups})
+}
+
+// printOSTStats reruns the last configuration and summarizes where the OST
+// time went: requests, client switches, tail events, and the busiest
+// targets — the storage-side view of the collective wall.
+func printOSTStats(p experiments.Preset, nprocs, groups int) {
+	env := experiments.EnvFor(p, p.IORScale, core.Options{NumGroups: groups})
+	w := workload.IOR{Block: p.IORBlock, Transfer: p.IORTransfer}
+	mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+		w.Write(r, env, "ior-stats")
+	})
+	st := env.FS.Stats()
+	var req, sw, tails int64
+	var busy float64
+	for _, s := range st {
+		req += s.Requests
+		sw += s.Switches
+		tails += s.Tails
+		busy += s.BusySecs
+	}
+	fmt.Printf("\nOST statistics (ParColl-%d): %d requests, %d client switches, %d tail events, %.1fs total service\n\n",
+		groups, req, sw, tails, busy)
+	idx := make([]int, len(st))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return st[idx[a]].BusySecs > st[idx[b]].BusySecs })
+	var bars []viz.Bar
+	for _, i := range idx[:min(8, len(idx))] {
+		bars = append(bars, viz.Bar{Label: fmt.Sprintf("OST %02d", i), Value: st[i].BusySecs})
+	}
+	fmt.Println(viz.BarChart(bars, 40, "%.2fs busy"))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitComma(s) {
+		var v int
+		if _, err := fmt.Sscanf(f, "%d", &v); err != nil || v < 1 {
+			return nil, fmt.Errorf("bad group count %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no group counts given")
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package cluster models the machine: nodes with a fixed number of
+// processing elements (PEs), rank-to-node mappings, and a LogP-style
+// communication cost model with per-node NIC serialization. It is the
+// substitute for the Cray XT's Catamount nodes and SeaStar interconnect:
+// the collective-I/O behaviour the paper studies depends on message
+// latency, NIC bandwidth, and node sharing, all of which are captured here.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mapping selects how MPI ranks are laid out on physical nodes.
+type Mapping int
+
+const (
+	// Block places consecutive ranks on the same node (SMP-style):
+	// node(r) = r / PEsPerNode. This is the Cray XT default.
+	Block Mapping = iota
+	// Cyclic deals ranks round-robin across nodes:
+	// node(r) = r % numNodes.
+	Cyclic
+)
+
+func (m Mapping) String() string {
+	switch m {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Mapping(%d)", int(m))
+	}
+}
+
+// Config holds the machine and network cost parameters. The defaults
+// (DefaultConfig) approximate a Cray XT3/XT4 node with a SeaStar NIC.
+type Config struct {
+	PEsPerNode int     // PEs (cores) per node sharing one NIC
+	Mapping    Mapping // rank-to-node layout
+
+	Latency      float64 // one-way network latency, seconds
+	NICBandwidth float64 // per-node NIC bandwidth, bytes/second
+	SendOverhead float64 // CPU cost to initiate a send, seconds
+	RecvOverhead float64 // CPU cost to complete a receive, seconds
+
+	MemBandwidth float64 // intra-node copy bandwidth, bytes/second
+	MemLatency   float64 // intra-node message latency, seconds
+}
+
+// DefaultConfig returns SeaStar-class parameters: 5 us latency, 2 GB/s NIC,
+// two PEs per node mapped block-wise.
+func DefaultConfig() Config {
+	return Config{
+		PEsPerNode:   2,
+		Mapping:      Block,
+		Latency:      5e-6,
+		NICBandwidth: 2e9,
+		SendOverhead: 4e-7,
+		RecvOverhead: 4e-7,
+		MemBandwidth: 4e9,
+		MemLatency:   3e-7,
+	}
+}
+
+// Cluster binds a proc count to a Config and owns the per-node NIC
+// resources used for transfer-time bookings.
+type Cluster struct {
+	cfg      Config
+	nprocs   int
+	numNodes int
+	nodeOf   []int
+	tx, rx   []*sim.Resource // per-node NIC ledgers (full duplex)
+}
+
+// New builds a cluster for nprocs ranks. PEsPerNode must be >= 1.
+func New(nprocs int, cfg Config) *Cluster {
+	if cfg.PEsPerNode < 1 {
+		panic("cluster: PEsPerNode must be >= 1")
+	}
+	if nprocs < 1 {
+		panic("cluster: need at least one proc")
+	}
+	numNodes := (nprocs + cfg.PEsPerNode - 1) / cfg.PEsPerNode
+	c := &Cluster{
+		cfg:      cfg,
+		nprocs:   nprocs,
+		numNodes: numNodes,
+		nodeOf:   make([]int, nprocs),
+		tx:       make([]*sim.Resource, numNodes),
+		rx:       make([]*sim.Resource, numNodes),
+	}
+	for r := 0; r < nprocs; r++ {
+		switch cfg.Mapping {
+		case Block:
+			c.nodeOf[r] = r / cfg.PEsPerNode
+		case Cyclic:
+			c.nodeOf[r] = r % numNodes
+		default:
+			panic(fmt.Sprintf("cluster: unknown mapping %v", cfg.Mapping))
+		}
+	}
+	for n := 0; n < numNodes; n++ {
+		c.tx[n] = sim.NewResource(fmt.Sprintf("node%d.tx", n))
+		c.rx[n] = sim.NewResource(fmt.Sprintf("node%d.rx", n))
+	}
+	return c
+}
+
+// Config returns the cluster's cost parameters.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumProcs returns the number of ranks.
+func (c *Cluster) NumProcs() int { return c.nprocs }
+
+// NumNodes returns the number of physical nodes.
+func (c *Cluster) NumNodes() int { return c.numNodes }
+
+// NodeOf returns the physical node hosting a world rank.
+func (c *Cluster) NodeOf(rank int) int { return c.nodeOf[rank] }
+
+// SameNode reports whether two ranks share a physical node (and NIC).
+func (c *Cluster) SameNode(a, b int) bool { return c.nodeOf[a] == c.nodeOf[b] }
+
+// Transfer computes the virtual arrival time for nbytes sent from the
+// calling proc (world rank src) to world rank dst, booking NIC time on both
+// nodes. It charges the sender's CPU overhead to p and returns the arrival
+// time to pass to sim.Send. Callers must invoke p.Sync() themselves if they
+// need globally time-ordered NIC bookings (mpi does).
+func (c *Cluster) Transfer(p *sim.Proc, src, dst, nbytes int) (arrival float64) {
+	p.Advance(c.cfg.SendOverhead)
+	if c.SameNode(src, dst) {
+		// Intra-node: a memcpy through shared memory; no NIC involved.
+		return p.Now() + c.cfg.MemLatency + float64(nbytes)/c.cfg.MemBandwidth
+	}
+	txDur := float64(nbytes) / c.cfg.NICBandwidth
+	_, txEnd := c.tx[c.nodeOf[src]].Acquire(p.Now(), txDur)
+	// The receive NIC serializes incoming transfers; the packet train can
+	// start landing one latency after it started leaving.
+	_, rxEnd := c.rx[c.nodeOf[dst]].Acquire(txEnd-txDur+c.cfg.Latency, txDur)
+	return rxEnd
+}
+
+// RecvCost returns the CPU overhead charged when completing a receive.
+func (c *Cluster) RecvCost() float64 { return c.cfg.RecvOverhead }
+
+// TxNIC returns the transmit-side NIC resource of the node hosting rank.
+// The Lustre client path books it so file I/O and message passing contend
+// for the same link, as they do on the real machine.
+func (c *Cluster) TxNIC(rank int) *sim.Resource { return c.tx[c.nodeOf[rank]] }
+
+// RxNIC returns the receive-side NIC resource of the node hosting rank.
+func (c *Cluster) RxNIC(rank int) *sim.Resource { return c.rx[c.nodeOf[rank]] }

@@ -1,0 +1,513 @@
+// Package core implements ParColl, the paper's contribution: partitioned
+// collective I/O. It augments the extended two-phase protocol (implemented
+// in internal/mpiio) with three mechanisms:
+//
+//   - file area partitioning: processes and the file are consistently
+//     divided into subgroups with disjoint file areas (fa.go);
+//   - I/O aggregator distribution: the hinted aggregators are spread across
+//     subgroups, at least one each, never sharing a node across groups
+//     (aggsel.go);
+//   - intermediate file views: scattered access patterns are virtually
+//     joined so partitioning always succeeds, with reads/writes translated
+//     back to the physical layout (iview.go).
+//
+// Partitioning happens at file-view initiation time, as in the paper: the
+// one global gather of every rank's view footprint is the last global
+// operation. Every subsequent collective call runs ordinary two-phase
+// collective I/O entirely inside the rank's subgroup, so the global
+// synchronization that builds the "collective wall" is gone and subgroups
+// are free to progress (and drift) independently. ParColl does not change
+// MPI-IO semantics: for non-overlapping concurrent writes the resulting
+// file is byte-identical to the unpartitioned protocol's.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/lustre"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+)
+
+// Mode reports how the current file view was partitioned.
+type Mode int
+
+const (
+	// ModeSingle means no partitioning (one global group; baseline ext2ph).
+	ModeSingle Mode = iota
+	// ModeDirect means the file was cut into disjoint FAs directly
+	// (patterns (a) and (b) of the paper's Figure 4).
+	ModeDirect
+	// ModeIntermediate means FAs intersected and an intermediate file view
+	// was switched in (pattern (c)).
+	ModeIntermediate
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSingle:
+		return "single"
+	case ModeDirect:
+		return "direct"
+	case ModeIntermediate:
+		return "intermediate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures ParColl.
+type Options struct {
+	// NumGroups is the requested number of subgroups (the paper's
+	// ParColl-N). Values <= 1 run the unpartitioned baseline protocol
+	// unless AutoGroups is set.
+	NumGroups int
+	// AutoGroups picks the subgroup count automatically — the paper's
+	// future-work item. The heuristic keeps subgroups of about eight
+	// processes (the paper's empirical sweet spot across IOR and
+	// MPI-Tile-IO), clipped to what the access pattern can support.
+	AutoGroups bool
+	// AutoTune goes further than AutoGroups: the first collective calls
+	// after a SetView try a ladder of group counts, timing each call
+	// collectively, and subsequent calls stick with the fastest. Useful
+	// for periodic-output applications (checkpoints, solution dumps)
+	// where the first few writes can pay for measurement.
+	AutoTune bool
+	// Hints passes through the MPI-IO hints (collective buffer size,
+	// aggregator count or list, alltoallv algorithm).
+	Hints mpiio.Hints
+	// ForceIntermediate always uses the intermediate-view path, even when
+	// direct FA partitioning would succeed (ablation).
+	ForceIntermediate bool
+	// DisableIntermediate forbids view switching; views whose FAs
+	// intersect fall back to a single group (ablation).
+	DisableIntermediate bool
+	// NaiveAggregators skips the paper's distribution algorithm: each
+	// subgroup keeps whichever default aggregators happen to be among its
+	// members, so the hinted aggregators can pile into the first groups —
+	// the failure mode Section 4.2 is designed to avoid (ablation).
+	NaiveAggregators bool
+	// MaterializeIntermediate stores the intermediate file view instead of
+	// translating writes back to the original physical layout: each
+	// group's FA lives contiguously at its logical position, so
+	// aggregators issue large dense requests. Reads through the same
+	// ParColl handle map back identically, so applications that access the
+	// file through their views (as the paper's benchmarks do) see
+	// unchanged semantics — but the on-disk format differs from the
+	// unpartitioned protocol's. The default translates back segment by
+	// segment, keeping the on-disk bytes identical to baseline collective
+	// I/O at the cost of physically scattered aggregator requests for
+	// pattern-(c) workloads.
+	MaterializeIntermediate bool
+}
+
+// Plan describes how the current view was partitioned (for tests, tools,
+// and the experiment harness).
+type Plan struct {
+	Mode        Mode
+	NumGroups   int
+	Groups      [][]int // world ranks per group
+	Aggregators [][]int // world ranks per group
+	MyGroup     int
+}
+
+// autoGroupSize is the target processes-per-subgroup for AutoGroups; the
+// paper's sweeps found aggregation-vs-synchronization balance at about
+// eight processes per group (Figures 6 and 7).
+const autoGroupSize = 8
+
+// tuneState drives AutoTune's measure-then-commit ladder.
+type tuneState struct {
+	gen        int       // view generation being tuned
+	candidates []int     // group counts to try
+	next       int       // next candidate index to try
+	elapsed    []float64 // measured global seconds per candidate
+	chosen     int       // committed group count (0 = still tuning)
+	callStart  float64
+}
+
+// tuneLadder returns the group counts AutoTune tries.
+func tuneLadder(size int) []int {
+	var out []int
+	for _, g := range []int{1, size / 16, size / 8, size / 4} {
+		if g >= 1 && (len(out) == 0 || g != out[len(out)-1]) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// File is a ParColl file handle. Like an MPI_File, each rank holds its own.
+type File struct {
+	r      *mpi.Rank
+	comm   *mpi.Comm
+	fs     *lustre.FS
+	name   string
+	stripe lustre.StripeInfo
+	opts   Options
+	view   datatype.View
+
+	viewGen int // bumped by SetView
+	planGen int // view generation the current plan was built for
+	subComm *mpi.Comm
+	subFile *mpiio.File
+	plan    Plan
+	tune    tuneState
+
+	prof mpiio.Breakdown
+	prev [mpi.NumClasses]float64
+}
+
+// Open collectively opens name with ParColl semantics over comm.
+func Open(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, opts Options) *File {
+	f := &File{
+		r:       comm.RankHandle(),
+		comm:    comm,
+		fs:      fs,
+		name:    name,
+		stripe:  stripe,
+		opts:    opts,
+		view:    datatype.WholeFile(),
+		viewGen: 1,
+	}
+	f.prev = f.r.Prof().Times
+	return f
+}
+
+// SetView installs the rank's file view. It is collective in effect: all
+// ranks must install their (per-rank) views in the same call sequence, and
+// the next collective operation re-partitions from the new views.
+func (f *File) SetView(v datatype.View) {
+	f.view = v
+	f.viewGen++
+}
+
+// View returns the rank's file view.
+func (f *File) View() datatype.View { return f.view }
+
+// LastPlan reports how the current view is partitioned.
+func (f *File) LastPlan() Plan { return f.plan }
+
+func (f *File) absorb() {
+	cur := f.r.Prof().Times
+	f.prof.Sync += cur[mpi.ClassSync] - f.prev[mpi.ClassSync]
+	f.prof.Exchange += cur[mpi.ClassExchange] - f.prev[mpi.ClassExchange]
+	f.prof.IO += cur[mpi.ClassIO] - f.prev[mpi.ClassIO]
+	f.prof.Other += cur[mpi.ClassOther] - f.prev[mpi.ClassOther]
+	f.prev = cur
+}
+
+// Breakdown returns the rank's accumulated sync/exchange/io/other split for
+// this file's operations.
+func (f *File) Breakdown() mpiio.Breakdown {
+	f.absorb()
+	return f.prof
+}
+
+// Close synchronizes the communicator and returns the final breakdown —
+// the per-file summary the paper's instrumentation reports at close time.
+func (f *File) Close() mpiio.Breakdown {
+	old := f.r.SetClass(mpi.ClassSync)
+	f.comm.Barrier()
+	f.r.SetClass(old)
+	return f.Breakdown()
+}
+
+// WriteAtAll collectively writes data through the view at logical offset
+// logOff. All communicator members must call it; after partitioning, the
+// call is collective only within the rank's subgroup.
+func (f *File) WriteAtAll(logOff int64, data []byte) {
+	tuning := f.tuneBegin()
+	f.ensurePlan()
+	if f.plan.Mode != ModeIntermediate {
+		f.subFile.SetView(f.view)
+	}
+	f.subFile.WriteAtAll(logOff, data)
+	if tuning {
+		f.tuneEnd()
+	}
+	f.absorb()
+}
+
+// ReadAtAll collectively reads n view-logical bytes at logOff.
+func (f *File) ReadAtAll(logOff, n int64) []byte {
+	tuning := f.tuneBegin()
+	f.ensurePlan()
+	if f.plan.Mode != ModeIntermediate {
+		f.subFile.SetView(f.view)
+	}
+	out := f.subFile.ReadAtAll(logOff, n)
+	if tuning {
+		f.tuneEnd()
+	}
+	f.absorb()
+	return out
+}
+
+// tuneBegin reports whether this call is an AutoTune measurement and, if
+// so, stamps the globally synchronized start time and forces a re-plan
+// with the next candidate group count.
+func (f *File) tuneBegin() bool {
+	if !f.opts.AutoTune {
+		return false
+	}
+	if f.tune.gen != f.viewGen {
+		f.tune = tuneState{gen: f.viewGen, candidates: tuneLadder(f.comm.Size())}
+	}
+	if f.tune.chosen > 0 {
+		return false
+	}
+	f.planGen = 0 // re-plan with the current candidate
+	old := f.r.SetClass(mpi.ClassSync)
+	f.tune.callStart = f.comm.MaxFinishTime()
+	f.r.SetClass(old)
+	return true
+}
+
+// tuneEnd records the measured call time and advances (or commits) the
+// candidate ladder. Every rank computes the same result: the measurement
+// is a collective max-finish time.
+func (f *File) tuneEnd() {
+	old := f.r.SetClass(mpi.ClassSync)
+	end := f.comm.MaxFinishTime()
+	f.r.SetClass(old)
+	f.tune.elapsed = append(f.tune.elapsed, end-f.tune.callStart)
+	f.tune.next++
+	if f.tune.next >= len(f.tune.candidates) {
+		best := 0
+		for i, d := range f.tune.elapsed {
+			if d < f.tune.elapsed[best] {
+				best = i
+			}
+		}
+		f.tune.chosen = f.tune.candidates[best]
+		f.planGen = 0 // next call re-plans once with the winner
+	}
+}
+
+// TunedGroups reports the group count AutoTune committed to (0 while still
+// measuring or when AutoTune is off).
+func (f *File) TunedGroups() int { return f.tune.chosen }
+
+// instanceSegs returns the physical segments of one instance of the rank's
+// view filetype (the footprint ParColl partitions on).
+func (f *File) instanceSegs() []datatype.Segment {
+	size := f.view.Filetype.Size()
+	if size <= 0 {
+		return nil
+	}
+	return f.view.Map(0, size)
+}
+
+// ensurePlan partitions processes and file for the current view. It runs a
+// global gather the first collective call after a SetView — the paper's
+// "file view initiation time" — and nothing global afterwards.
+func (f *File) ensurePlan() {
+	if f.planGen == f.viewGen && f.subFile != nil {
+		return
+	}
+	f.planGen = f.viewGen
+	r, comm := f.r, f.comm
+
+	partitionable := !f.view.IsContiguous() || f.view.Filetype.Size() > 1
+	segs := f.instanceSegs()
+	st, end, size := int64(-1), int64(-1), int64(0)
+	if partitionable && len(segs) > 0 {
+		st = segs[0].Off
+		end = segs[len(segs)-1].End()
+		for _, s := range segs {
+			size += s.Len
+		}
+	}
+	// The one global step: gather every rank's view footprint. [sync]
+	old := r.SetClass(mpi.ClassSync)
+	meta := comm.AllgatherInt64s([]int64{st, end, size, f.view.Filetype.Extent()})
+	r.SetClass(old)
+
+	spans := make([]span, comm.Size())
+	uniformExtent := true
+	refExtent := int64(-1)
+	for cr, m := range meta {
+		spans[cr] = span{rank: cr, st: m[0], end: m[1], size: m[2], active: m[0] >= 0 && m[1] > m[0]}
+		if !spans[cr].active {
+			continue
+		}
+		// Every rank must reach the same verdict, so compare active
+		// ranks against the first active rank's extent.
+		if refExtent == -1 {
+			refExtent = m[3]
+		} else if m[3] != refExtent {
+			uniformExtent = false
+		}
+	}
+
+	ngroups := f.opts.NumGroups
+	if f.opts.AutoGroups {
+		ngroups = comm.Size() / autoGroupSize
+	}
+	if f.opts.AutoTune {
+		if f.tune.chosen > 0 {
+			ngroups = f.tune.chosen
+		} else {
+			ngroups = f.tune.candidates[f.tune.next]
+		}
+	}
+	if ngroups < 1 {
+		ngroups = 1
+	}
+	if ngroups > comm.Size() {
+		ngroups = comm.Size()
+	}
+	anyActive := false
+	for _, s := range spans {
+		if s.active {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		ngroups = 1
+	}
+
+	var groups [][]int // comm ranks
+	var prefix map[int]int64
+	mode := ModeSingle
+	if ngroups > 1 {
+		if f.opts.ForceIntermediate && uniformExtent {
+			mode = ModeIntermediate
+			groups, prefix = partitionLogical(spans, ngroups)
+		} else if g, ok := partitionDirect(spans, ngroups); ok {
+			mode = ModeDirect
+			groups = g
+		} else if f.opts.DisableIntermediate || !uniformExtent {
+			mode = ModeSingle
+		} else {
+			mode = ModeIntermediate
+			groups, prefix = partitionLogical(spans, ngroups)
+		}
+	}
+	if mode == ModeSingle {
+		groups = [][]int{allRanks(comm.Size())}
+	}
+
+	// Locate my group and split the communicator. [sync]
+	myGroup := groupOf(groups, comm.Rank())
+	old = r.SetClass(mpi.ClassSync)
+	subComm := comm.Split(myGroup, comm.Rank())
+	r.SetClass(old)
+
+	// Distribute the hinted aggregators across groups (paper §4.2). Every
+	// rank computes the same assignment from the gathered metadata.
+	nodeOfComm := func(cr int) int { return r.W.Cluster.NodeOf(comm.WorldRankOf(cr)) }
+	var aggsPerGroup [][]int
+	subHints := f.opts.Hints
+	if mode != ModeSingle {
+		memberNodes := make([]int, comm.Size())
+		for cr := range memberNodes {
+			memberNodes[cr] = nodeOfComm(cr)
+		}
+		var explicitNodes []int
+		for _, w := range f.opts.Hints.AggregatorList {
+			explicitNodes = append(explicitNodes, r.W.Cluster.NodeOf(w))
+		}
+		nodes := aggregatorNodes(memberNodes, explicitNodes, f.opts.Hints.CBNodes)
+		if f.opts.NaiveAggregators {
+			aggsPerGroup = naiveAggregators(groups, nodeOfComm, nodes)
+		} else {
+			aggsPerGroup = DistributeAggregators(groups, nodeOfComm, nodes)
+		}
+		world := make([]int, len(aggsPerGroup[myGroup]))
+		for i, cr := range aggsPerGroup[myGroup] {
+			world[i] = comm.WorldRankOf(cr)
+		}
+		subHints.AggregatorList = world
+		subHints.CBNodes = 0
+	}
+
+	subFile := mpiio.Open(subComm, f.fs, f.name, f.stripe, subHints)
+
+	if mode == ModeIntermediate {
+		if !f.opts.MaterializeIntermediate {
+			// Exchange one instance's segment lists within the subgroup
+			// and build the group-local compact view; aggregators
+			// translate logical windows back to the physical layout.
+			// [sync, subgroup only]
+			old = r.SetClass(mpi.ClassSync)
+			lists := subComm.Allgather(encSegs(segs))
+			r.SetClass(old)
+			segLists := make([][]datatype.Segment, len(lists))
+			for i, b := range lists {
+				segLists[i] = decSegs(b)
+			}
+			cv := newCompactView(segLists, f.view.Filetype.Extent())
+			subFile.SetTranslator(cv)
+			var ft datatype.Type = datatype.Contig(0)
+			if len(segs) > 0 {
+				ft = datatype.NewExtended(datatype.NewIndexed(cv.logicalSegs(segs)), cv.size)
+			}
+			subFile.SetView(datatype.View{Disp: 0, Filetype: ft})
+		} else {
+			// Materialized intermediate file: every rank's data for one
+			// instance lives contiguously at its logical prefix, and
+			// instances tile at the total per-instance size. Aggregator
+			// requests are as dense as the unpartitioned protocol's.
+			var total int64
+			for _, sp := range spans {
+				if sp.active {
+					total += sp.size
+				}
+			}
+			base := prefix[comm.Rank()]
+			var ft datatype.Type = datatype.Contig(0)
+			if size > 0 {
+				ft = datatype.NewExtended(datatype.Contig(size), total)
+			}
+			subFile.SetView(datatype.View{Disp: base, Filetype: ft})
+		}
+	}
+
+	// Record the plan in world ranks for observability.
+	plan := Plan{Mode: mode, NumGroups: len(groups), MyGroup: myGroup}
+	for _, g := range groups {
+		plan.Groups = append(plan.Groups, worldOf(comm, g))
+	}
+	for _, g := range aggsPerGroup {
+		plan.Aggregators = append(plan.Aggregators, worldOf(comm, g))
+	}
+	if mode == ModeSingle {
+		plan.Aggregators = [][]int{worldOf(subComm, subFile.Aggregators())}
+	}
+
+	f.plan = plan
+	f.subComm = subComm
+	f.subFile = subFile
+	f.absorb()
+}
+
+func worldOf(comm *mpi.Comm, crs []int) []int {
+	out := make([]int, len(crs))
+	for i, cr := range crs {
+		out[i] = comm.WorldRankOf(cr)
+	}
+	return out
+}
+
+func allRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func groupOf(groups [][]int, rank int) int {
+	for g, members := range groups {
+		for _, m := range members {
+			if m == rank {
+				return g
+			}
+		}
+	}
+	panic("core: rank not assigned to any group")
+}

@@ -1,0 +1,170 @@
+package core
+
+import "sort"
+
+// File area partitioning (paper §4.1, Figure 4).
+//
+// Given each process's physical file span, ParColl orders processes by
+// starting offset and tries to cut the ordered list into the requested
+// number of groups such that the groups' file areas (FAs) do not intersect
+// — covering the paper's patterns (a) (serial segments: every position is a
+// clean cut) and (b) (intersecting tiles: clean cuts exist only at tile-row
+// boundaries). When too few clean cuts exist — pattern (c), scattered
+// accesses like BT-IO — the caller switches to an intermediate file view,
+// under which partitioning reduces to pattern (a).
+
+// span is one process's physical file range, or inactive if it has no data.
+type span struct {
+	rank    int // comm rank
+	st, end int64
+	size    int64
+	active  bool
+}
+
+// partitionDirect attempts to split the spans into ngroups groups with
+// disjoint FAs, balancing bytes. It returns the groups as comm-rank lists
+// (ordered by span start, inactive ranks dealt round-robin at the end), or
+// ok=false when fewer than ngroups FAs can be formed without intersection.
+func partitionDirect(spans []span, ngroups int) (groups [][]int, ok bool) {
+	actives := make([]span, 0, len(spans))
+	var inactives []int
+	for _, s := range spans {
+		if s.active {
+			actives = append(actives, s)
+		} else {
+			inactives = append(inactives, s.rank)
+		}
+	}
+	if len(actives) == 0 {
+		return nil, false
+	}
+	sort.Slice(actives, func(i, j int) bool {
+		if actives[i].st != actives[j].st {
+			return actives[i].st < actives[j].st
+		}
+		return actives[i].rank < actives[j].rank
+	})
+	if ngroups > len(actives) {
+		return nil, false
+	}
+
+	// Clean cut after index i: every earlier span ends by the next start.
+	var cuts []int // candidate positions (cut after actives[i])
+	cum := make([]int64, len(actives))
+	maxEnd := int64(0)
+	var total int64
+	for i, s := range actives {
+		if s.end > maxEnd {
+			maxEnd = s.end
+		}
+		total += s.size
+		cum[i] = total
+		if i+1 < len(actives) && maxEnd <= actives[i+1].st {
+			cuts = append(cuts, i)
+		}
+	}
+	if len(cuts) < ngroups-1 {
+		return nil, false
+	}
+
+	// Choose ngroups-1 cuts nearest the byte quantiles, strictly increasing.
+	chosen := make([]int, 0, ngroups-1)
+	ci := 0
+	for k := 1; k < ngroups; k++ {
+		ideal := total * int64(k) / int64(ngroups)
+		// Remaining cuts after this one must still fit.
+		limit := len(cuts) - (ngroups - 1 - k)
+		best := -1
+		for ; ci < limit; ci++ {
+			if best < 0 || absI64(cum[cuts[ci]]-ideal) <= absI64(cum[cuts[best]]-ideal) {
+				best = ci
+			} else {
+				break // moving away from the ideal; candidates are sorted
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		chosen = append(chosen, cuts[best])
+		ci = best + 1
+	}
+
+	groups = make([][]int, ngroups)
+	g := 0
+	for i, s := range actives {
+		groups[g] = append(groups[g], s.rank)
+		if g < len(chosen) && i == chosen[g] {
+			g++
+		}
+	}
+	for i, r := range inactives {
+		groups[i%ngroups] = append(groups[i%ngroups], r)
+	}
+	return groups, true
+}
+
+// partitionLogical splits spans into ngroups groups under an intermediate
+// file view: processes are ordered by physical start (ties by rank), their
+// data is virtually concatenated, and the concatenation is cut at byte
+// quantiles. It always succeeds for ngroups <= active processes and also
+// returns each rank's logical prefix offset in the intermediate file.
+func partitionLogical(spans []span, ngroups int) (groups [][]int, prefix map[int]int64) {
+	actives := make([]span, 0, len(spans))
+	var inactives []int
+	for _, s := range spans {
+		if s.active {
+			actives = append(actives, s)
+		} else {
+			inactives = append(inactives, s.rank)
+		}
+	}
+	sort.Slice(actives, func(i, j int) bool {
+		if actives[i].st != actives[j].st {
+			return actives[i].st < actives[j].st
+		}
+		return actives[i].rank < actives[j].rank
+	})
+	if ngroups > len(actives) {
+		ngroups = len(actives)
+	}
+	if ngroups < 1 {
+		ngroups = 1
+	}
+	prefix = make(map[int]int64, len(actives))
+	var total int64
+	for _, s := range actives {
+		prefix[s.rank] = total
+		total += s.size
+	}
+	groups = make([][]int, ngroups)
+	g := 0
+	var seen int64
+	for _, s := range actives {
+		// Advance to the group owning this span's starting byte.
+		for g+1 < ngroups && seen >= total*int64(g+1)/int64(ngroups) {
+			g++
+		}
+		groups[g] = append(groups[g], s.rank)
+		seen += s.size
+	}
+	// Some groups may have ended up empty when sizes are very skewed;
+	// compact them away.
+	out := groups[:0]
+	for _, grp := range groups {
+		if len(grp) > 0 {
+			out = append(out, grp)
+		}
+	}
+	groups = out
+	for i, r := range inactives {
+		groups[i%len(groups)] = append(groups[i%len(groups)], r)
+	}
+	return groups, prefix
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,312 @@
+// Package datatype provides MPI-like derived datatypes for describing
+// non-contiguous data layouts, plus the flattening and file-view arithmetic
+// that collective I/O needs. A datatype is an immutable description of a
+// byte layout; Segments flattens it into sorted, coalesced, non-overlapping
+// (offset, length) extents relative to the type's origin.
+package datatype
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a contiguous byte extent. Off is relative to whatever origin
+// the context defines (type origin, file view displacement, ...).
+type Segment struct {
+	Off, Len int64
+}
+
+// End returns the first byte after the segment.
+func (s Segment) End() int64 { return s.Off + s.Len }
+
+// Type describes a (possibly non-contiguous) byte layout.
+type Type interface {
+	// Size is the number of data bytes in one instance of the type.
+	Size() int64
+	// Extent is the span the type covers including holes; tiling a file
+	// view advances by Extent per instance.
+	Extent() int64
+	// Segments returns the data extents of one instance, sorted by
+	// offset, coalesced, and non-overlapping. Callers must not modify
+	// the returned slice.
+	Segments() []Segment
+}
+
+// Contig is n contiguous bytes.
+type Contig int64
+
+// Size implements Type.
+func (c Contig) Size() int64 { return int64(c) }
+
+// Extent implements Type.
+func (c Contig) Extent() int64 { return int64(c) }
+
+// Segments implements Type.
+func (c Contig) Segments() []Segment {
+	if c == 0 {
+		return nil
+	}
+	return []Segment{{0, int64(c)}}
+}
+
+// Vector is Count blocks of BlockLen bytes whose starts are Stride bytes
+// apart (MPI_Type_vector with byte units).
+type Vector struct {
+	Count, BlockLen, Stride int64
+	segs                    []Segment
+}
+
+// NewVector validates and builds a Vector. Stride must be >= BlockLen so
+// blocks cannot overlap.
+func NewVector(count, blockLen, stride int64) *Vector {
+	if count < 0 || blockLen < 0 {
+		panic("datatype: negative vector shape")
+	}
+	if stride < blockLen {
+		panic(fmt.Sprintf("datatype: vector stride %d < blocklen %d would overlap", stride, blockLen))
+	}
+	return &Vector{Count: count, BlockLen: blockLen, Stride: stride}
+}
+
+// Size implements Type.
+func (v *Vector) Size() int64 { return v.Count * v.BlockLen }
+
+// Extent implements Type. The extent runs to the end of the last block.
+func (v *Vector) Extent() int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return (v.Count-1)*v.Stride + v.BlockLen
+}
+
+// Segments implements Type.
+func (v *Vector) Segments() []Segment {
+	if v.segs == nil && v.Count > 0 && v.BlockLen > 0 {
+		segs := make([]Segment, 0, v.Count)
+		for i := int64(0); i < v.Count; i++ {
+			segs = append(segs, Segment{i * v.Stride, v.BlockLen})
+		}
+		v.segs = coalesce(segs)
+	}
+	return v.segs
+}
+
+// Indexed is an explicit list of (offset, length) blocks
+// (MPI_Type_indexed with byte units). Blocks may be given in any order but
+// must not overlap.
+type Indexed struct {
+	blocks []Segment
+	size   int64
+	extent int64
+}
+
+// NewIndexed validates and builds an Indexed type.
+func NewIndexed(blocks []Segment) *Indexed {
+	segs := make([]Segment, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Len < 0 || b.Off < 0 {
+			panic("datatype: negative indexed block")
+		}
+		if b.Len > 0 {
+			segs = append(segs, b)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+	var size int64
+	for i, s := range segs {
+		if i > 0 && s.Off < segs[i-1].End() {
+			panic(fmt.Sprintf("datatype: indexed blocks overlap at %d", s.Off))
+		}
+		size += s.Len
+	}
+	t := &Indexed{blocks: coalesce(segs), size: size}
+	if n := len(t.blocks); n > 0 {
+		t.extent = t.blocks[n-1].End()
+	}
+	return t
+}
+
+// Size implements Type.
+func (t *Indexed) Size() int64 { return t.size }
+
+// Extent implements Type.
+func (t *Indexed) Extent() int64 { return t.extent }
+
+// Segments implements Type.
+func (t *Indexed) Segments() []Segment { return t.blocks }
+
+// Subarray describes an n-dimensional subarray of an n-dimensional array in
+// row-major (C) order, as MPI_Type_create_subarray does. All dimensions are
+// in elements of ElemSize bytes.
+type Subarray struct {
+	Sizes, Subsizes, Starts []int64
+	ElemSize                int64
+	segs                    []Segment
+}
+
+// NewSubarray validates and builds a Subarray.
+func NewSubarray(sizes, subsizes, starts []int64, elemSize int64) *Subarray {
+	if len(sizes) == 0 || len(sizes) != len(subsizes) || len(sizes) != len(starts) {
+		panic("datatype: subarray dimension mismatch")
+	}
+	if elemSize <= 0 {
+		panic("datatype: subarray elemSize must be positive")
+	}
+	for d := range sizes {
+		if sizes[d] <= 0 || subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			panic(fmt.Sprintf("datatype: subarray dim %d out of bounds", d))
+		}
+	}
+	return &Subarray{
+		Sizes:    append([]int64(nil), sizes...),
+		Subsizes: append([]int64(nil), subsizes...),
+		Starts:   append([]int64(nil), starts...),
+		ElemSize: elemSize,
+	}
+}
+
+// Size implements Type.
+func (t *Subarray) Size() int64 {
+	n := t.ElemSize
+	for _, s := range t.Subsizes {
+		n *= s
+	}
+	return n
+}
+
+// Extent implements Type. A subarray's extent is the full array (that is
+// what tiles when used as a filetype).
+func (t *Subarray) Extent() int64 {
+	n := t.ElemSize
+	for _, s := range t.Sizes {
+		n *= s
+	}
+	return n
+}
+
+// Segments implements Type.
+func (t *Subarray) Segments() []Segment {
+	if t.segs != nil || t.Size() == 0 {
+		return t.segs
+	}
+	// Row-major strides in bytes.
+	nd := len(t.Sizes)
+	stride := make([]int64, nd)
+	stride[nd-1] = t.ElemSize
+	for d := nd - 2; d >= 0; d-- {
+		stride[d] = stride[d+1] * t.Sizes[d+1]
+	}
+	var segs []Segment
+	idx := make([]int64, nd)
+	var walk func(d int, base int64)
+	walk = func(d int, base int64) {
+		if d == nd-1 {
+			segs = append(segs, Segment{base + t.Starts[d]*t.ElemSize, t.Subsizes[d] * t.ElemSize})
+			return
+		}
+		for idx[d] = 0; idx[d] < t.Subsizes[d]; idx[d]++ {
+			walk(d+1, base+(t.Starts[d]+idx[d])*stride[d])
+		}
+	}
+	walk(0, 0)
+	t.segs = coalesce(segs)
+	return t.segs
+}
+
+// coalesce sorts (assumed pre-sorted ok) and merges touching segments,
+// dropping empties. The input slice may be reordered.
+func coalesce(segs []Segment) []Segment {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+	out := segs[:0]
+	for _, s := range segs {
+		if s.Len == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].End() == s.Off {
+			out[n-1].Len += s.Len
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Field places a child datatype at a byte offset within a Struct.
+type Field struct {
+	Off int64
+	T   Type
+}
+
+// Struct composes child datatypes at explicit offsets, like
+// MPI_Type_create_struct. Children may themselves be derived types, so
+// complex layouts (e.g. BT-IO's diagonal set of sub-cubes) compose
+// naturally. Children must not overlap.
+type Struct struct {
+	fields []Field
+	segs   []Segment
+	size   int64
+	extent int64
+}
+
+// NewStruct validates and builds a Struct from its fields.
+func NewStruct(fields []Field) *Struct {
+	s := &Struct{fields: append([]Field(nil), fields...)}
+	var all []Segment
+	for _, f := range fields {
+		if f.Off < 0 {
+			panic("datatype: negative struct field offset")
+		}
+		s.size += f.T.Size()
+		for _, sg := range f.T.Segments() {
+			all = append(all, Segment{Off: f.Off + sg.Off, Len: sg.Len})
+		}
+		if end := f.Off + f.T.Extent(); end > s.extent {
+			s.extent = end
+		}
+	}
+	s.segs = Coalesce(all) // panics on overlap
+	return s
+}
+
+// Size implements Type.
+func (s *Struct) Size() int64 { return s.size }
+
+// Extent implements Type.
+func (s *Struct) Extent() int64 { return s.extent }
+
+// Segments implements Type.
+func (s *Struct) Segments() []Segment { return s.segs }
+
+// Extended wraps a type, overriding its extent (like MPI_Type_create_resized);
+// file views use it to control how instances tile.
+type Extended struct {
+	Type
+	Ext int64
+}
+
+// Extent implements Type.
+func (e Extended) Extent() int64 { return e.Ext }
+
+// NewExtended returns t with its extent forced to ext (ext must cover the
+// type's last data byte).
+func NewExtended(t Type, ext int64) Type {
+	if segs := t.Segments(); len(segs) > 0 && segs[len(segs)-1].End() > ext {
+		panic("datatype: extent smaller than data span")
+	}
+	return Extended{Type: t, Ext: ext}
+}
+
+// Coalesce merges touching or out-of-order segments into canonical form
+// (exported for higher layers working with raw segment lists). Overlapping
+// input segments cause a panic: layouts must be disjoint.
+func Coalesce(segs []Segment) []Segment {
+	c := append([]Segment(nil), segs...)
+	sort.Slice(c, func(i, j int) bool { return c[i].Off < c[j].Off })
+	for i := 1; i < len(c); i++ {
+		if c[i].Len > 0 && c[i-1].Len > 0 && c[i].Off < c[i-1].End() {
+			panic(fmt.Sprintf("datatype: overlapping segments [%d,%d) and [%d,%d)",
+				c[i-1].Off, c[i-1].End(), c[i].Off, c[i].End()))
+		}
+	}
+	return coalesce(c)
+}

@@ -1,0 +1,268 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestContig(t *testing.T) {
+	c := Contig(10)
+	if c.Size() != 10 || c.Extent() != 10 {
+		t.Errorf("size/extent = %d/%d", c.Size(), c.Extent())
+	}
+	if !reflect.DeepEqual(c.Segments(), []Segment{{0, 10}}) {
+		t.Errorf("segments = %v", c.Segments())
+	}
+	if Contig(0).Segments() != nil {
+		t.Error("zero contig should have no segments")
+	}
+}
+
+func TestVector(t *testing.T) {
+	v := NewVector(3, 4, 10) // blocks at 0, 10, 20
+	if v.Size() != 12 {
+		t.Errorf("size = %d", v.Size())
+	}
+	if v.Extent() != 24 {
+		t.Errorf("extent = %d", v.Extent())
+	}
+	want := []Segment{{0, 4}, {10, 4}, {20, 4}}
+	if !reflect.DeepEqual(v.Segments(), want) {
+		t.Errorf("segments = %v want %v", v.Segments(), want)
+	}
+}
+
+func TestVectorDenseCoalesces(t *testing.T) {
+	v := NewVector(4, 5, 5) // stride == blocklen: fully dense
+	want := []Segment{{0, 20}}
+	if !reflect.DeepEqual(v.Segments(), want) {
+		t.Errorf("segments = %v want %v", v.Segments(), want)
+	}
+}
+
+func TestVectorOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVector(2, 10, 5)
+}
+
+func TestIndexed(t *testing.T) {
+	// Unsorted input with a touching pair that must coalesce.
+	ix := NewIndexed([]Segment{{20, 5}, {0, 10}, {10, 3}})
+	if ix.Size() != 18 {
+		t.Errorf("size = %d", ix.Size())
+	}
+	if ix.Extent() != 25 {
+		t.Errorf("extent = %d", ix.Extent())
+	}
+	want := []Segment{{0, 13}, {20, 5}}
+	if !reflect.DeepEqual(ix.Segments(), want) {
+		t.Errorf("segments = %v want %v", ix.Segments(), want)
+	}
+}
+
+func TestIndexedOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIndexed([]Segment{{0, 10}, {5, 10}})
+}
+
+func TestSubarray2DTile(t *testing.T) {
+	// A 2x3 tile at (1,2) of a 4x8 array of 2-byte elements.
+	sub := NewSubarray([]int64{4, 8}, []int64{2, 3}, []int64{1, 2}, 2)
+	if sub.Size() != 12 {
+		t.Errorf("size = %d", sub.Size())
+	}
+	if sub.Extent() != 64 {
+		t.Errorf("extent = %d", sub.Extent())
+	}
+	// Rows 1 and 2, columns 2..4: offsets (1*8+2)*2=20 and (2*8+2)*2=36.
+	want := []Segment{{20, 6}, {36, 6}}
+	if !reflect.DeepEqual(sub.Segments(), want) {
+		t.Errorf("segments = %v want %v", sub.Segments(), want)
+	}
+}
+
+func TestSubarrayFullRowsCoalesce(t *testing.T) {
+	// Full-width rows are contiguous across row boundaries.
+	sub := NewSubarray([]int64{6, 4}, []int64{2, 4}, []int64{1, 0}, 1)
+	want := []Segment{{4, 8}}
+	if !reflect.DeepEqual(sub.Segments(), want) {
+		t.Errorf("segments = %v want %v", sub.Segments(), want)
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	sub := NewSubarray([]int64{2, 3, 4}, []int64{2, 1, 2}, []int64{0, 1, 1}, 1)
+	// Planes z=0,1; row y=1; cols x=1..2. Offsets: 0*12+1*4+1=5 ; 12+4+1=17.
+	want := []Segment{{5, 2}, {17, 2}}
+	if !reflect.DeepEqual(sub.Segments(), want) {
+		t.Errorf("segments = %v want %v", sub.Segments(), want)
+	}
+}
+
+func TestSubarrayBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSubarray([]int64{4}, []int64{3}, []int64{2}, 1)
+}
+
+// Property: for any generated type, Segments is sorted, non-overlapping,
+// coalesced, sums to Size, and fits within Extent.
+func TestSegmentInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := randomType(rng)
+		segs := ty.Segments()
+		var total int64
+		for i, s := range segs {
+			if s.Len <= 0 || s.Off < 0 {
+				return false
+			}
+			if i > 0 {
+				prev := segs[i-1]
+				if s.Off < prev.End() {
+					return false // overlap
+				}
+				if s.Off == prev.End() {
+					return false // not coalesced
+				}
+			}
+			total += s.Len
+		}
+		if total != ty.Size() {
+			return false
+		}
+		if n := len(segs); n > 0 && segs[n-1].End() > ty.Extent() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomType(rng *rand.Rand) Type {
+	switch rng.Intn(4) {
+	case 0:
+		return Contig(rng.Int63n(100))
+	case 1:
+		bl := rng.Int63n(8) + 1
+		return NewVector(rng.Int63n(6)+1, bl, bl+rng.Int63n(8))
+	case 2:
+		var blocks []Segment
+		off := int64(0)
+		for i := 0; i < rng.Intn(6)+1; i++ {
+			off += rng.Int63n(10)
+			l := rng.Int63n(10) + 1
+			blocks = append(blocks, Segment{off, l})
+			off += l
+		}
+		return NewIndexed(blocks)
+	default:
+		nd := rng.Intn(3) + 1
+		sizes := make([]int64, nd)
+		subs := make([]int64, nd)
+		starts := make([]int64, nd)
+		for d := range sizes {
+			sizes[d] = rng.Int63n(5) + 1
+			subs[d] = rng.Int63n(sizes[d]) + 1
+			starts[d] = rng.Int63n(sizes[d] - subs[d] + 1)
+		}
+		return NewSubarray(sizes, subs, starts, rng.Int63n(4)+1)
+	}
+}
+
+func TestCoalesceExported(t *testing.T) {
+	in := []Segment{{10, 5}, {0, 10}, {20, 0}}
+	want := []Segment{{0, 15}}
+	if got := Coalesce(in); !reflect.DeepEqual(got, want) {
+		t.Errorf("Coalesce = %v want %v", got, want)
+	}
+}
+
+func TestCoalesceOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Coalesce([]Segment{{0, 10}, {9, 2}})
+}
+
+func TestExtended(t *testing.T) {
+	base := NewIndexed([]Segment{{0, 4}, {10, 4}})
+	ext := NewExtended(base, 32)
+	if ext.Extent() != 32 {
+		t.Errorf("extent = %d want 32", ext.Extent())
+	}
+	if ext.Size() != base.Size() {
+		t.Errorf("size changed: %d", ext.Size())
+	}
+	// Tiling honors the forced extent.
+	v := View{Disp: 0, Filetype: ext}
+	segs := v.Map(8, 8) // second instance entirely
+	want := []Segment{{32, 4}, {42, 4}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Errorf("tiled map = %v want %v", segs, want)
+	}
+}
+
+func TestExtendedTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExtended(Contig(10), 5)
+}
+
+func TestStruct(t *testing.T) {
+	s := NewStruct([]Field{
+		{Off: 0, T: Contig(4)},
+		{Off: 10, T: NewVector(2, 2, 4)}, // data at 10..11, 14..15
+	})
+	if s.Size() != 8 {
+		t.Errorf("size = %d", s.Size())
+	}
+	if s.Extent() != 16 {
+		t.Errorf("extent = %d", s.Extent())
+	}
+	want := []Segment{{0, 4}, {10, 2}, {14, 2}}
+	if !reflect.DeepEqual(s.Segments(), want) {
+		t.Errorf("segments = %v want %v", s.Segments(), want)
+	}
+}
+
+func TestStructNestedSubarrays(t *testing.T) {
+	// Two 2x2 tiles of a 4x4 byte array placed by a struct: equivalent to
+	// the two subarrays' unioned segments.
+	tileA := NewSubarray([]int64{4, 4}, []int64{2, 2}, []int64{0, 0}, 1)
+	tileB := NewSubarray([]int64{4, 4}, []int64{2, 2}, []int64{2, 2}, 1)
+	s := NewStruct([]Field{{Off: 0, T: tileA}, {Off: 0, T: tileB}})
+	want := Coalesce(append(append([]Segment{}, tileA.Segments()...), tileB.Segments()...))
+	if !reflect.DeepEqual(s.Segments(), want) {
+		t.Errorf("segments = %v want %v", s.Segments(), want)
+	}
+}
+
+func TestStructOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStruct([]Field{{Off: 0, T: Contig(4)}, {Off: 2, T: Contig(4)}})
+}

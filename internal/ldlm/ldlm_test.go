@@ -1,0 +1,157 @@
+package ldlm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstEnqueueGetsExpandedGrant(t *testing.T) {
+	m := New()
+	if rev := m.Enqueue("o", 1, 100, 200, PW); rev != 0 {
+		t.Errorf("first enqueue revoked %d", rev)
+	}
+	// The expanded grant covers the whole object.
+	if !m.Covered("o", 1, 0, 1<<40, PW) {
+		t.Error("expanded grant does not cover the object")
+	}
+	// Streaming through the region costs nothing further.
+	if rev := m.Enqueue("o", 1, 5000, 6000, PW); rev != 0 {
+		t.Errorf("covered enqueue revoked %d", rev)
+	}
+	if e, g, r := m.Stats(); e != 2 || g != 1 || r != 0 {
+		t.Errorf("stats = %d/%d/%d", e, g, r)
+	}
+}
+
+func TestConflictingWriterRevokes(t *testing.T) {
+	m := New()
+	m.Enqueue("o", 1, 0, 100, PW)
+	rev := m.Enqueue("o", 2, 1000, 1100, PW) // conflicts with 1's expanded lock
+	if rev != 1 {
+		t.Errorf("revoked %d want 1", rev)
+	}
+	if m.Covered("o", 1, 0, 100, PW) {
+		t.Error("victim still holds its lock")
+	}
+	if !m.Covered("o", 2, 1000, 1100, PW) {
+		t.Error("requester not granted")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two clients alternating writes ping-pong the lock: every request
+	// after the first revokes the other — the client-switch cost.
+	m := New()
+	total := 0
+	for i := 0; i < 10; i++ {
+		client := 1 + i%2
+		total += m.Enqueue("o", client, int64(i*100), int64(i*100+50), PW)
+	}
+	if total != 9 {
+		t.Errorf("revocations = %d want 9", total)
+	}
+}
+
+func TestReadersShare(t *testing.T) {
+	m := New()
+	if rev := m.Enqueue("o", 1, 0, 100, PR); rev != 0 {
+		t.Error("reader 1 revoked someone")
+	}
+	if rev := m.Enqueue("o", 2, 50, 150, PR); rev != 0 {
+		t.Error("reader 2 revoked reader 1")
+	}
+	// A writer kicks both readers out.
+	if rev := m.Enqueue("o", 3, 60, 70, PW); rev != 2 {
+		t.Errorf("writer revoked %d want 2", rev)
+	}
+}
+
+func TestGrantBoundedByNeighbors(t *testing.T) {
+	m := New()
+	m.Enqueue("o", 1, 0, 100, PW)       // client 1: whole object
+	m.Enqueue("o", 2, 10000, 10100, PW) // revokes 1, takes whole object
+	m.Enqueue("o", 1, 0, 100, PW)       // revokes 2? 2's grant covers 0..inf
+	// After the ping-pong, enqueue a disjoint region and check the grant
+	// respects the other holder's remaining extent.
+	holders := m.Holders("o")
+	if len(holders) != 1 || holders[0] != 1 {
+		t.Errorf("holders = %v", holders)
+	}
+}
+
+func TestSeparateObjectsIndependent(t *testing.T) {
+	m := New()
+	m.Enqueue("a", 1, 0, 10, PW)
+	if rev := m.Enqueue("b", 2, 0, 10, PW); rev != 0 {
+		t.Error("locks leaked across objects")
+	}
+}
+
+func TestBadExtentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Enqueue("o", 1, 10, 10, PW)
+}
+
+// Property: after any sequence of enqueues, no two granted locks of
+// different clients conflict (PW vs anything overlapping).
+func TestNoConflictingGrantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		for i := 0; i < 60; i++ {
+			client := rng.Intn(4)
+			start := rng.Int63n(1000)
+			mode := PR
+			if rng.Intn(2) == 0 {
+				mode = PW
+			}
+			m.Enqueue("o", client, start, start+rng.Int63n(200)+1, mode)
+		}
+		ns := m.Namespace("o")
+		for i, a := range ns.locks {
+			for _, b := range ns.locks[i+1:] {
+				if a.client == b.client {
+					continue
+				}
+				overlap := a.end > b.start && b.end > a.start
+				if overlap && (a.mode == PW || b.mode == PW) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a client's request is always covered afterwards.
+func TestRequestAlwaysCoveredProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		for i := 0; i < 60; i++ {
+			client := rng.Intn(4)
+			start := rng.Int63n(1000)
+			end := start + rng.Int63n(200) + 1
+			mode := PR
+			if rng.Intn(2) == 0 {
+				mode = PW
+			}
+			m.Enqueue("o", client, start, end, mode)
+			if !m.Covered("o", client, start, end, mode) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

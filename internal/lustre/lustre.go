@@ -1,0 +1,371 @@
+// Package lustre models a striped parallel file system in the spirit of the
+// Lustre deployment on Jaguar: a set of object storage targets (OSTs) with
+// per-request overhead and finite bandwidth, files striped round-robin over
+// a subset of OSTs, and a metadata server that serializes opens.
+//
+// Timing: each contiguous per-OST chunk of a read or write is one RPC. A
+// write ships the chunk through the client's transmit NIC (so file I/O and
+// message passing contend for the same link, as on the Cray XT), then the
+// OST serves it — overhead plus bytes/bandwidth — and acknowledges. Reads
+// are symmetric through the receive NIC. The operation completes when the
+// slowest chunk completes; the elapsed time is charged to the rank's
+// ClassIO bucket.
+//
+// Data: file contents are stored for real (sparse page map) so tests can
+// verify byte-exact read-after-write behaviour. CostScale lets experiments
+// move small real buffers while being charged for paper-sized data.
+package lustre
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ldlm"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Config describes the file system hardware model.
+type Config struct {
+	NumOSTs         int     // object storage targets available
+	OSTBandwidth    float64 // bytes/second each OST sustains
+	RequestOverhead float64 // seconds of fixed cost per RPC (seek, service)
+	OpenCost        float64 // seconds of metadata-server time per open
+	CostScale       float64 // virtual bytes per real byte (default 1)
+	// Jitter is the relative service-time noise per request (0.1 = ±10%),
+	// drawn deterministically from Seed. Shared storage is never
+	// noise-free; the noise is what lets independent ParColl subgroups
+	// drift apart instead of hammering the same stripe in lockstep, and it
+	// makes straggler-waiting grow with synchronization-group size.
+	Jitter float64
+	Seed   int64
+	// SwitchPenalty is the extra service time an OST pays when a request
+	// comes from a different client than the previous one (extent-lock
+	// revocation plus a disk seek). It is why a thousand uncoordinated
+	// writers collapse — the paper's "Cray w/o Coll" at ~60 MB/s — while
+	// a few aggregators with large sequential requests amortize it.
+	SwitchPenalty float64
+	// TailProb and TailPenalty model heavy-tailed service times (RAID
+	// controller hiccups, background scrubbing, shared-machine
+	// interference — the noise the paper averaged repeated measurements
+	// over). Tails are what the collective wall amplifies: a globally
+	// synchronized protocol stalls every process on every tail event,
+	// while ParColl confines each tail to one subgroup.
+	TailProb    float64
+	TailPenalty float64
+	// UseExtentLocks replaces the flat SwitchPenalty heuristic with the
+	// real mechanism it approximates: per-object extent locks managed by
+	// internal/ldlm. Every request enqueues a lock on its OST object; each
+	// conflicting holder costs one blocking-AST round trip (RevokeCost).
+	UseExtentLocks bool
+	// RevokeCost is the time one lock callback adds to a request when
+	// extent locks are enabled (callback + flush + re-grant).
+	RevokeCost float64
+}
+
+// DefaultConfig approximates the paper's test file system: 72 OSTs behind
+// 4 Gbps Fibre Channel, about 140 MB/s per OST with sub-millisecond
+// request overhead.
+func DefaultConfig() Config {
+	return Config{
+		NumOSTs:         72,
+		OSTBandwidth:    1.4e8,
+		RequestOverhead: 8e-4,
+		OpenCost:        5e-5,
+		CostScale:       1,
+		Jitter:          0.1,
+		Seed:            1,
+		SwitchPenalty:   1.5e-3,
+		TailProb:        0.02,
+		TailPenalty:     3e-2,
+		RevokeCost:      1.5e-3,
+	}
+}
+
+// StripeInfo is a file's striping layout, set at create time.
+type StripeInfo struct {
+	Count  int   // number of OSTs the file stripes over
+	Size   int64 // stripe unit in bytes
+	Offset int   // index of the first OST
+}
+
+// DefaultStripe mirrors the paper's experiments: 64 targets, 4 MB units.
+func DefaultStripe() StripeInfo { return StripeInfo{Count: 64, Size: 4 << 20} }
+
+// FS is one file system instance. Create one per simulation run and share
+// it across ranks (the engine serializes access).
+type FS struct {
+	cfg        Config
+	osts       []*sim.Resource
+	mds        *sim.Resource
+	files      map[string]*fileObj
+	rng        *rand.Rand
+	lastClient []int // per OST: world rank of the previous requester
+	stats      []OSTStat
+	locks      *ldlm.Manager // non-nil when UseExtentLocks
+}
+
+// OSTStat aggregates one OST's service counters for analysis output.
+type OSTStat struct {
+	Requests int64
+	Bytes    int64 // virtual bytes served
+	Switches int64 // client alternations (lock/seek penalties paid)
+	Tails    int64 // heavy-tail events
+	BusySecs float64
+}
+
+// svcTime returns the service time for a request of virt bytes on OST ost
+// issued by client rank, including jitter and concurrency penalties: either
+// the flat client-switch heuristic or, with UseExtentLocks, the revocation
+// round trips the LDLM reports for the extent [off, off+ln).
+func (fs *FS) svcTime(obj string, ost int, rank int, off, ln int64, virt float64, mode ldlm.Mode) float64 {
+	st := &fs.stats[ost]
+	st.Requests++
+	st.Bytes += int64(virt)
+	svc := (fs.cfg.RequestOverhead + virt/fs.cfg.OSTBandwidth) * fs.noise()
+	if fs.locks != nil {
+		key := fmt.Sprintf("%s/%d", obj, ost)
+		if revoked := fs.locks.Enqueue(key, rank, off, off+ln, mode); revoked > 0 {
+			svc += float64(revoked) * fs.cfg.RevokeCost
+			st.Switches += int64(revoked)
+		}
+	} else if fs.lastClient[ost] != rank {
+		if fs.lastClient[ost] >= 0 {
+			svc += fs.cfg.SwitchPenalty
+			st.Switches++
+		}
+		fs.lastClient[ost] = rank
+	}
+	if fs.cfg.TailProb > 0 && fs.rng.Float64() < fs.cfg.TailProb {
+		svc += fs.cfg.TailPenalty
+		st.Tails++
+	}
+	st.BusySecs += svc
+	return svc
+}
+
+// Stats returns a copy of the per-OST service counters.
+func (fs *FS) Stats() []OSTStat {
+	return append([]OSTStat(nil), fs.stats...)
+}
+
+// noise returns the multiplicative service-time factor for one request.
+func (fs *FS) noise() float64 {
+	if fs.cfg.Jitter == 0 {
+		return 1
+	}
+	return 1 + fs.cfg.Jitter*(2*fs.rng.Float64()-1)
+}
+
+// NewFS builds a file system.
+func NewFS(cfg Config) *FS {
+	if cfg.NumOSTs <= 0 {
+		panic("lustre: need at least one OST")
+	}
+	if cfg.CostScale == 0 {
+		cfg.CostScale = 1
+	}
+	fs := &FS{
+		cfg:        cfg,
+		osts:       make([]*sim.Resource, cfg.NumOSTs),
+		mds:        sim.NewResource("mds"),
+		files:      make(map[string]*fileObj),
+		rng:        rand.New(rand.NewSource(cfg.Seed*7919 + 13)),
+		lastClient: make([]int, cfg.NumOSTs),
+		stats:      make([]OSTStat, cfg.NumOSTs),
+	}
+	if cfg.UseExtentLocks {
+		fs.locks = ldlm.New()
+	}
+	for i := range fs.osts {
+		fs.osts[i] = sim.NewResource(fmt.Sprintf("ost%d", i))
+		fs.lastClient[i] = -1
+	}
+	return fs
+}
+
+// Config returns the file system's parameters.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// OSTBusyTimes returns each OST's total booked service time (diagnostics).
+func (fs *FS) OSTBusyTimes() []float64 {
+	out := make([]float64, len(fs.osts))
+	for i, o := range fs.osts {
+		out[i] = o.BusyTime()
+	}
+	return out
+}
+
+const pageBits = 16 // 64 KiB pages
+const pageSize = 1 << pageBits
+
+type fileObj struct {
+	name   string
+	stripe StripeInfo
+	pages  map[int64][]byte
+	size   int64
+}
+
+// File is an open handle. Handles are cheap; every rank opens its own.
+type File struct {
+	fs  *FS
+	obj *fileObj
+}
+
+// Open opens (creating if necessary) the named file. The stripe layout
+// applies only on create, like Lustre's. Open costs metadata-server time,
+// which serializes when many ranks open at once.
+func (fs *FS) Open(r *mpi.Rank, name string, stripe StripeInfo) *File {
+	if stripe.Count <= 0 || stripe.Size <= 0 {
+		panic("lustre: invalid stripe layout")
+	}
+	if stripe.Count > fs.cfg.NumOSTs {
+		stripe.Count = fs.cfg.NumOSTs
+	}
+	r.P.Sync()
+	_, end := fs.mds.Acquire(r.Now(), fs.cfg.OpenCost)
+	r.ChargeIO(end - r.Now())
+	obj, ok := fs.files[name]
+	if !ok {
+		obj = &fileObj{name: name, stripe: stripe, pages: make(map[int64][]byte)}
+		fs.files[name] = obj
+	}
+	return &File{fs: fs, obj: obj}
+}
+
+// Remove deletes a file's data (no time cost; test convenience).
+func (fs *FS) Remove(name string) { delete(fs.files, name) }
+
+// Stripe returns the file's stripe layout.
+func (f *File) Stripe() StripeInfo { return f.obj.stripe }
+
+// Size returns the file length (highest byte written so far).
+func (f *File) Size() int64 { return f.obj.size }
+
+// ostIndexFor returns the OST id serving stripe unit index u.
+func (f *File) ostIndexFor(u int64) int {
+	s := f.obj.stripe
+	return int((int64(s.Offset) + u%int64(s.Count)) % int64(len(f.fs.osts)))
+}
+
+// chunks splits [off, off+n) at stripe-unit boundaries and calls fn with
+// each (offset, length, stripe unit index).
+func (f *File) chunks(off, n int64, fn func(o, l, unit int64)) {
+	ss := f.obj.stripe.Size
+	for n > 0 {
+		unit := off / ss
+		l := (unit+1)*ss - off
+		if l > n {
+			l = n
+		}
+		fn(off, l, unit)
+		off += l
+		n -= l
+	}
+}
+
+// WriteAt writes data at the given offset, charging ClassIO time for the
+// slowest chunk's completion.
+func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if off < 0 {
+		panic("lustre: negative offset")
+	}
+	cl := r.W.Cluster
+	cfg := f.fs.cfg
+	r.P.Sync()
+	now := r.Now()
+	tx := cl.TxNIC(r.WorldRank())
+	lat := cl.Config().Latency
+	nicBW := cl.Config().NICBandwidth
+	var done float64
+	f.chunks(off, int64(len(data)), func(o, l, unit int64) {
+		virt := float64(l) * cfg.CostScale
+		_, txEnd := tx.Acquire(now, virt/nicBW)
+		ost := f.ostIndexFor(unit)
+		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), o, l, virt, ldlm.PW)
+		_, ostEnd := f.fs.osts[ost].Acquire(txEnd+lat, svc)
+		if fin := ostEnd + lat; fin > done {
+			done = fin
+		}
+	})
+	f.obj.store(off, data)
+	r.ChargeIO(done - now)
+}
+
+// ReadAt reads n bytes from off; unwritten bytes read as zero. Time is
+// charged like WriteAt, with the data crossing the receive NIC.
+func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if off < 0 {
+		panic("lustre: negative offset")
+	}
+	cl := r.W.Cluster
+	cfg := f.fs.cfg
+	r.P.Sync()
+	now := r.Now()
+	rx := cl.RxNIC(r.WorldRank())
+	lat := cl.Config().Latency
+	nicBW := cl.Config().NICBandwidth
+	var done float64
+	f.chunks(off, n, func(o, l, unit int64) {
+		virt := float64(l) * cfg.CostScale
+		ost := f.ostIndexFor(unit)
+		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), o, l, virt, ldlm.PR)
+		_, ostEnd := f.fs.osts[ost].Acquire(now+lat, svc)
+		_, rxEnd := rx.Acquire(ostEnd+lat, virt/nicBW)
+		if rxEnd > done {
+			done = rxEnd
+		}
+	})
+	r.ChargeIO(done - now)
+	return f.obj.load(off, n)
+}
+
+func (o *fileObj) store(off int64, data []byte) {
+	for len(data) > 0 {
+		page := off >> pageBits
+		po := off & (pageSize - 1)
+		l := int64(pageSize) - po
+		if l > int64(len(data)) {
+			l = int64(len(data))
+		}
+		buf, ok := o.pages[page]
+		if !ok {
+			buf = make([]byte, pageSize)
+			o.pages[page] = buf
+		}
+		copy(buf[po:po+l], data[:l])
+		off += l
+		data = data[l:]
+	}
+	if off > o.size {
+		o.size = off
+	}
+}
+
+func (o *fileObj) load(off, n int64) []byte {
+	out := make([]byte, n)
+	pos := int64(0)
+	for pos < n {
+		page := (off + pos) >> pageBits
+		po := (off + pos) & (pageSize - 1)
+		l := int64(pageSize) - po
+		if l > n-pos {
+			l = n - pos
+		}
+		if buf, ok := o.pages[page]; ok {
+			copy(out[pos:pos+l], buf[po:po+l])
+		}
+		pos += l
+	}
+	return out
+}
+
+// Contents returns the file's bytes in [0, Size) — test convenience with no
+// simulated time cost.
+func (f *File) Contents() []byte { return f.obj.load(0, f.obj.size) }

@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// AnySource matches a message from any rank in the communicator.
+const AnySource = sim.AnySource
+
+// tagSpace reserves the low bits of the sim tag for user and collective
+// tags; the communicator context occupies the high bits, isolating traffic
+// of different communicators that share members.
+const tagSpace = 1 << 18
+
+// MaxUserTag is the largest tag application point-to-point code may use;
+// tags above it belong to collective invocations.
+const MaxUserTag = collTagBase - 1
+
+// Comm is a communicator: an ordered group of ranks with an isolated tag
+// space. Comm values are per-rank views of the same logical communicator.
+type Comm struct {
+	r           *Rank
+	members     []int // comm rank -> world rank
+	worldToComm map[int]int
+	me          int // my comm rank
+	ctx         int
+	splits      int // number of Split calls issued on this comm so far
+	collSeq     int // collective-invocation sequence (lockstep across members)
+}
+
+// WorldComm returns the communicator spanning all ranks.
+func WorldComm(r *Rank) *Comm {
+	n := r.WorldSize()
+	members := make([]int, n)
+	w2c := make(map[int]int, n)
+	for i := range members {
+		members[i] = i
+		w2c[i] = i
+	}
+	return &Comm{r: r, members: members, worldToComm: w2c, me: r.WorldRank(), ctx: 0}
+}
+
+// RankHandle returns the Rank this communicator view belongs to.
+func (c *Comm) RankHandle() *Rank { return c.r }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Rank returns the calling rank's id within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// WorldRankOf translates a comm rank to its world rank.
+func (c *Comm) WorldRankOf(commRank int) int { return c.members[commRank] }
+
+// Members returns the world ranks in comm-rank order (shared slice; do not
+// modify).
+func (c *Comm) Members() []int { return c.members }
+
+// RankOfWorld translates a world rank to a comm rank (-1 if not a member).
+func (c *Comm) RankOfWorld(world int) int {
+	if cr, ok := c.worldToComm[world]; ok {
+		return cr
+	}
+	return -1
+}
+
+func (c *Comm) encTag(tag int) int {
+	if tag < 0 || tag >= tagSpace {
+		panic(fmt.Sprintf("mpi: tag %d out of range", tag))
+	}
+	return c.ctx*tagSpace + tag
+}
+
+// UndefinedColor makes Split return nil for the calling rank, like
+// MPI_UNDEFINED.
+const UndefinedColor = -1
+
+// Split partitions the communicator by color; within each color ranks are
+// ordered by (key, old rank). It is collective over the communicator. Ranks
+// passing UndefinedColor receive nil.
+func (c *Comm) Split(color, key int) *Comm {
+	// Gather (color, key) from everyone. This mirrors MPI_Comm_split cost.
+	pairs := c.AllgatherInt64s([]int64{int64(color), int64(key)})
+	ctx := c.ctx*131 + c.splits + 1
+	c.splits++
+	if color == UndefinedColor {
+		return nil
+	}
+	type ent struct{ key, old int }
+	var group []ent
+	for old, p := range pairs {
+		if int(p[0]) == color {
+			group = append(group, ent{int(p[1]), old})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].old < group[j].old
+	})
+	members := make([]int, len(group))
+	w2c := make(map[int]int, len(group))
+	me := -1
+	for i, g := range group {
+		members[i] = c.members[g.old]
+		w2c[members[i]] = i
+		if g.old == c.me {
+			me = i
+		}
+	}
+	return &Comm{r: c.r, members: members, worldToComm: w2c, me: me, ctx: ctx}
+}
+
+// Dup returns a communicator with the same group but an isolated tag space.
+// It is collective (requires all members to call it in the same order).
+func (c *Comm) Dup() *Comm {
+	ctx := c.ctx*131 + c.splits + 1
+	c.splits++
+	members := append([]int(nil), c.members...)
+	w2c := make(map[int]int, len(members))
+	for i, m := range members {
+		w2c[m] = i
+	}
+	return &Comm{r: c.r, members: members, worldToComm: w2c, me: c.me, ctx: ctx}
+}
+
+// Include creates a communicator containing exactly the given comm ranks
+// of c, ordered as listed (like MPI_Comm_create over MPI_Group_incl). It
+// is collective over c; callers not in ranks receive nil.
+func (c *Comm) Include(ranks []int) *Comm {
+	pos := -1
+	for i, r := range ranks {
+		if r < 0 || r >= len(c.members) {
+			panic("mpi: Include rank outside communicator")
+		}
+		if r == c.me {
+			pos = i
+		}
+	}
+	color := 0
+	key := pos
+	if pos < 0 {
+		color = UndefinedColor
+		key = 0
+	}
+	return c.Split(color, key)
+}
+
+// Exclude creates a communicator containing every member of c except the
+// given comm ranks, preserving order. It is collective over c; excluded
+// callers receive nil.
+func (c *Comm) Exclude(ranks []int) *Comm {
+	drop := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(c.members) {
+			panic("mpi: Exclude rank outside communicator")
+		}
+		drop[r] = true
+	}
+	color := 0
+	if drop[c.me] {
+		color = UndefinedColor
+	}
+	return c.Split(color, c.me)
+}

@@ -1,0 +1,113 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Wire encoding helpers. Collectives move typed values as little-endian
+// byte payloads so that transfer costs reflect honest wire sizes.
+
+func encInt64s(vals []int64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+func decInt64s(b []byte) []int64 {
+	vals := make([]int64, len(b)/8)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
+func encFloat64s(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decFloat64s(b []byte) []float64 {
+	vals := make([]float64, len(b)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
+// routedBlock is a data block in flight through the Bruck alltoall router.
+type routedBlock struct {
+	src, dst int
+	data     []byte
+}
+
+func encRouted(blocks []routedBlock) []byte {
+	n := 4
+	for _, b := range blocks {
+		n += 12 + len(b.data)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blocks)))
+	for _, b := range blocks {
+		out = binary.LittleEndian.AppendUint32(out, uint32(b.src))
+		out = binary.LittleEndian.AppendUint32(out, uint32(b.dst))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b.data)))
+		out = append(out, b.data...)
+	}
+	return out
+}
+
+func decRouted(b []byte) []routedBlock {
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	blocks := make([]routedBlock, n)
+	for i := range blocks {
+		src := int(binary.LittleEndian.Uint32(b))
+		dst := int(binary.LittleEndian.Uint32(b[4:]))
+		ln := int(binary.LittleEndian.Uint32(b[8:]))
+		b = b[12:]
+		blocks[i] = routedBlock{src: src, dst: dst, data: b[:ln:ln]}
+		b = b[ln:]
+	}
+	return blocks
+}
+
+// pieces are (origin rank, data) pairs moved by the Bruck allgather.
+type piece struct {
+	rank int
+	data []byte
+}
+
+func encPieces(ps []piece) []byte {
+	n := 4
+	for _, p := range ps {
+		n += 8 + len(p.data)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ps)))
+	for _, p := range ps {
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.rank))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.data)))
+		out = append(out, p.data...)
+	}
+	return out
+}
+
+func decPieces(b []byte) []piece {
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	ps := make([]piece, n)
+	for i := range ps {
+		rank := int(binary.LittleEndian.Uint32(b))
+		ln := int(binary.LittleEndian.Uint32(b[4:]))
+		b = b[8:]
+		ps[i] = piece{rank: rank, data: b[:ln:ln]}
+		b = b[ln:]
+	}
+	return ps
+}

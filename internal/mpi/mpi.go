@@ -1,0 +1,170 @@
+// Package mpi implements an MPI-like message-passing runtime on top of the
+// deterministic virtual-time engine in internal/sim and the machine model
+// in internal/cluster.
+//
+// Ranks are simulated procs; point-to-point transfers book NIC time on the
+// sending and receiving nodes, and collectives are built from point-to-point
+// messages using the classical algorithms (dissemination barrier, binomial
+// broadcast/reduce, Bruck allgather and alltoall). Collective cost therefore
+// *emerges* from latency, bandwidth, and process skew — which is exactly the
+// "synchronization cost" the ParColl paper measures.
+//
+// Every operation attributes its elapsed virtual time to the rank's current
+// profiling class (see Class), so higher layers can reproduce the paper's
+// time breakdown of collective I/O into synchronization, data exchange, and
+// file I/O.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// World describes one simulated MPI job.
+type World struct {
+	Cluster *cluster.Cluster
+	coll    map[collKey]*collSlot // in-flight rendezvous collectives
+}
+
+// Rank is one MPI process. It wraps the underlying sim proc and carries the
+// profiling state. A Rank is only valid inside the body passed to Run.
+type Rank struct {
+	P *sim.Proc
+	W *World
+
+	prof   Prof
+	class  Class
+	depth  int // public-op nesting depth; only depth 0 records time
+	tracer *trace.Recorder
+}
+
+// SetTracer attaches an event recorder: every top-level operation emits a
+// span labeled with its profiling class, and ChargeIO emits io spans. Pass
+// nil to detach. Share one recorder across the ranks of a run (the engine
+// serializes access).
+func (r *Rank) SetTracer(rec *trace.Recorder) { r.tracer = rec }
+
+// Run executes body on nprocs ranks over a cluster built from ccfg and
+// returns the maximum virtual finish time in seconds. The run is
+// deterministic for a given seed.
+func Run(nprocs int, ccfg cluster.Config, seed int64, body func(r *Rank)) float64 {
+	w := &World{
+		Cluster: cluster.New(nprocs, ccfg),
+		coll:    make(map[collKey]*collSlot),
+	}
+	e := sim.NewEngine(sim.Config{Seed: seed})
+	return e.Run(nprocs, func(p *sim.Proc) {
+		body(&Rank{P: p, W: w})
+	})
+}
+
+// WorldRank returns the rank's id in the global job.
+func (r *Rank) WorldRank() int { return r.P.ID() }
+
+// WorldSize returns the global number of ranks.
+func (r *Rank) WorldSize() int { return r.W.Cluster.NumProcs() }
+
+// Now returns the rank's virtual clock in seconds.
+func (r *Rank) Now() float64 { return r.P.Now() }
+
+// Compute charges d seconds of local computation to the rank.
+func (r *Rank) Compute(d float64) { r.P.Advance(d) }
+
+// Class labels where a rank's time goes, mirroring the paper's breakdown of
+// collective I/O processing (Figure 2).
+type Class int
+
+const (
+	// ClassOther is everything not otherwise attributed.
+	ClassOther Class = iota
+	// ClassSync is time in collective operations (allgather, alltoall,
+	// allreduce, barrier) — the paper's "synchronization".
+	ClassSync
+	// ClassExchange is time in point-to-point data exchange.
+	ClassExchange
+	// ClassIO is time spent in file reads/writes.
+	ClassIO
+	// NumClasses is the number of profiling classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOther:
+		return "other"
+	case ClassSync:
+		return "sync"
+	case ClassExchange:
+		return "exchange"
+	case ClassIO:
+		return "io"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Prof accumulates a rank's virtual time per class plus traffic counters.
+type Prof struct {
+	Times [NumClasses]float64
+	Msgs  int64
+	Bytes int64
+}
+
+// Total returns the sum of all class times.
+func (p *Prof) Total() float64 {
+	var t float64
+	for _, v := range p.Times {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates another profile into p (for cross-rank aggregation).
+func (p *Prof) Add(q *Prof) {
+	for i := range p.Times {
+		p.Times[i] += q.Times[i]
+	}
+	p.Msgs += q.Msgs
+	p.Bytes += q.Bytes
+}
+
+// SetClass switches the rank's active profiling class, returning the
+// previous one so callers can restore it.
+func (r *Rank) SetClass(c Class) Class {
+	old := r.class
+	r.class = c
+	return old
+}
+
+// ChargeIO attributes d seconds to ClassIO and advances the clock; the
+// lustre layer reports completed I/O waits through this.
+func (r *Rank) ChargeIO(d float64) {
+	if r.tracer != nil {
+		r.tracer.Add(r.WorldRank(), ClassIO.String(), r.P.Now(), r.P.Now()+d, "")
+	}
+	r.P.Advance(d)
+	r.prof.Times[ClassIO] += d
+}
+
+// Prof returns the rank's accumulated profile.
+func (r *Rank) Prof() *Prof { return &r.prof }
+
+// begin/end bracket a public operation so elapsed time lands in the current
+// class exactly once even when collectives nest.
+func (r *Rank) begin() float64 {
+	r.depth++
+	return r.P.Now()
+}
+
+func (r *Rank) end(t0 float64) {
+	r.depth--
+	if r.depth == 0 {
+		r.prof.Times[r.class] += r.P.Now() - t0
+		if r.tracer != nil && r.P.Now() > t0 {
+			r.tracer.Add(r.WorldRank(), r.class.String(), t0, r.P.Now(), "")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import "repro/internal/sim"
+
+// Nonblocking point-to-point operations. Sends in this runtime are always
+// eager (the sender never blocks on delivery), so Isend completes
+// immediately; Irecv registers interest and Wait performs the matching
+// blocking receive. The request objects exist so code ported from MPI —
+// ROMIO's exchange loops post irecvs up front and waitall at the end —
+// reads naturally and so the posting order is preserved.
+
+// Request is a handle to an outstanding nonblocking operation.
+type Request struct {
+	c        *Comm
+	isRecv   bool
+	src, tag int
+	done     bool
+	data     []byte
+	status   Status
+}
+
+// Isend starts a nonblocking send. It completes immediately under the
+// eager-send model; Wait on the returned request is a no-op that exists
+// for MPI-shaped code.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.Send(dst, tag, data)
+	return &Request{c: c, done: true}
+}
+
+// Irecv posts a nonblocking receive for a message from comm rank src (or
+// AnySource) with the given tag. The receive happens at Wait time.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{c: c, isRecv: true, src: src, tag: tag}
+}
+
+// Wait blocks until the operation completes and returns the received data
+// (nil for sends) and its status.
+func (r *Request) Wait() ([]byte, Status) {
+	if r.done {
+		return r.data, r.status
+	}
+	r.data, r.status = r.c.Recv(r.src, r.tag)
+	r.done = true
+	return r.data, r.status
+}
+
+// Test reports whether the operation could complete without blocking,
+// completing it if so.
+func (r *Request) Test() ([]byte, Status, bool) {
+	if r.done {
+		return r.data, r.status, true
+	}
+	simSrc := sim.AnySource
+	if r.src != AnySource {
+		simSrc = r.c.members[r.src]
+	}
+	m, ok := r.c.r.P.TryRecv(simSrc, r.c.encTag(r.tag))
+	if !ok {
+		return nil, Status{}, false
+	}
+	r.c.r.P.Advance(r.c.r.W.Cluster.RecvCost())
+	var data []byte
+	if m.Payload != nil {
+		data = m.Payload.([]byte)
+	}
+	r.data = data
+	r.status = Status{Source: r.c.worldToComm[m.Src], Tag: r.tag}
+	r.done = true
+	return r.data, r.status, true
+}
+
+// Waitall completes every request, returning the received payloads in
+// request order (nil entries for sends).
+func Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		out[i], _ = r.Wait()
+	}
+	return out
+}

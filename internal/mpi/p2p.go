@@ -1,0 +1,91 @@
+package mpi
+
+import "repro/internal/sim"
+
+// envelopeBytes models the per-message header cost on the wire.
+const envelopeBytes = 32
+
+// Status describes a received message.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int
+}
+
+// Send transmits data to comm rank dst with the given tag. Sends are eager:
+// the sender is charged its CPU overhead and NIC time is booked, but the
+// call does not wait for delivery. The payload is copied.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	t0 := c.r.begin()
+	defer c.r.end(t0)
+	c.send(dst, tag, data)
+}
+
+// SendWeighted is Send, but the transfer cost is computed as if the payload
+// were virtBytes long. Cost-scaled experiments use it so that small real
+// buffers stand in for paper-sized data while control messages keep their
+// true sizes.
+func (c *Comm) SendWeighted(dst, tag int, data []byte, virtBytes int) {
+	t0 := c.r.begin()
+	defer c.r.end(t0)
+	c.sendN(dst, tag, data, virtBytes)
+}
+
+// send is the unmeasured internal form used by collectives.
+func (c *Comm) send(dst, tag int, data []byte) {
+	c.sendN(dst, tag, data, len(data))
+}
+
+func (c *Comm) sendN(dst, tag int, data []byte, costBytes int) {
+	c.sendOwned(dst, tag, append([]byte(nil), data...), costBytes)
+}
+
+// sendOwned transfers a payload the caller promises not to reuse, avoiding
+// the defensive copy. Collectives building fresh payloads use it.
+func (c *Comm) sendOwned(dst, tag int, payload []byte, costBytes int) {
+	if dst < 0 || dst >= len(c.members) {
+		panic("mpi: Send to rank outside communicator")
+	}
+	r := c.r
+	r.P.Sync() // order NIC bookings by virtual time across ranks
+	srcW, dstW := c.members[c.me], c.members[dst]
+	arrival := r.W.Cluster.Transfer(r.P, srcW, dstW, costBytes+envelopeBytes)
+	r.P.Send(dstW, c.encTag(tag), payload, arrival)
+	r.prof.Msgs++
+	r.prof.Bytes += int64(costBytes)
+}
+
+// Recv blocks until a message with the given tag arrives from comm rank src
+// (or any member when src == AnySource) and returns its payload.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	t0 := c.r.begin()
+	defer c.r.end(t0)
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) ([]byte, Status) {
+	r := c.r
+	simSrc := sim.AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(c.members) {
+			panic("mpi: Recv from rank outside communicator")
+		}
+		simSrc = c.members[src]
+	}
+	m := r.P.Recv(simSrc, c.encTag(tag))
+	r.P.Advance(r.W.Cluster.RecvCost())
+	cr := c.worldToComm[m.Src]
+	var data []byte
+	if m.Payload != nil {
+		data = m.Payload.([]byte)
+	}
+	return data, Status{Source: cr, Tag: tag}
+}
+
+// Sendrecv sends sdata to dst and receives a message from src, both with
+// the same tag, without deadlocking (the send is eager).
+func (c *Comm) Sendrecv(dst int, sdata []byte, src, tag int) ([]byte, Status) {
+	t0 := c.r.begin()
+	defer c.r.end(t0)
+	c.send(dst, tag, sdata)
+	return c.recv(src, tag)
+}

@@ -1,0 +1,614 @@
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+)
+
+// The extended two-phase protocol (Thakur & Choudhary), as implemented by
+// ROMIO's generic ADIO layer:
+//
+//  1. file range gathering  — allgather of each process's (st, end) offsets
+//  2. file domain partitioning — the covered range is split evenly (stripe
+//     aligned) across the I/O aggregators
+//  3. request dissemination — alltoallv of per-aggregator request lists
+//  4. interleaved phases of data exchange and file I/O — ntimes rounds,
+//     each opening a cb_buffer-sized window per aggregator; every round is
+//     synchronized by a dense alltoall of transfer sizes
+//
+// Steps 1–3 and the per-round size alltoall are collective operations; the
+// time spent in them is the "synchronization" of the paper's breakdown and
+// the source of the collective wall.
+
+// clip is a physical extent plus the matching position in the caller's
+// data buffer.
+type clip struct {
+	off, ln int64
+	dataPos int64
+}
+
+// plan is the per-call state of one collective operation.
+type plan struct {
+	myReq  [][]clip       // per aggregator: my extents in its FD
+	others map[int][]clip // aggregators only: per source comm rank
+	fdLo   []int64        // per aggregator: file domain start
+	fdHi   []int64        // per aggregator: file domain end
+	stLoc  int64          // this aggregator's first touched offset
+	endLoc int64          // this aggregator's last touched offset (exclusive)
+	ntimes int
+	cb     int64
+}
+
+// window returns this aggregator's file window for the given round; rounds
+// past its own touched range are empty.
+func (p *plan) window(round int) (int64, int64) {
+	if p.stLoc >= p.endLoc {
+		return 0, 0
+	}
+	w0 := p.stLoc + int64(round)*p.cb
+	w1 := w0 + p.cb
+	if w1 > p.endLoc {
+		w1 = p.endLoc
+	}
+	if w0 >= w1 {
+		return 0, 0
+	}
+	return w0, w1
+}
+
+const maxI64 = int64(^uint64(0) >> 1)
+
+// computeFDs splits [minSt, maxEnd) into nag file domains, optionally
+// aligning boundaries to the stripe size (stripe > 0). Domains are
+// half-open, ordered, disjoint, and exactly tile the range; trailing
+// domains may be empty when there are more aggregators than stripes.
+func computeFDs(minSt, maxEnd int64, nag int, stripe int64) (fdLo, fdHi []int64) {
+	base := minSt
+	span := maxEnd - base
+	fdSize := (span + int64(nag) - 1) / int64(nag)
+	if stripe > 0 {
+		base = (minSt / stripe) * stripe
+		span = maxEnd - base
+		fdSize = (span + int64(nag) - 1) / int64(nag)
+		fdSize = (fdSize + stripe - 1) / stripe * stripe
+	}
+	fdLo = make([]int64, nag)
+	fdHi = make([]int64, nag)
+	for a := 0; a < nag; a++ {
+		lo := base + int64(a)*fdSize
+		hi := lo + fdSize
+		if lo < minSt {
+			lo = minSt
+		}
+		if hi > maxEnd {
+			hi = maxEnd
+		}
+		if hi < lo {
+			hi = lo
+		}
+		fdLo[a], fdHi[a] = lo, hi
+	}
+	return fdLo, fdHi
+}
+
+// buildPlan runs protocol steps 1–3 for this rank's physical segments.
+func (f *File) buildPlan(segs []datatype.Segment) *plan {
+	r, comm := f.r, f.comm
+	p := &plan{cb: f.hints.cb()}
+
+	// Step 1: gather every process's file range. [sync]
+	st, end := maxI64, int64(0)
+	if len(segs) > 0 {
+		st, end = segs[0].Off, segs[len(segs)-1].End()
+	}
+	old := r.SetClass(mpi.ClassSync)
+	ranges := comm.AllgatherInt64s([]int64{st, end})
+	r.SetClass(old)
+
+	minSt, maxEnd := maxI64, int64(0)
+	for _, rg := range ranges {
+		if rg[0] < minSt {
+			minSt = rg[0]
+		}
+		if rg[1] > maxEnd {
+			maxEnd = rg[1]
+		}
+	}
+	if minSt >= maxEnd {
+		return p // nobody has data
+	}
+
+	// Step 2: partition [minSt, maxEnd) into file domains.
+	stripe := int64(0)
+	if !f.hints.NoFDAlign {
+		stripe = f.lf.Stripe().Size
+	}
+	nag := len(f.aggs)
+	p.fdLo, p.fdHi = computeFDs(minSt, maxEnd, nag, stripe)
+
+	// My requests per aggregator (ADIOI_Calc_my_req).
+	pre := prefixes(segs)
+	p.myReq = make([][]clip, nag)
+	for a := 0; a < nag; a++ {
+		p.myReq[a] = clipSegs(segs, pre, p.fdLo[a], p.fdHi[a])
+	}
+
+	// Step 3: disseminate request lists to aggregators
+	// (ADIOI_Calc_others_req). [sync]
+	send := make([][]byte, comm.Size())
+	for a, cr := range f.aggs {
+		if len(p.myReq[a]) > 0 {
+			send[cr] = encClips(p.myReq[a])
+		}
+	}
+	old = r.SetClass(mpi.ClassSync)
+	got := comm.Alltoallv(send, f.hints.AlltoallvAlgo)
+	r.SetClass(old)
+	if f.isAggregator() {
+		p.others = make(map[int][]clip)
+		for src, b := range got {
+			if len(b) > 0 {
+				p.others[src] = decClips(b)
+			}
+		}
+	}
+
+	// Round count: each aggregator covers its *touched* range (st_loc to
+	// end_loc, as ROMIO calls them) in collective-buffer steps; the global
+	// round count is agreed via allreduce(max). [sync]
+	local := int64(0)
+	if f.isAggregator() {
+		p.stLoc, p.endLoc = maxI64, int64(0)
+		for _, cl := range p.others {
+			for _, c := range cl {
+				if c.off < p.stLoc {
+					p.stLoc = c.off
+				}
+				if c.off+c.ln > p.endLoc {
+					p.endLoc = c.off + c.ln
+				}
+			}
+		}
+		if p.stLoc < p.endLoc {
+			local = (p.endLoc - p.stLoc + p.cb - 1) / p.cb
+		}
+	}
+	old = r.SetClass(mpi.ClassSync)
+	nt := comm.AllreduceInt64([]int64{local}, mpi.OpMax)
+	r.SetClass(old)
+	p.ntimes = int(nt[0])
+	return p
+}
+
+func (f *File) isAggregator() bool { return f.aggIndex() >= 0 }
+
+// aggIndex returns this rank's position in the aggregator list, or -1.
+func (f *File) aggIndex() int {
+	for i, cr := range f.aggs {
+		if cr == f.comm.Rank() {
+			return i
+		}
+	}
+	return -1
+}
+
+// dataTag derives a per-call, per-round user tag.
+func (f *File) dataTag(round int) int {
+	return 100 + (f.seq%61)*1024 + round%1024
+}
+
+// WriteAtAll is a collective write: all communicator members must call it.
+// logOff and data are interpreted through each rank's file view.
+func (f *File) WriteAtAll(logOff int64, data []byte) {
+	f.seq++
+	r, comm := f.r, f.comm
+	segs := f.view.Map(logOff, int64(len(data)))
+	p := f.buildPlan(segs)
+	buf := make([]byte, p.cb)
+	isAgg := f.isAggregator()
+	// Per-aggregator cursor into my request stream (offset order).
+	cursor := make([]streamCursor, len(f.aggs))
+	want := make([]int, comm.Size())
+	for round := 0; round < p.ntimes; round++ {
+		tag := f.dataTag(round)
+		// The aggregator announces how much it expects from each source
+		// this round; the dense alltoall is the global synchronization
+		// point that tells every process its send obligation. [sync]
+		clear(want)
+		var winClips map[int][]clip
+		var w0, w1 int64
+		if isAgg {
+			w0, w1 = p.window(round)
+			winClips = make(map[int][]clip)
+			for src, cl := range p.others {
+				c := clipWindow(cl, w0, w1)
+				if n := clipBytes(c); n > 0 {
+					winClips[src] = c
+					want[src] = int(n)
+				}
+			}
+		}
+		old := r.SetClass(mpi.ClassSync)
+		owe := comm.AlltoallInts(want) // owe[cr] = bytes aggregator cr expects from me
+		r.SetClass(old)
+
+		// Data exchange. [exchange]
+		old = r.SetClass(mpi.ClassExchange)
+		for a, cr := range f.aggs {
+			if n := owe[cr]; n > 0 {
+				payload := cursor[a].take(p.myReq[a], data, int64(n))
+				comm.SendWeighted(cr, tag, payload, scaled(len(payload), f.scale))
+			}
+		}
+		if isAgg {
+			var extents []datatype.Segment
+			for range winClips {
+				msg, st := comm.Recv(mpi.AnySource, tag)
+				cl := winClips[st.Source]
+				if clipBytes(cl) != int64(len(msg)) {
+					panic(fmt.Sprintf("mpiio: round %d expected %d bytes from %d, got %d",
+						round, clipBytes(cl), st.Source, len(msg)))
+				}
+				var pos int64
+				for _, c := range cl {
+					copy(buf[c.off-w0:c.off-w0+c.ln], msg[pos:pos+c.ln])
+					extents = append(extents, datatype.Segment{Off: c.off, Len: c.ln})
+					pos += c.ln
+				}
+			}
+			r.SetClass(old)
+			// File I/O: write the coalesced dirty extents, translating
+			// logical extents to physical segments when an intermediate
+			// view is active. [io]
+			if f.xlate == nil {
+				for _, ext := range mergeOverlaps(extents) {
+					f.lf.WriteAt(r, ext.Off, buf[ext.Off-w0:ext.Off-w0+ext.Len])
+				}
+			} else {
+				var chunks []physChunk
+				for _, ext := range mergeOverlaps(extents) {
+					pos := ext.Off - w0
+					for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+						chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
+						pos += ph.Len
+					}
+				}
+				// Physically adjacent chunks (often from neighboring
+				// processes' joined segments) merge into single writes.
+				for _, run := range mergeChunks(chunks) {
+					f.lf.WriteAt(r, run.off, run.data)
+				}
+			}
+		} else {
+			r.SetClass(old)
+		}
+	}
+	f.absorbProf()
+}
+
+// streamCursor walks a rank's per-aggregator request list in offset order,
+// yielding the next n data bytes on demand.
+type streamCursor struct {
+	seg  int
+	used int64 // bytes consumed of clip[seg]
+}
+
+func (c *streamCursor) take(req []clip, data []byte, n int64) []byte {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		if c.seg >= len(req) {
+			panic("mpiio: send obligation exceeds request stream")
+		}
+		cl := req[c.seg]
+		avail := cl.ln - c.used
+		take := avail
+		if take > n {
+			take = n
+		}
+		start := cl.dataPos + c.used
+		out = append(out, data[start:start+take]...)
+		c.used += take
+		n -= take
+		if c.used == cl.ln {
+			c.seg++
+			c.used = 0
+		}
+	}
+	return out
+}
+
+// ReadAtAll is a collective read of n logical bytes at logOff through each
+// rank's view. All communicator members must call it.
+func (f *File) ReadAtAll(logOff, n int64) []byte {
+	f.seq++
+	r, comm := f.r, f.comm
+	segs := f.view.Map(logOff, n)
+	p := f.buildPlan(segs)
+	out := make([]byte, n)
+	buf := make([]byte, p.cb)
+	isAgg := f.isAggregator()
+	cursor := make([]streamCursor, len(f.aggs))
+	give := make([]int, comm.Size())
+	for round := 0; round < p.ntimes; round++ {
+		tag := f.dataTag(round)
+		// The aggregator announces how much it will deliver to each
+		// requester this round. [sync]
+		clear(give)
+		var winClips map[int][]clip
+		var w0, w1 int64
+		if isAgg {
+			w0, w1 = p.window(round)
+			winClips = make(map[int][]clip)
+			for src, cl := range p.others {
+				c := clipWindow(cl, w0, w1)
+				if n := clipBytes(c); n > 0 {
+					winClips[src] = c
+					give[src] = int(n)
+				}
+			}
+		}
+		old := r.SetClass(mpi.ClassSync)
+		due := comm.AlltoallInts(give) // due[cr] = bytes aggregator cr will send me
+		r.SetClass(old)
+
+		if isAgg {
+			// Read the union of requested extents. [io]
+			var extents []datatype.Segment
+			for _, cl := range winClips {
+				for _, c := range cl {
+					extents = append(extents, datatype.Segment{Off: c.off, Len: c.ln})
+				}
+			}
+			if f.xlate == nil {
+				for _, ext := range mergeOverlaps(extents) {
+					copy(buf[ext.Off-w0:ext.Off-w0+ext.Len], f.lf.ReadAt(r, ext.Off, ext.Len))
+				}
+			} else {
+				// Gather the physical chunks backing the logical extents,
+				// read merged runs once, and scatter into the logical buf.
+				var chunks []physChunk
+				for _, ext := range mergeOverlaps(extents) {
+					pos := ext.Off - w0
+					for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+						chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
+						pos += ph.Len
+					}
+				}
+				for _, run := range mergeRuns(chunks) {
+					got := f.lf.ReadAt(r, run.off, run.n)
+					for _, c := range run.parts {
+						copy(c.data, got[c.off-run.off:c.off-run.off+int64(len(c.data))])
+					}
+				}
+			}
+			// Serve each requester. [exchange]
+			old = r.SetClass(mpi.ClassExchange)
+			for src := 0; src < comm.Size(); src++ {
+				cl, ok := winClips[src]
+				if !ok {
+					continue
+				}
+				payload := make([]byte, 0, clipBytes(cl))
+				for _, c := range cl {
+					payload = append(payload, buf[c.off-w0:c.off-w0+c.ln]...)
+				}
+				comm.SendWeighted(src, tag, payload, scaled(len(payload), f.scale))
+			}
+			r.SetClass(old)
+		}
+		// Receive my pieces and scatter them into the output buffer via
+		// the request-stream cursor. [exchange]
+		old = r.SetClass(mpi.ClassExchange)
+		for a, cr := range f.aggs {
+			if due[cr] == 0 {
+				continue
+			}
+			msg, _ := comm.Recv(cr, tag)
+			cursor[a].place(p.myReq[a], out, msg)
+		}
+		r.SetClass(old)
+	}
+	f.absorbProf()
+	return out
+}
+
+// place scatters msg into out following the request stream, the inverse of
+// take.
+func (c *streamCursor) place(req []clip, out, msg []byte) {
+	var pos int64
+	n := int64(len(msg))
+	for n > 0 {
+		if c.seg >= len(req) {
+			panic("mpiio: delivery exceeds request stream")
+		}
+		cl := req[c.seg]
+		avail := cl.ln - c.used
+		take := avail
+		if take > n {
+			take = n
+		}
+		start := cl.dataPos + c.used
+		copy(out[start:start+take], msg[pos:pos+take])
+		c.used += take
+		pos += take
+		n -= take
+		if c.used == cl.ln {
+			c.seg++
+			c.used = 0
+		}
+	}
+}
+
+// physChunk is one logical-buffer slice destined for (or sourced from) a
+// physical file offset.
+type physChunk struct {
+	off  int64
+	data []byte
+}
+
+// mergedRun is a contiguous physical range assembled from chunks.
+type mergedRun struct {
+	off   int64
+	n     int64
+	data  []byte      // writes: assembled bytes
+	parts []physChunk // reads: destinations to scatter into
+}
+
+func sortChunks(chunks []physChunk) {
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].off < chunks[j].off })
+}
+
+// mergeChunks assembles physically contiguous chunks into single write
+// runs (chunks never overlap: the logical extents were already merged and
+// the translation is injective).
+func mergeChunks(chunks []physChunk) []mergedRun {
+	sortChunks(chunks)
+	var out []mergedRun
+	for _, c := range chunks {
+		if n := len(out); n > 0 && out[n-1].off+out[n-1].n == c.off {
+			out[n-1].data = append(out[n-1].data, c.data...)
+			out[n-1].n += int64(len(c.data))
+		} else {
+			out = append(out, mergedRun{off: c.off, n: int64(len(c.data)),
+				data: append([]byte(nil), c.data...)})
+		}
+	}
+	return out
+}
+
+// mergeRuns groups contiguous chunks for a single read each, remembering
+// the destination slices.
+func mergeRuns(chunks []physChunk) []mergedRun {
+	sortChunks(chunks)
+	var out []mergedRun
+	for _, c := range chunks {
+		if n := len(out); n > 0 && out[n-1].off+out[n-1].n == c.off {
+			out[n-1].n += int64(len(c.data))
+			out[n-1].parts = append(out[n-1].parts, c)
+		} else {
+			out = append(out, mergedRun{off: c.off, n: int64(len(c.data)), parts: []physChunk{c}})
+		}
+	}
+	return out
+}
+
+func scaled(n int, scale float64) int {
+	if scale <= 1 {
+		return n
+	}
+	return int(float64(n) * scale)
+}
+
+func prefixes(segs []datatype.Segment) []int64 {
+	pre := make([]int64, len(segs))
+	var n int64
+	for i, s := range segs {
+		pre[i] = n
+		n += s.Len
+	}
+	return pre
+}
+
+// clipSegs intersects sorted segments with [lo, hi), carrying data
+// positions along.
+func clipSegs(segs []datatype.Segment, pre []int64, lo, hi int64) []clip {
+	var out []clip
+	for i, s := range segs {
+		if s.End() <= lo || s.Off >= hi {
+			continue
+		}
+		o, e := s.Off, s.End()
+		if o < lo {
+			o = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		out = append(out, clip{off: o, ln: e - o, dataPos: pre[i] + (o - s.Off)})
+	}
+	return out
+}
+
+// clipWindow intersects clips (sorted by off) with [lo, hi).
+func clipWindow(cl []clip, lo, hi int64) []clip {
+	var out []clip
+	for _, c := range cl {
+		if c.off+c.ln <= lo || c.off >= hi {
+			continue
+		}
+		o, e := c.off, c.off+c.ln
+		if o < lo {
+			o = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		out = append(out, clip{off: o, ln: e - o, dataPos: c.dataPos + (o - c.off)})
+	}
+	return out
+}
+
+func clipBytes(cl []clip) int64 {
+	var n int64
+	for _, c := range cl {
+		n += c.ln
+	}
+	return n
+}
+
+// gatherPayload concatenates the caller's data bytes for the given clips.
+func gatherPayload(data []byte, cl []clip) []byte {
+	out := make([]byte, 0, clipBytes(cl))
+	for _, c := range cl {
+		out = append(out, data[c.dataPos:c.dataPos+c.ln]...)
+	}
+	return out
+}
+
+// mergeOverlaps coalesces possibly-overlapping extents (several readers may
+// request the same bytes).
+func mergeOverlaps(segs []datatype.Segment) []datatype.Segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	sorted := append([]datatype.Segment(nil), segs...)
+	sortSegs(sorted)
+	out := sorted[:1]
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		if s.Off <= last.End() {
+			if s.End() > last.End() {
+				last.Len = s.End() - last.Off
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sortSegs(segs []datatype.Segment) {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+}
+
+func encClips(cl []clip) []byte {
+	out := make([]byte, 0, 16*len(cl))
+	for _, c := range cl {
+		out = binary.LittleEndian.AppendUint64(out, uint64(c.off))
+		out = binary.LittleEndian.AppendUint64(out, uint64(c.ln))
+	}
+	return out
+}
+
+func decClips(b []byte) []clip {
+	cl := make([]clip, len(b)/16)
+	for i := range cl {
+		cl[i].off = int64(binary.LittleEndian.Uint64(b[16*i:]))
+		cl[i].ln = int64(binary.LittleEndian.Uint64(b[16*i+8:]))
+	}
+	return cl
+}

@@ -1,0 +1,221 @@
+// Package mpiio is an MPI-IO implementation over the simulated MPI runtime
+// and Lustre model: file views built from derived datatypes, independent
+// read/write, and collective read/write using the ROMIO-style extended
+// two-phase protocol (ext2ph).
+//
+// The collective path is the paper's baseline ("Cray MPI-IO" behaves the
+// same way): gather every process's file range, partition the covered range
+// into file domains across I/O aggregators, disseminate request metadata,
+// then run interleaved rounds of data exchange and file I/O, each round
+// synchronized by an alltoall across the whole communicator. Every
+// operation's time is attributed to sync / exchange / io buckets so the
+// paper's Figure 2 breakdown can be reproduced.
+package mpiio
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/lustre"
+	"repro/internal/mpi"
+)
+
+// Hints configures collective I/O, mirroring the MPI-IO hints the paper
+// discusses (cb_nodes, cb_buffer_size, and the explicit aggregator list).
+type Hints struct {
+	// CBNodes caps the number of I/O aggregators chosen from the default
+	// one-per-node list. Zero means one aggregator per node.
+	CBNodes int
+	// CBBufferSize is the collective buffer each aggregator fills per
+	// round. Zero means 4 MiB (the ROMIO default of the paper's era).
+	CBBufferSize int64
+	// AggregatorList explicitly names aggregator world ranks (the paper's
+	// hint (b)). It overrides CBNodes when non-empty.
+	AggregatorList []int
+	// NoFDAlign disables aligning file-domain boundaries to the stripe
+	// size (alignment is on by default, as tuned Lustre ADIOs do).
+	NoFDAlign bool
+	// AlltoallvAlgo selects the metadata alltoallv algorithm (ablation).
+	AlltoallvAlgo mpi.AlltoallvAlgo
+	// IndBufferSize is the data-sieving window for independent
+	// non-contiguous I/O (ReadAtSieved/WriteAtSieved). Zero means the
+	// ROMIO default of 4 MiB.
+	IndBufferSize int64
+}
+
+func (h Hints) cb() int64 {
+	if h.CBBufferSize > 0 {
+		return h.CBBufferSize
+	}
+	return 4 << 20
+}
+
+// Breakdown is the per-rank processing-time split of collective I/O,
+// matching the paper's Figure 2 categories.
+type Breakdown struct {
+	Sync, Exchange, IO, Other float64
+}
+
+// Total returns the sum of the categories.
+func (b Breakdown) Total() float64 { return b.Sync + b.Exchange + b.IO + b.Other }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Sync += o.Sync
+	b.Exchange += o.Exchange
+	b.IO += o.IO
+	b.Other += o.Other
+}
+
+// Translator maps a logical file extent to physical file segments. ParColl
+// installs one when it switches to an intermediate file view: the two-phase
+// protocol then aggregates in the logical (virtually joined) file while the
+// aggregators' reads and writes land on the original physical layout.
+type Translator interface {
+	// Phys returns the physical segments backing logical [off, off+n),
+	// ordered so their concatenation equals the logical bytes in order.
+	Phys(off, n int64) []datatype.Segment
+}
+
+// File is an open MPI-IO file handle (one per rank, like an MPI_File).
+type File struct {
+	r     *mpi.Rank
+	comm  *mpi.Comm
+	lf    *lustre.File
+	view  datatype.View
+	hints Hints
+	aggs  []int // comm ranks acting as I/O aggregators, ascending
+	scale float64
+	seq   int // collective-call sequence, advances in lockstep
+	xlate Translator
+	prof  Breakdown
+	prev  [mpi.NumClasses]float64
+}
+
+// SetTranslator installs a logical-to-physical translator used by the
+// aggregators' file I/O step (nil means identity).
+func (f *File) SetTranslator(t Translator) { f.xlate = t }
+
+// Open collectively opens (creating if needed) name on fs over comm. Every
+// member must call it. The aggregator list is derived from the hints and
+// the node topology, identically on every rank.
+func Open(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, hints Hints) *File {
+	r := rankOf(comm)
+	f := &File{
+		r:     r,
+		comm:  comm,
+		view:  datatype.WholeFile(),
+		hints: hints,
+		scale: fs.Config().CostScale,
+	}
+	// Aggregator selection needs the node of every member; gathering it is
+	// part of open's collective cost.
+	old := r.SetClass(mpi.ClassSync)
+	nodes := comm.AllgatherInt64s([]int64{int64(r.W.Cluster.NodeOf(r.WorldRank()))})
+	r.SetClass(old)
+	f.aggs = selectAggregators(comm, nodes, hints)
+	f.lf = fs.Open(r, name, stripe)
+	f.markProf()
+	return f
+}
+
+// rankOf digs the Rank out of a Comm via a tiny interface on mpi.Comm.
+func rankOf(c *mpi.Comm) *mpi.Rank { return c.RankHandle() }
+
+// selectAggregators computes the aggregator comm ranks: either the
+// explicitly hinted world ranks that belong to the communicator, or the
+// first rank on each distinct node (capped at CBNodes when set).
+func selectAggregators(comm *mpi.Comm, nodes [][]int64, hints Hints) []int {
+	if len(hints.AggregatorList) > 0 {
+		var aggs []int
+		for _, w := range hints.AggregatorList {
+			if cr := comm.RankOfWorld(w); cr >= 0 {
+				aggs = append(aggs, cr)
+			}
+		}
+		if len(aggs) == 0 {
+			panic("mpiio: aggregator list has no members in communicator")
+		}
+		return aggs
+	}
+	seen := make(map[int64]bool)
+	var aggs []int
+	for cr := 0; cr < comm.Size(); cr++ {
+		n := nodes[cr][0]
+		if !seen[n] {
+			seen[n] = true
+			aggs = append(aggs, cr)
+		}
+	}
+	if hints.CBNodes > 0 && hints.CBNodes < len(aggs) {
+		aggs = aggs[:hints.CBNodes]
+	}
+	return aggs
+}
+
+// Aggregators returns the comm ranks acting as I/O aggregators.
+func (f *File) Aggregators() []int { return f.aggs }
+
+// SetView installs a file view (collective in MPI; here each rank sets its
+// own, which may legitimately differ per rank).
+func (f *File) SetView(v datatype.View) { f.view = v }
+
+// View returns the current file view.
+func (f *File) View() datatype.View { return f.view }
+
+// Lustre exposes the underlying lustre handle (for verification in tests).
+func (f *File) Lustre() *lustre.File { return f.lf }
+
+// Comm returns the communicator the file was opened on.
+func (f *File) Comm() *mpi.Comm { return f.comm }
+
+// markProf snapshots the rank's class counters so deltas can accumulate
+// into the per-file breakdown.
+func (f *File) markProf() {
+	f.prev = f.r.Prof().Times
+}
+
+func (f *File) absorbProf() {
+	cur := f.r.Prof().Times
+	f.prof.Sync += cur[mpi.ClassSync] - f.prev[mpi.ClassSync]
+	f.prof.Exchange += cur[mpi.ClassExchange] - f.prev[mpi.ClassExchange]
+	f.prof.IO += cur[mpi.ClassIO] - f.prev[mpi.ClassIO]
+	f.prof.Other += cur[mpi.ClassOther] - f.prev[mpi.ClassOther]
+	f.prev = cur
+}
+
+// Breakdown returns the accumulated sync/exchange/io/other time this rank
+// has spent in operations on this file (the summary the paper reports at
+// file close).
+func (f *File) Breakdown() Breakdown {
+	f.absorbProf()
+	return f.prof
+}
+
+// WriteAt writes independently (no coordination): the view maps the logical
+// range to physical segments, each written directly. This is the paper's
+// "w/o Coll" baseline.
+func (f *File) WriteAt(logOff int64, data []byte) {
+	segs := f.view.Map(logOff, int64(len(data)))
+	var pos int64
+	for _, s := range segs {
+		f.lf.WriteAt(f.r, s.Off, data[pos:pos+s.Len])
+		pos += s.Len
+	}
+	f.absorbProf()
+}
+
+// ReadAt reads independently through the view.
+func (f *File) ReadAt(logOff, n int64) []byte {
+	segs := f.view.Map(logOff, n)
+	out := make([]byte, 0, n)
+	for _, s := range segs {
+		out = append(out, f.lf.ReadAt(f.r, s.Off, s.Len)...)
+	}
+	f.absorbProf()
+	return out
+}
+
+func (f *File) String() string {
+	return fmt.Sprintf("mpiio.File{comm=%d ranks, %d aggs}", f.comm.Size(), len(f.aggs))
+}

@@ -1,0 +1,436 @@
+// Package sim provides a deterministic virtual-time simulation engine.
+//
+// The engine runs a fixed set of procs (simulated processes) as goroutines,
+// but cooperatively: exactly one proc executes at a time, and the engine
+// always resumes the runnable proc with the smallest virtual clock (ties
+// broken by proc id). Procs advance their own clocks explicitly and
+// communicate through tagged messages whose arrival times are supplied by
+// the caller (higher layers compute arrival from a network cost model).
+// Because scheduling depends only on virtual time and proc ids, a run is
+// fully deterministic for a given seed and program.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// AnySource and AnyTag are wildcards accepted by Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Message is a delivered message as returned by Recv.
+type Message struct {
+	Src     int
+	Tag     int
+	Payload any
+	Arrival float64 // virtual time at which the message reached the receiver
+	seq     uint64
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Seed drives all per-proc random number generators. Two runs of the
+	// same program with the same seed produce identical event orders.
+	Seed int64
+}
+
+// Engine owns the virtual clock and the proc scheduler.
+type Engine struct {
+	cfg     Config
+	procs   []*Proc
+	ready   readyHeap // procs in stateReady, keyed by (readyAt, id)
+	yieldCh chan struct{}
+	seq     uint64 // global message sequence for FIFO tie-breaks
+	panicV  any
+	stopped bool
+	stats   Stats
+}
+
+// readyHeap is a binary min-heap of ready procs ordered by (readyAt, id).
+type readyHeap []*Proc
+
+func (h readyHeap) less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].id < h[j].id
+}
+
+func (h *readyHeap) push(p *Proc) {
+	*h = append(*h, p)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() *Proc {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+func (h readyHeap) peek() *Proc {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}
+
+// NewEngine returns an engine ready for a single Run call.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg, yieldCh: make(chan struct{})}
+}
+
+// Proc is a simulated process. All methods must be called only from the
+// proc's own body function (the engine guarantees single-threaded access).
+type Proc struct {
+	id      int
+	now     float64
+	engine  *Engine
+	state   procState
+	readyAt float64
+	resume  chan struct{}
+	mailbox []*Message
+	pending *recvSpec // non-nil while blocked in Recv
+	rng     *rand.Rand
+	blockOn string // description for deadlock reports
+}
+
+type recvSpec struct {
+	src, tag int
+}
+
+// Run starts n procs executing body and drives them to completion under the
+// virtual clock. It returns the maximum virtual finish time across procs.
+// Run panics if the procs deadlock (all blocked, none runnable) or if any
+// proc body panics (the original panic value is re-raised).
+func (e *Engine) Run(n int, body func(p *Proc)) float64 {
+	if n <= 0 {
+		panic("sim: Run needs n > 0 procs")
+	}
+	if e.stopped {
+		panic("sim: engine already used; create a new Engine per Run")
+	}
+	e.stopped = true
+	e.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		e.procs[i] = &Proc{
+			id:     i,
+			engine: e,
+			state:  stateReady,
+			resume: make(chan struct{}),
+			rng:    rand.New(rand.NewSource(e.cfg.Seed*1000003 + int64(i))),
+		}
+	}
+	done := 0
+	for _, p := range e.procs {
+		e.ready.push(p)
+		go func(p *Proc) {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					e.panicV = fmt.Sprintf("%v\n\nproc %d stack:\n%s", r, p.id, debug.Stack())
+				}
+				p.state = stateDone
+				e.yieldCh <- struct{}{}
+			}()
+			body(p)
+		}(p)
+	}
+	for {
+		next := e.ready.peek()
+		if next == nil {
+			if done == n {
+				break
+			}
+			panic("sim: deadlock\n" + e.describeStates())
+		}
+		e.ready.pop()
+		next.state = stateRunning
+		if next.readyAt > next.now {
+			next.now = next.readyAt
+		}
+		e.stats.Resumes++
+		next.resume <- struct{}{}
+		<-e.yieldCh
+		if e.panicV != nil {
+			panic(e.panicV)
+		}
+		if next.state == stateDone {
+			done++
+		}
+	}
+	var max float64
+	for _, p := range e.procs {
+		if p.now > max {
+			max = p.now
+		}
+	}
+	return max
+}
+
+func (e *Engine) describeStates() string {
+	var b strings.Builder
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		fmt.Fprintf(&b, "  proc %d: t=%.9f blocked on %s (mailbox %d msgs)\n",
+			p.id, p.now, p.blockOn, len(p.mailbox))
+	}
+	return b.String()
+}
+
+// NumProcs reports the number of procs in the current run.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// ID returns the proc's rank in [0, n).
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the proc's virtual clock in seconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// Rand returns the proc's deterministic random number generator.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Advance moves the proc's clock forward by d seconds (d must be >= 0).
+func (p *Proc) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %d Advance(%g) negative", p.id, d))
+	}
+	p.now += d
+}
+
+// AdvanceTo moves the clock forward to t; it is a no-op when t <= Now.
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+// yield parks the proc and returns control to the engine until resumed.
+func (p *Proc) yield() {
+	p.engine.yieldCh <- struct{}{}
+	<-p.resume
+}
+
+// Sync is a pure scheduling point: it parks the proc (still runnable at its
+// current clock) and lets the engine resume whichever proc has the smallest
+// clock. Call it before acquiring shared resources so bookings happen in
+// global virtual-time order. Provided senders never use arrival times before
+// their own clocks, no proc can be resumed at a time earlier than a proc
+// that already passed a Sync point. When the caller is already the
+// earliest-clock runnable proc, Sync returns without a context switch.
+func (p *Proc) Sync() {
+	e := p.engine
+	if top := e.ready.peek(); top == nil || top.readyAt > p.now ||
+		(top.readyAt == p.now && top.id > p.id) {
+		return // already first in virtual-time order
+	}
+	p.state = stateReady
+	p.readyAt = p.now
+	p.blockOn = "Sync"
+	e.ready.push(p)
+	p.yield()
+}
+
+// Send deposits a message for proc dst with the given arrival time. It does
+// not advance the sender's clock; higher layers account for transmit costs
+// before computing arrival. Send never blocks (eager buffering).
+func (p *Proc) Send(dst, tag int, payload any, arrival float64) {
+	e := p.engine
+	if dst < 0 || dst >= len(e.procs) {
+		panic(fmt.Sprintf("sim: proc %d Send to invalid dst %d", p.id, dst))
+	}
+	e.seq++
+	e.stats.Sends++
+	m := &Message{Src: p.id, Tag: tag, Payload: payload, Arrival: arrival, seq: e.seq}
+	q := e.procs[dst]
+	q.mailbox = append(q.mailbox, m)
+	if q.state == stateBlocked && q.pending != nil && q.pending.matches(m) {
+		q.pending = nil
+		q.state = stateReady
+		q.readyAt = q.now
+		if m.Arrival > q.readyAt {
+			q.readyAt = m.Arrival
+		}
+		e.ready.push(q)
+	}
+}
+
+func (s *recvSpec) matches(m *Message) bool {
+	return (s.src == AnySource || s.src == m.Src) &&
+		(s.tag == AnyTag || s.tag == m.Tag)
+}
+
+// Recv blocks (in virtual time) until a message matching src and tag is
+// available, then removes and returns it. src may be AnySource and tag may
+// be AnyTag. Messages from the same source with the same tag are delivered
+// in send order. The proc's clock advances to at least the arrival time.
+func (p *Proc) Recv(src, tag int) *Message {
+	spec := recvSpec{src: src, tag: tag}
+	for {
+		for i, m := range p.mailbox {
+			if spec.matches(m) {
+				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+				if m.Arrival > p.now {
+					p.now = m.Arrival
+				}
+				return m
+			}
+		}
+		p.pending = &spec
+		p.state = stateBlocked
+		p.blockOn = fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag)
+		p.yield()
+	}
+}
+
+// TryRecv is a non-blocking Recv; ok is false when no matching message has
+// been deposited yet (regardless of its virtual arrival time).
+func (p *Proc) TryRecv(src, tag int) (m *Message, ok bool) {
+	spec := recvSpec{src: src, tag: tag}
+	for i, q := range p.mailbox {
+		if spec.matches(q) {
+			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+			if q.Arrival > p.now {
+				p.now = q.Arrival
+			}
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// Resource models a shared device (NIC, OST) that serves one request at a
+// time. Bookings are kept in a merged interval ledger; Acquire books the
+// earliest gap at or after the requested time. All access happens from the
+// single running proc, so no locking is needed.
+type Resource struct {
+	name string
+	busy []interval // sorted by start, non-overlapping, merged
+}
+
+type interval struct{ start, end float64 }
+
+// NewResource creates a named resource.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire books dur seconds of exclusive use starting no earlier than at,
+// returning the booked [start, end) window. dur must be >= 0; a zero-length
+// booking returns the earliest instant >= at not inside a busy interval.
+func (r *Resource) Acquire(at, dur float64) (start, end float64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: resource %s Acquire dur %g < 0", r.name, dur))
+	}
+	start = at
+	// First interval that could constrain us: the one with end > at,
+	// including an interval that contains at.
+	i := sort.Search(len(r.busy), func(k int) bool { return r.busy[k].end > at })
+	for ; i < len(r.busy); i++ {
+		if r.busy[i].start >= start+dur {
+			break // gap before interval i fits
+		}
+		if r.busy[i].end > start {
+			start = r.busy[i].end
+		}
+	}
+	end = start + dur
+	r.insert(interval{start, end})
+	return start, end
+}
+
+// NextFree reports the earliest instant >= at with no booking in progress.
+func (r *Resource) NextFree(at float64) float64 {
+	i := sort.Search(len(r.busy), func(k int) bool { return r.busy[k].end > at })
+	if i < len(r.busy) && r.busy[i].start <= at {
+		return r.busy[i].end
+	}
+	return at
+}
+
+// BusyTime reports the total booked duration on the resource.
+func (r *Resource) BusyTime() float64 {
+	var t float64
+	for _, iv := range r.busy {
+		t += iv.end - iv.start
+	}
+	return t
+}
+
+func (r *Resource) insert(iv interval) {
+	i := sort.Search(len(r.busy), func(k int) bool { return r.busy[k].start >= iv.start })
+	r.busy = append(r.busy, interval{})
+	copy(r.busy[i+1:], r.busy[i:])
+	r.busy[i] = iv
+	// Merge with neighbors that touch (zero-length gaps collapse).
+	if i > 0 && r.busy[i-1].end >= r.busy[i].start {
+		r.busy[i-1].end = maxf(r.busy[i-1].end, r.busy[i].end)
+		r.busy = append(r.busy[:i], r.busy[i+1:]...)
+		i--
+	}
+	for i+1 < len(r.busy) && r.busy[i].end >= r.busy[i+1].start {
+		r.busy[i].end = maxf(r.busy[i].end, r.busy[i+1].end)
+		r.busy = append(r.busy[:i+1], r.busy[i+2:]...)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats reports scheduler counters for performance diagnosis.
+type Stats struct {
+	Resumes uint64 // proc resumptions (context switches)
+	Sends   uint64 // messages deposited
+}
+
+// Stats returns the engine's counters (valid after Run).
+func (e *Engine) Stats() Stats { return e.stats }

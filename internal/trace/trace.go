@@ -1,0 +1,178 @@
+// Package trace records per-rank virtual-time event timelines, the
+// instrumentation style behind the paper's Section 2 dissection of
+// collective I/O. Experiments wrap operations in spans; the recorder can
+// render a per-rank summary, a merged chronological log, or JSON for
+// external tooling.
+//
+// The recorder is engine-friendly: the simulation runs procs one at a
+// time, so no locking is needed as long as a single Recorder is shared by
+// the ranks of one run.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is one completed span on one rank.
+type Event struct {
+	Rank  int     `json:"rank"`
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// Dur returns the span's duration.
+func (e Event) Dur() float64 { return e.End - e.Start }
+
+// Recorder accumulates events.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records a completed span.
+func (r *Recorder) Add(rank int, kind string, start, end float64, note string) {
+	if end < start {
+		panic(fmt.Sprintf("trace: span %q on rank %d ends before it starts", kind, rank))
+	}
+	r.events = append(r.events, Event{Rank: rank, Kind: kind, Start: start, End: end, Note: note})
+}
+
+// Span starts a span and returns a closure that completes it; use with a
+// clock accessor:
+//
+//	done := rec.Span(rank, "write", now())
+//	...
+//	done(now(), "dump 3")
+func (r *Recorder) Span(rank int, kind string, start float64) func(end float64, note string) {
+	return func(end float64, note string) {
+		r.Add(rank, kind, start, end, note)
+	}
+}
+
+// Events returns the recorded events in insertion order (shared slice).
+func (r *Recorder) Events() []Event { return r.events }
+
+// ByKind sums durations per kind across all ranks.
+func (r *Recorder) ByKind() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range r.events {
+		out[e.Kind] += e.Dur()
+	}
+	return out
+}
+
+// RankSummary sums durations per kind for one rank.
+func (r *Recorder) RankSummary(rank int) map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range r.events {
+		if e.Rank == rank {
+			out[e.Kind] += e.Dur()
+		}
+	}
+	return out
+}
+
+// Chronological returns the events sorted by (start, rank).
+func (r *Recorder) Chronological() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// JSON renders the chronological event log as JSON lines.
+func (r *Recorder) JSON() (string, error) {
+	var b strings.Builder
+	for _, e := range r.Chronological() {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return "", err
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Gantt renders a coarse per-rank timeline: one row per rank, one column
+// per time bucket, the densest span kind's first letter in each cell.
+// Width is the number of buckets.
+func (r *Recorder) Gantt(width int) string {
+	if len(r.events) == 0 || width <= 0 {
+		return ""
+	}
+	var tmax float64
+	maxRank := 0
+	for _, e := range r.events {
+		if e.End > tmax {
+			tmax = e.End
+		}
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	if tmax == 0 {
+		return ""
+	}
+	rows := make([][]map[string]float64, maxRank+1)
+	for i := range rows {
+		rows[i] = make([]map[string]float64, width)
+	}
+	bucket := tmax / float64(width)
+	for _, e := range r.events {
+		lo := int(e.Start / bucket)
+		hi := int(e.End / bucket)
+		for c := lo; c <= hi && c < width; c++ {
+			cellLo := float64(c) * bucket
+			cellHi := cellLo + bucket
+			overlap := minF(e.End, cellHi) - maxF(e.Start, cellLo)
+			if overlap <= 0 {
+				continue
+			}
+			if rows[e.Rank][c] == nil {
+				rows[e.Rank][c] = make(map[string]float64)
+			}
+			rows[e.Rank][c][e.Kind] += overlap
+		}
+	}
+	var b strings.Builder
+	for rank, row := range rows {
+		fmt.Fprintf(&b, "%4d |", rank)
+		for _, cell := range row {
+			best, bestV := ' ', 0.0
+			for k, v := range cell {
+				if v > bestV || (v == bestV && best != ' ' && k[0] < byte(best)) {
+					best, bestV = rune(k[0]), v
+				}
+			}
+			b.WriteRune(best)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

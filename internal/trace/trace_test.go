@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndSummaries(t *testing.T) {
+	r := New()
+	r.Add(0, "sync", 0, 1, "")
+	r.Add(0, "io", 1, 3, "dump 0")
+	r.Add(1, "sync", 0.5, 2, "")
+	byKind := r.ByKind()
+	if byKind["sync"] != 2.5 || byKind["io"] != 2 {
+		t.Errorf("ByKind = %v", byKind)
+	}
+	r0 := r.RankSummary(0)
+	if r0["sync"] != 1 || r0["io"] != 2 {
+		t.Errorf("RankSummary(0) = %v", r0)
+	}
+	if len(r.RankSummary(7)) != 0 {
+		t.Error("unknown rank has events")
+	}
+}
+
+func TestSpanClosure(t *testing.T) {
+	r := New()
+	done := r.Span(2, "exchange", 5)
+	done(8, "round 3")
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Dur() != 3 || ev[0].Note != "round 3" {
+		t.Errorf("events = %+v", ev)
+	}
+}
+
+func TestBackwardsSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Add(0, "x", 2, 1, "")
+}
+
+func TestChronological(t *testing.T) {
+	r := New()
+	r.Add(1, "b", 2, 3, "")
+	r.Add(0, "a", 1, 2, "")
+	r.Add(0, "c", 2, 4, "")
+	got := r.Chronological()
+	if got[0].Kind != "a" || got[1].Kind != "c" || got[2].Kind != "b" {
+		t.Errorf("order = %+v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Add(0, "sync", 0, 1.5, "note")
+	out, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e != (Event{Rank: 0, Kind: "sync", Start: 0, End: 1.5, Note: "note"}) {
+		t.Errorf("round trip = %+v", e)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	r.Add(0, "sync", 0, 5, "")
+	r.Add(0, "io", 5, 10, "")
+	r.Add(1, "io", 0, 10, "")
+	g := r.Gantt(10)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt rows = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "s") || !strings.Contains(lines[0], "i") {
+		t.Errorf("rank 0 row %q missing span letters", lines[0])
+	}
+	if strings.Count(lines[1], "i") != 10 {
+		t.Errorf("rank 1 row %q should be all io", lines[1])
+	}
+	if New().Gantt(10) != "" {
+		t.Error("empty recorder should render nothing")
+	}
+}
+
+// Property: ByKind totals always equal the sum of per-rank summaries.
+func TestSummaryConsistencyProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		r := New()
+		kinds := []string{"sync", "exchange", "io"}
+		maxRank := 0
+		for i := 0; i+2 < len(raw); i += 3 {
+			rank := int(raw[i]) % 4
+			if rank > maxRank {
+				maxRank = rank
+			}
+			start := float64(raw[i+1])
+			r.Add(rank, kinds[int(raw[i+2])%3], start, start+float64(raw[i+2]), "")
+		}
+		total := r.ByKind()
+		sum := make(map[string]float64)
+		for rank := 0; rank <= maxRank; rank++ {
+			for k, v := range r.RankSummary(rank) {
+				sum[k] += v
+			}
+		}
+		for k, v := range total {
+			if d := sum[k] - v; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return len(sum) == len(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

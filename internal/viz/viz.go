@@ -1,0 +1,149 @@
+// Package viz renders the small terminal charts the experiment tools use
+// to show the paper figures' shapes: horizontal bar charts for series
+// comparisons and line-ish column charts for trends.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters, with the
+// value printed after each bar using the given format (e.g. "%.0f MB/s").
+func BarChart(bars []Bar, width int, format string) string {
+	if len(bars) == 0 || width <= 0 {
+		return ""
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var out strings.Builder
+	for _, b := range bars {
+		n := int(math.Round(b.Value / max * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&out, "%-*s |%s%s %s\n",
+			labelW, b.Label,
+			strings.Repeat("█", n), strings.Repeat(" ", width-n),
+			fmt.Sprintf(format, b.Value))
+	}
+	return out.String()
+}
+
+// Series is a named sequence of (x, y) points for a trend chart.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Marker rune
+}
+
+// TrendChart renders one or more series as a column chart of height rows:
+// the x-axis positions are the union of all series' x values in order, and
+// each series plots its marker at the scaled y height. Y starts at zero.
+func TrendChart(series []Series, height int) string {
+	if len(series) == 0 || height <= 1 {
+		return ""
+	}
+	// Union of x positions, preserving numeric order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	col := func(x float64) int {
+		for i, v := range xs {
+			if v == x {
+				return i
+			}
+		}
+		return -1
+	}
+	var ymax float64
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", len(xs)*6))
+	}
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		for i := range s.X {
+			c := col(s.X[i])
+			if c < 0 || i >= len(s.Y) {
+				continue
+			}
+			row := height - 1 - int(math.Round(s.Y[i]/ymax*float64(height-1)))
+			// Offset each series one column so coincident points stay
+			// visible side by side.
+			grid[row][c*6+1+si%4] = m
+		}
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%10.3g ┤\n", ymax)
+	for _, row := range grid {
+		out.WriteString("           │")
+		out.WriteString(string(row))
+		out.WriteByte('\n')
+	}
+	out.WriteString("         0 └")
+	out.WriteString(strings.Repeat("─", len(xs)*6))
+	out.WriteByte('\n')
+	out.WriteString("            ")
+	for _, x := range xs {
+		fmt.Fprintf(&out, "%-6.4g", x)
+	}
+	out.WriteByte('\n')
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", m, s.Name))
+	}
+	out.WriteString("            " + strings.Join(legend, "  ") + "\n")
+	return out.String()
+}

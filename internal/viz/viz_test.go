@@ -1,0 +1,82 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]Bar{
+		{"baseline", 100},
+		{"ParColl-8", 400},
+	}, 20, "%.0f MB/s")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	base := strings.Count(lines[0], "█")
+	pc := strings.Count(lines[1], "█")
+	if pc != 20 {
+		t.Errorf("max bar = %d cells, want full width 20", pc)
+	}
+	if base != 5 {
+		t.Errorf("baseline bar = %d cells, want 5 (100/400 of 20)", base)
+	}
+	if !strings.Contains(lines[0], "100 MB/s") {
+		t.Errorf("value missing: %q", lines[0])
+	}
+}
+
+func TestBarChartEdge(t *testing.T) {
+	if BarChart(nil, 10, "%f") != "" {
+		t.Error("empty chart should render nothing")
+	}
+	// Tiny positive values still get one cell.
+	out := BarChart([]Bar{{"a", 0.001}, {"b", 1000}}, 10, "%.3f")
+	if !strings.Contains(strings.Split(out, "\n")[0], "█") {
+		t.Error("tiny value has no visible bar")
+	}
+	// Zero values get no cells.
+	out = BarChart([]Bar{{"z", 0}, {"b", 10}}, 10, "%.0f")
+	if strings.Count(strings.Split(out, "\n")[0], "█") != 0 {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestTrendChart(t *testing.T) {
+	out := TrendChart([]Series{
+		{Name: "baseline", X: []float64{64, 128, 256}, Y: []float64{1, 1, 1}, Marker: 'b'},
+		{Name: "parcoll", X: []float64{64, 128, 256}, Y: []float64{3, 5, 7}, Marker: 'p'},
+	}, 8)
+	if !strings.Contains(out, "b=baseline") || !strings.Contains(out, "p=parcoll") {
+		t.Error("legend missing")
+	}
+	if strings.Count(out, "p") < 3 { // at least the 3 plotted markers
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "64") || !strings.Contains(out, "256") {
+		t.Error("x labels missing")
+	}
+	// The highest parcoll point must sit above the baseline points.
+	lines := strings.Split(out, "\n")
+	rowOf := func(m rune) int {
+		for i, l := range lines {
+			if strings.ContainsRune(l, m) && strings.Contains(l, "│") {
+				return i
+			}
+		}
+		return -1
+	}
+	if rowOf('p') >= rowOf('b') {
+		t.Errorf("parcoll not plotted above baseline:\n%s", out)
+	}
+}
+
+func TestTrendChartEmpty(t *testing.T) {
+	if TrendChart(nil, 5) != "" {
+		t.Error("empty trend should render nothing")
+	}
+	if TrendChart([]Series{{Name: "x"}}, 1) != "" {
+		t.Error("degenerate height should render nothing")
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+)
+
+// IOR models the IOR benchmark's shared-file collective mode used in the
+// paper's §5.1: every process writes Block contiguous bytes at offset
+// rank*Block into one shared file, issuing one collective write per
+// Transfer-sized unit. The paper ran 512 MB per process in 4 MB units.
+type IOR struct {
+	Block    int64 // real bytes per process
+	Transfer int64 // real bytes per collective call
+}
+
+// Write runs the collective-write phase and returns this rank's Result.
+func (w IOR) Write(r *mpi.Rank, env Env, name string) Result {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.WorldRank()
+	f.SetView(datatype.View{Disp: int64(me) * w.Block, Filetype: datatype.Contig(w.Block)})
+	buf := make([]byte, w.Transfer)
+	elapsed := measure(comm, func() {
+		for off := int64(0); off < w.Block; off += w.Transfer {
+			n := w.Transfer
+			if off+n > w.Block {
+				n = w.Block - off
+			}
+			Fill(buf[:n], me, off)
+			f.WriteAtAll(off, buf[:n])
+		}
+	})
+	return Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
+		Breakdown: f.Breakdown(),
+		Plan:      f.LastPlan(),
+	}
+}
+
+// Read runs the collective-read phase (the file must have been written).
+func (w IOR) Read(r *mpi.Rank, env Env, name string) Result {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.WorldRank()
+	f.SetView(datatype.View{Disp: int64(me) * w.Block, Filetype: datatype.Contig(w.Block)})
+	elapsed := measure(comm, func() {
+		for off := int64(0); off < w.Block; off += w.Transfer {
+			n := w.Transfer
+			if off+n > w.Block {
+				n = w.Block - off
+			}
+			f.ReadAtAll(off, n)
+		}
+	})
+	return Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
+		Breakdown: f.Breakdown(),
+		Plan:      f.LastPlan(),
+	}
+}
+
+// Verify checks this rank's slab against the deterministic pattern,
+// returning the first mismatching rank-local offset or -1.
+func (w IOR) Verify(r *mpi.Rank, env Env, name string) int64 {
+	f := env.FS.Open(r, name, env.Stripe)
+	me := r.WorldRank()
+	got := f.ReadAt(r, int64(me)*w.Block, w.Block)
+	for i, b := range got {
+		if b != PatternByte(me, int64(i)) {
+			return int64(i)
+		}
+	}
+	return -1
+}
+
+// WriteFPP runs IOR's file-per-process mode: every rank writes its block
+// to its own file with independent I/O — no sharing, no collective
+// coordination. The classic foil for shared-file collective I/O: it avoids
+// both the collective wall and lock conflicts, at the cost of N files.
+func (w IOR) WriteFPP(r *mpi.Rank, env Env, prefix string) Result {
+	comm := mpi.WorldComm(r)
+	me := r.WorldRank()
+	f := env.FS.Open(r, fmt.Sprintf("%s.%08d", prefix, me), env.Stripe)
+	buf := make([]byte, w.Transfer)
+	elapsed := measure(comm, func() {
+		for off := int64(0); off < w.Block; off += w.Transfer {
+			n := w.Transfer
+			if off+n > w.Block {
+				n = w.Block - off
+			}
+			Fill(buf[:n], me, off)
+			f.WriteAt(r, off, buf[:n])
+		}
+	})
+	return Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
+	}
+}
+
+// VerifyFPP checks this rank's per-process file against the pattern,
+// returning the first mismatching offset or -1.
+func (w IOR) VerifyFPP(r *mpi.Rank, env Env, prefix string) int64 {
+	me := r.WorldRank()
+	f := env.FS.Open(r, fmt.Sprintf("%s.%08d", prefix, me), env.Stripe)
+	got := f.ReadAt(r, 0, w.Block)
+	for i, b := range got {
+		if b != PatternByte(me, int64(i)) {
+			return int64(i)
+		}
+	}
+	return -1
+}

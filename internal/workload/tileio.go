@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+)
+
+// TileIO models the MPI-Tile-IO benchmark of the paper's §5.2: a dense 2D
+// dataset divided into an nx-by-ny grid of tiles, one tile per process,
+// written (or read) in a single collective call. The access is
+// non-contiguous: each tile contributes TileY separate row segments. The
+// paper used 1024x768-element tiles with 64-byte elements (48 MB/process).
+type TileIO struct {
+	TileX, TileY int64 // tile size in elements
+	Elem         int64 // bytes per element
+}
+
+// Grid factors nprocs into the most square nx >= ny arrangement (ny is the
+// largest divisor not exceeding the square root).
+func Grid(nprocs int) (nx, ny int) {
+	ny = 1
+	for d := 1; d*d <= nprocs; d++ {
+		if nprocs%d == 0 {
+			ny = d
+		}
+	}
+	return nprocs / ny, ny
+}
+
+// View builds rank's subarray file view for an nprocs-tile dataset.
+func (w TileIO) View(rank, nprocs int) datatype.View {
+	nx, ny := Grid(nprocs)
+	_ = ny
+	row, col := rank/nx, rank%nx
+	sub := datatype.NewSubarray(
+		[]int64{int64(nprocs/nx) * w.TileY, int64(nx) * w.TileX},
+		[]int64{w.TileY, w.TileX},
+		[]int64{int64(row) * w.TileY, int64(col) * w.TileX},
+		w.Elem,
+	)
+	return datatype.View{Disp: 0, Filetype: sub}
+}
+
+// TileBytes returns the per-process data size.
+func (w TileIO) TileBytes() int64 { return w.TileX * w.TileY * w.Elem }
+
+// Write renders every tile collectively and returns this rank's Result.
+func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.WorldRank()
+	f.SetView(w.View(me, comm.Size()))
+	data := make([]byte, w.TileBytes())
+	Fill(data, me, 0)
+	elapsed := measure(comm, func() {
+		f.WriteAtAll(0, data)
+	})
+	return Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.TileBytes() * int64(comm.Size()) * scaleOf(env),
+		Breakdown: f.Breakdown(),
+		Plan:      f.LastPlan(),
+	}
+}
+
+// Read reads every tile collectively.
+func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.WorldRank()
+	f.SetView(w.View(me, comm.Size()))
+	var got []byte
+	elapsed := measure(comm, func() {
+		got = f.ReadAtAll(0, w.TileBytes())
+	})
+	res := Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.TileBytes() * int64(comm.Size()) * scaleOf(env),
+		Breakdown: f.Breakdown(),
+		Plan:      f.LastPlan(),
+	}
+	_ = got
+	return res
+}
+
+// VerifyTile checks this rank's tile against the pattern after a Write,
+// reading back through an independent view; it returns an error describing
+// the first mismatch.
+func (w TileIO) VerifyTile(r *mpi.Rank, env Env, name string) error {
+	comm := mpi.WorldComm(r)
+	me := r.WorldRank()
+	v := w.View(me, comm.Size())
+	lf := env.FS.Open(r, name, env.Stripe)
+	var pos int64
+	for _, s := range v.Map(0, w.TileBytes()) {
+		got := lf.ReadAt(r, s.Off, s.Len)
+		for i, b := range got {
+			if b != PatternByte(me, pos+int64(i)) {
+				return fmt.Errorf("rank %d: tile byte %d (file off %d) = %d, want %d",
+					me, pos+int64(i), s.Off+int64(i), b, PatternByte(me, pos+int64(i)))
+			}
+		}
+		pos += s.Len
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package workload implements the paper's four benchmarks — IOR,
+// MPI-Tile-IO, NAS BT-IO, and Flash I/O — as generators of file views and
+// data over the ParColl stack, plus the measurement helpers the experiment
+// harness uses.
+//
+// All sizes are *real* bytes; experiments running at paper scale shrink
+// the real sizes by the file system's CostScale and the reported virtual
+// bytes (and hence bandwidths) scale back up.
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/lustre"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+)
+
+// Env bundles what every workload run needs.
+type Env struct {
+	FS     *lustre.FS
+	Stripe lustre.StripeInfo
+	Opts   core.Options
+}
+
+// Result is one rank's view of a finished run.
+type Result struct {
+	Elapsed   float64 // seconds between the synchronized start and the global finish
+	VirtBytes int64   // total virtual bytes moved across all ranks
+	Breakdown mpiio.Breakdown
+	Plan      core.Plan // how ParColl partitioned the last collective call
+}
+
+// Bandwidth returns the aggregate rate in bytes/second.
+func (r Result) Bandwidth() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.VirtBytes) / r.Elapsed
+}
+
+// scaleOf returns the environment's virtual-bytes-per-real-byte factor.
+func scaleOf(env Env) int64 {
+	s := env.FS.Config().CostScale
+	if s < 1 {
+		return 1
+	}
+	return int64(s)
+}
+
+// measure runs fn between two global synchronization points and returns the
+// elapsed global wall time (identical on every rank).
+func measure(comm *mpi.Comm, fn func()) float64 {
+	comm.Barrier()
+	t0 := comm.MaxFinishTime()
+	fn()
+	return comm.MaxFinishTime() - t0
+}
+
+// MeanBreakdown averages a breakdown across the communicator (identical
+// result everywhere).
+func MeanBreakdown(comm *mpi.Comm, bd mpiio.Breakdown) mpiio.Breakdown {
+	v := comm.AllreduceFloat64([]float64{bd.Sync, bd.Exchange, bd.IO, bd.Other}, mpi.OpSum)
+	n := float64(comm.Size())
+	return mpiio.Breakdown{Sync: v[0] / n, Exchange: v[1] / n, IO: v[2] / n, Other: v[3] / n}
+}
+
+// Fill writes a deterministic rank- and offset-dependent byte pattern.
+func Fill(buf []byte, rank int, base int64) {
+	for i := range buf {
+		buf[i] = PatternByte(rank, base+int64(i))
+	}
+}
+
+// PatternByte is the expected data byte at a rank-local offset.
+func PatternByte(rank int, off int64) byte {
+	return byte(int64(rank)*131 + off*7 + 17)
+}

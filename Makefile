@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test bench race vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the correctness gate.
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sim engine is the concurrency-sensitive core (cooperative goroutine
+# scheduling); run it under the race detector separately.
+race:
+	$(GO) test -race ./internal/sim/...
+
+# Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
+# run the full bench suite with allocation stats, and regenerate the
+# machine-readable report (see DESIGN.md, "Performance model of the
+# simulator", for how to read BENCH_1.json).
+bench: vet race
+	$(GO) test -bench=. -benchmem -run '^$$' .
+	BENCH_JSON=BENCH_1.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .

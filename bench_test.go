@@ -20,12 +20,17 @@ import (
 	"repro/internal/workload"
 )
 
+// fig1Procs is the Fig1 process-count sweep. The 128/256 points exercise
+// the simulator well past the paper's bench scale, which is what the
+// regression harness (TestEmitBenchJSON, `make bench`) tracks over time.
+var fig1Procs = []int{16, 32, 64, 128, 256}
+
 // BenchmarkFig1CollectiveWall measures the baseline protocol's
 // synchronization share as process counts grow (paper Figure 1: 72% sync
 // at 512 procs).
 func BenchmarkFig1CollectiveWall(b *testing.B) {
 	p := experiments.BenchPreset()
-	for _, procs := range []int{16, 32, 64} {
+	for _, procs := range fig1Procs {
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
 			var share float64
 			for i := 0; i < b.N; i++ {

@@ -1,0 +1,60 @@
+// The benchmark regression harness: TestEmitBenchJSON reruns the Figure 1
+// collective-wall benchmark under testing.Benchmark and writes a
+// machine-readable report (BENCH_1.json) with wall-clock cost (ns/op,
+// allocs/op, bytes/op), simulator throughput (virtual events per wall
+// second), and the simulated metrics themselves. `make bench` drives it;
+// DESIGN.md ("Performance model of the simulator") explains how to read
+// the output. Committed reports let PRs diff simulator performance the
+// same way golden tests diff simulated physics.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// TestEmitBenchJSON writes the benchmark report to the path named by the
+// BENCH_JSON environment variable (skipped when unset, so plain `go test`
+// stays fast).
+func TestEmitBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the benchmark report")
+	}
+	p := experiments.BenchPreset()
+	rep := perf.NewBenchReport()
+	for _, procs := range fig1Procs {
+		var pt experiments.WallPoint
+		var st sim.Stats
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pt, st = p.CollectiveWallStats(procs)
+			}
+		})
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		point := perf.BenchPoint{
+			Name:        fmt.Sprintf("Fig1CollectiveWall/procs=%d", procs),
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+			Metrics: map[string]float64{
+				"sync_share":         pt.SyncShare(),
+				"sim_events":         float64(st.Events()),
+				"sim_events_per_sec": float64(st.Events()) / (nsPerOp / 1e9),
+			},
+		}
+		rep.Add(point)
+		t.Logf("%s: %.0f ns/op, %.0f allocs/op, %.2g events/sec, sync=%.1f%%",
+			point.Name, point.NsPerOp, point.AllocsPerOp,
+			point.Metrics["sim_events_per_sec"], 100*point.Metrics["sync_share"])
+	}
+	if err := rep.Write(path); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+}

@@ -68,11 +68,30 @@ func DefaultConfig() Config {
 // Cluster binds a proc count to a Config and owns the per-node NIC
 // resources used for transfer-time bookings.
 type Cluster struct {
-	cfg      Config
-	nprocs   int
-	numNodes int
-	nodeOf   []int
-	tx, rx   []*sim.Resource // per-node NIC ledgers (full duplex)
+	cfg       Config
+	nprocs    int
+	numNodes  int
+	nodeOf    []int
+	tx, rx    []*sim.Resource // per-node NIC ledgers (full duplex)
+	sinceTrim int             // transfers since the last NIC ledger compaction
+}
+
+// trimEvery is how many transfers pass between NIC ledger compactions. The
+// watermark (the engine's minimum proc clock) makes trimming invisible to
+// booking results; see sim.Resource.Trim.
+const trimEvery = 4096
+
+func (c *Cluster) maybeTrim(p *sim.Proc) {
+	c.sinceTrim++
+	if c.sinceTrim < trimEvery {
+		return
+	}
+	c.sinceTrim = 0
+	w := p.MinClock()
+	for i := range c.tx {
+		c.tx[i].Trim(w)
+		c.rx[i].Trim(w)
+	}
 }
 
 // New builds a cluster for nprocs ranks. PEsPerNode must be >= 1.
@@ -135,6 +154,7 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst, nbytes int) (arrival float64) 
 		// Intra-node: a memcpy through shared memory; no NIC involved.
 		return p.Now() + c.cfg.MemLatency + float64(nbytes)/c.cfg.MemBandwidth
 	}
+	c.maybeTrim(p)
 	txDur := float64(nbytes) / c.cfg.NICBandwidth
 	_, txEnd := c.tx[c.nodeOf[src]].Acquire(p.Now(), txDur)
 	// The receive NIC serializes incoming transfers; the packet train can

@@ -18,6 +18,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -145,18 +146,26 @@ func (w WallPoint) SyncShare() float64 {
 func (p Preset) CollectiveWall(procs []int) []WallPoint {
 	out := make([]WallPoint, 0, len(procs))
 	for _, n := range procs {
-		env := p.env(p.TileScale, core.Options{})
-		var bd mpiio.Breakdown
-		mpi.Run(n, p.Cluster, p.Seed, func(r *mpi.Rank) {
-			res := p.Tile.Write(r, env, "tile")
-			m := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
-			if r.WorldRank() == 0 {
-				bd = m
-			}
-		})
-		out = append(out, WallPoint{Procs: n, Breakdown: bd})
+		pt, _ := p.CollectiveWallStats(n)
+		out = append(out, pt)
 	}
 	return out
+}
+
+// CollectiveWallStats runs one CollectiveWall point and also returns the
+// simulation engine's scheduler counters, for benchmark harnesses that
+// report simulator throughput.
+func (p Preset) CollectiveWallStats(n int) (WallPoint, sim.Stats) {
+	env := p.env(p.TileScale, core.Options{})
+	var bd mpiio.Breakdown
+	_, st := mpi.RunWithStats(n, p.Cluster, p.Seed, func(r *mpi.Rank) {
+		res := p.Tile.Write(r, env, "tile")
+		m := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
+		if r.WorldRank() == 0 {
+			bd = m
+		}
+	})
+	return WallPoint{Procs: n, Breakdown: bd}, st
 }
 
 // GroupPoint is one subgroup count's tile-IO performance (Figures 7, 8).

@@ -103,6 +103,28 @@ type FS struct {
 	lastClient []int // per OST: world rank of the previous requester
 	stats      []OSTStat
 	locks      *ldlm.Manager // non-nil when UseExtentLocks
+	sinceTrim  int           // requests since the last ledger compaction
+}
+
+// trimEvery is how many I/O requests pass between ledger compactions.
+const trimEvery = 512
+
+// maybeTrim periodically drops fully-past intervals from the OST and MDS
+// ledgers so fragmented bookings cannot grow them without bound over long
+// runs. The watermark is the engine-wide minimum proc clock: every future
+// booking's start time is at or after it, so trimming is invisible to
+// results (see sim.Resource.Trim).
+func (fs *FS) maybeTrim(r *mpi.Rank) {
+	fs.sinceTrim++
+	if fs.sinceTrim < trimEvery {
+		return
+	}
+	fs.sinceTrim = 0
+	w := r.P.MinClock()
+	for _, o := range fs.osts {
+		o.Trim(w)
+	}
+	fs.mds.Trim(w)
 }
 
 // OSTStat aggregates one OST's service counters for analysis output.
@@ -293,6 +315,7 @@ func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
 	})
 	f.obj.store(off, data)
 	r.ChargeIO(done - now)
+	f.fs.maybeTrim(r)
 }
 
 // ReadAt reads n bytes from off; unwritten bytes read as zero. Time is
@@ -323,6 +346,7 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 		}
 	})
 	r.ChargeIO(done - now)
+	f.fs.maybeTrim(r)
 	return f.obj.load(off, n)
 }
 

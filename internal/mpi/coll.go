@@ -3,6 +3,8 @@ package mpi
 import (
 	"encoding/binary"
 	"sort"
+
+	"repro/internal/perf"
 )
 
 // Collective operations. All are synchronizing to the degree the underlying
@@ -41,6 +43,9 @@ func (c *Comm) Barrier() {
 
 // Bcast distributes root's data to all members (binomial tree) and returns
 // it. Non-root callers pass nil.
+//
+// Ownership: the returned slice may be shared by several ranks (the tree
+// relays one buffer without copying); treat it as read-only.
 func (c *Comm) Bcast(root int, data []byte) []byte {
 	t0 := c.r.begin()
 	defer c.r.end(t0)
@@ -72,6 +77,7 @@ func (c *Comm) bcastT(root int, data []byte, tag int) []byte {
 
 // Gather collects each member's data at root, returned indexed by comm rank
 // (nil for non-roots). Blocks may have different sizes (gatherv semantics).
+// Ownership of data transfers to the collective (see Send).
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	t0 := c.r.begin()
 	defer c.r.end(t0)
@@ -82,7 +88,7 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 		return nil
 	}
 	out := make([][]byte, p)
-	out[root] = append([]byte(nil), data...)
+	out[root] = data
 	for i := 0; i < p-1; i++ {
 		blk, st := c.recv(AnySource, tag)
 		out[st.Source] = blk
@@ -92,6 +98,7 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 
 // Scatter sends blocks[i] from root to member i and returns the local block.
 // Non-root callers pass nil (scatterv semantics: blocks may differ in size).
+// Ownership of every block transfers to the collective (see Send).
 func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
 	t0 := c.r.begin()
 	defer c.r.end(t0)
@@ -106,7 +113,7 @@ func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
 				c.send(i, tag, blocks[i])
 			}
 		}
-		return append([]byte(nil), blocks[root]...)
+		return blocks[root]
 	}
 	blk, _ := c.recv(root, tag)
 	return blk
@@ -116,22 +123,22 @@ func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
 // indexed by comm rank. Blocks may have different sizes (allgatherv
 // semantics). Cost model: the Bruck concatenation-doubling algorithm —
 // ceil(log2 P) latency rounds plus the full gathered volume over the NIC.
+//
+// Ownership: the returned blocks are the members' own payload buffers,
+// shared by every rank rather than copied; treat them as read-only. The
+// outer slice is private to the caller.
 func (c *Comm) Allgather(data []byte) [][]byte {
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	shared := c.syncExchange(c.nextCollTag(), data, func(total int64) float64 {
 		return float64(logSteps(c.Size()))*c.stepCost() + c.bwCost(total)
 	})
-	out := make([][]byte, len(shared))
-	for i, b := range shared {
-		out[i] = append([]byte(nil), b...)
-	}
-	return out
+	return append([][]byte(nil), shared...)
 }
 
 func (c *Comm) allgatherT(data []byte, tag int) [][]byte {
 	p := c.Size()
-	collected := []piece{{rank: c.me, data: append([]byte(nil), data...)}}
+	collected := []piece{{rank: c.me, data: data}}
 	for len(collected) < p {
 		off := len(collected)
 		cnt := off
@@ -158,9 +165,20 @@ func (c *Comm) AllgatherInt64s(vals []int64) [][]int64 {
 	shared := c.syncExchange(c.nextCollTag(), encInt64s(vals), func(total int64) float64 {
 		return float64(logSteps(c.Size()))*c.stepCost() + c.bwCost(total)
 	})
+	// Decode all members' vectors into one backing array: two allocations
+	// instead of one per member (this runs in buildPlan's step 1, the
+	// hottest collective of the I/O path).
+	total := 0
+	for _, b := range shared {
+		total += len(b) / 8
+	}
+	flat := make([]int64, total)
 	out := make([][]int64, len(shared))
 	for i, b := range shared {
-		out[i] = decInt64s(b)
+		n := len(b) / 8
+		out[i] = flat[:n:n]
+		flat = flat[n:]
+		decInt64sInto(out[i], b)
 	}
 	return out
 }
@@ -182,7 +200,7 @@ func (c *Comm) alltoallBruckT(blocks [][]byte, tag int) [][]byte {
 	}
 	held := make([]routedBlock, 0, p)
 	for dst, b := range blocks {
-		held = append(held, routedBlock{src: c.me, dst: dst, data: append([]byte(nil), b...)})
+		held = append(held, routedBlock{src: c.me, dst: dst, data: b})
 	}
 	for pof := 1; pof < p; pof <<= 1 {
 		var fwd, keep []routedBlock
@@ -212,40 +230,57 @@ func (c *Comm) alltoallBruckT(blocks [][]byte, tag int) [][]byte {
 // two-phase I/O). Cost model: the Bruck algorithm — ceil(log2 P) rounds,
 // each moving about half the table.
 func (c *Comm) AlltoallInts(vals []int) []int {
-	t0 := c.r.begin()
-	defer c.r.end(t0)
-	return c.alltoallIntsR(vals, c.nextCollTag())
+	out := make([]int, len(vals))
+	c.AlltoallIntsInto(out, vals)
+	return out
 }
 
-func (c *Comm) alltoallIntsR(vals []int, tag int) []int {
+// AlltoallIntsInto is AlltoallInts writing the result into dst (length
+// Size()); the per-round loops of two-phase I/O reuse one result slice.
+func (c *Comm) AlltoallIntsInto(dst, vals []int) {
+	t0 := c.r.begin()
+	defer c.r.end(t0)
+	c.alltoallIntsR(dst, vals, c.nextCollTag())
+}
+
+func (c *Comm) alltoallIntsR(dst, vals []int, tag int) {
 	p := c.Size()
-	if len(vals) != p {
+	if len(vals) != p || len(dst) != p {
 		panic("mpi: AlltoallInts needs one value per member")
 	}
 	// Rows are sparse in two-phase I/O (a process talks to a handful of
 	// aggregators per round), so deposit only the nonzero (column, value)
-	// pairs. The analytic cost still charges the dense Bruck exchange the
-	// real protocol performs.
-	var enc []int64
-	for i, v := range vals {
+	// pairs, encoded straight to wire bytes. The analytic cost still
+	// charges the dense Bruck exchange the real protocol performs.
+	nz := 0
+	for _, v := range vals {
 		if v != 0 {
-			enc = append(enc, int64(i), int64(v))
+			nz++
 		}
 	}
-	rows := c.syncExchange(tag, encInt64s(enc), func(int64) float64 {
+	var enc []byte
+	if nz > 0 {
+		enc = make([]byte, 0, 16*nz)
+		for i, v := range vals {
+			if v != 0 {
+				enc = binary.LittleEndian.AppendUint64(enc, uint64(int64(i)))
+				enc = binary.LittleEndian.AppendUint64(enc, uint64(int64(v)))
+			}
+		}
+	}
+	rows := c.syncExchange(tag, enc, func(int64) float64 {
 		perStep := c.stepCost() + c.bwCost(int64(p/2)*8)
 		return float64(logSteps(p)) * perStep
 	})
-	out := make([]int, p)
+	clear(dst)
 	for src, row := range rows {
 		for i := 0; i+16 <= len(row); i += 16 {
 			if int(int64(binary.LittleEndian.Uint64(row[i:]))) == c.me {
-				out[src] = int(int64(binary.LittleEndian.Uint64(row[i+8:])))
+				dst[src] = int(int64(binary.LittleEndian.Uint64(row[i+8:])))
 				break
 			}
 		}
 	}
-	return out
 }
 
 // AlltoallvAlgo selects the algorithm used by Alltoallv.
@@ -287,8 +322,9 @@ func (c *Comm) Alltoallv(send [][]byte, algo AlltoallvAlgo) [][]byte {
 		for i, b := range send {
 			counts[i] = len(b)
 		}
-		recvCounts := c.alltoallIntsR(counts, tag) // sub-channel 0
-		dataTag := tag + 1                         // sub-channel 1
+		recvCounts := make([]int, p)
+		c.alltoallIntsR(recvCounts, counts, tag) // sub-channel 0
+		dataTag := tag + 1                       // sub-channel 1
 		var expect int
 		for src, n := range recvCounts {
 			if src != c.me && n > 0 {
@@ -306,7 +342,7 @@ func (c *Comm) Alltoallv(send [][]byte, algo AlltoallvAlgo) [][]byte {
 		}
 	}
 	if len(send[c.me]) > 0 {
-		out[c.me] = append([]byte(nil), send[c.me]...)
+		out[c.me] = send[c.me]
 	}
 	return out
 }
@@ -340,23 +376,6 @@ func combineInt64(a, b []int64, op Op) {
 	}
 }
 
-func combineFloat64(a, b []float64, op Op) {
-	for i := range a {
-		switch op {
-		case OpSum:
-			a[i] += b[i]
-		case OpMax:
-			if b[i] > a[i] {
-				a[i] = b[i]
-			}
-		case OpMin:
-			if b[i] < a[i] {
-				a[i] = b[i]
-			}
-		}
-	}
-}
-
 // ReduceInt64 combines vals elementwise at root (binomial tree). Only root
 // receives the result; others get nil.
 func (c *Comm) ReduceInt64(root int, vals []int64, op Op) []int64 {
@@ -372,12 +391,15 @@ func (c *Comm) reduceInt64T(root int, vals []int64, op Op, tag int) []int64 {
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
 			dst := (vr - mask + root) % p
-			c.send(dst, tag, encInt64s(acc))
+			c.send(dst, tag, encInt64sBuf(acc))
 			return nil
 		}
 		if src := vr | mask; src < p {
+			// Every tree message is arena-built by the child above, so the
+			// payload is single-owner and can go back to the pool here.
 			in, _ := c.recv((src+root)%p, tag)
-			combineInt64(acc, decInt64s(in), op)
+			combineInt64Bytes(acc, in, op)
+			perf.PutBuf(in)
 		}
 	}
 	return acc
@@ -400,7 +422,7 @@ func (c *Comm) AllreduceInt64(vals []int64, op Op) []int64 {
 	all := c.syncExchange(c.nextCollTag(), encInt64s(vals), c.allreduceCost(int64(len(vals))*8))
 	acc := decInt64s(all[0])
 	for _, b := range all[1:] {
-		combineInt64(acc, decInt64s(b), op)
+		combineInt64Bytes(acc, b, op)
 	}
 	return acc
 }
@@ -412,7 +434,7 @@ func (c *Comm) AllreduceFloat64(vals []float64, op Op) []float64 {
 	all := c.syncExchange(c.nextCollTag(), encFloat64s(vals), c.allreduceCost(int64(len(vals))*8))
 	acc := decFloat64s(all[0])
 	for _, b := range all[1:] {
-		combineFloat64(acc, decFloat64s(b), op)
+		combineFloat64Bytes(acc, b, op)
 	}
 	return acc
 }
@@ -439,7 +461,7 @@ func (c *Comm) ScanInt64(vals []int64, op Op) []int64 {
 	all := c.syncExchange(c.nextCollTag(), encInt64s(vals), c.allreduceCost(int64(len(vals))*8))
 	acc := decInt64s(all[0])
 	for i := 1; i <= c.me; i++ {
-		combineInt64(acc, decInt64s(all[i]), op)
+		combineInt64Bytes(acc, all[i], op)
 	}
 	return acc
 }
@@ -454,9 +476,9 @@ func (c *Comm) ExscanInt64(vals []int64, op Op) []int64 {
 	if c.me == 0 {
 		return acc
 	}
-	copy(acc, decInt64s(all[0]))
+	decInt64sInto(acc, all[0])
 	for i := 1; i < c.me; i++ {
-		combineInt64(acc, decInt64s(all[i]), op)
+		combineInt64Bytes(acc, all[i], op)
 	}
 	return acc
 }
@@ -471,10 +493,10 @@ func (c *Comm) ReduceScatterInt64(vals []int64, blockLen int, op Op) []int64 {
 		panic("mpi: ReduceScatterInt64 needs Size()*blockLen elements")
 	}
 	all := c.syncExchange(c.nextCollTag(), encInt64s(vals), c.allreduceCost(int64(blockLen)*8))
-	acc := decInt64s(all[0])[c.me*blockLen : (c.me+1)*blockLen]
-	out := append([]int64(nil), acc...)
+	out := make([]int64, blockLen)
+	decInt64sInto(out, all[0][8*c.me*blockLen:])
 	for _, b := range all[1:] {
-		combineInt64(out, decInt64s(b)[c.me*blockLen:(c.me+1)*blockLen], op)
+		combineInt64Bytes(out, b[8*c.me*blockLen:], op)
 	}
 	return out
 }

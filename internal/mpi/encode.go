@@ -3,10 +3,18 @@ package mpi
 import (
 	"encoding/binary"
 	"math"
+
+	"repro/internal/perf"
 )
 
 // Wire encoding helpers. Collectives move typed values as little-endian
 // byte payloads so that transfer costs reflect honest wire sizes.
+//
+// The decode helpers come in two flavours: the alloc-per-call dec* form for
+// payloads that become caller-visible values, and in-place combine/decode
+// forms (combineInt64Bytes etc.) that read the wire bytes directly so the
+// reduction hot paths — called once per rank per collective — allocate
+// nothing per contribution.
 
 func encInt64s(vals []int64) []byte {
 	b := make([]byte, 8*len(vals))
@@ -16,12 +24,71 @@ func encInt64s(vals []int64) []byte {
 	return b
 }
 
+// encInt64sBuf is encInt64s into an arena buffer; the consumer releases it
+// with perf.PutBuf once decoded (reduction chains do).
+func encInt64sBuf(vals []int64) []byte {
+	b := perf.GetBuf(8 * len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
 func decInt64s(b []byte) []int64 {
 	vals := make([]int64, len(b)/8)
-	for i := range vals {
-		vals[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
-	}
+	decInt64sInto(vals, b)
 	return vals
+}
+
+// decInt64sInto decodes min(len(dst), len(b)/8) values into dst.
+func decInt64sInto(dst []int64, b []byte) {
+	n := len(b) / 8
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// combineInt64Bytes folds the encoded vector b elementwise into acc without
+// materializing a decoded slice. Arithmetic order matches decode-then-
+// combine exactly, so results are bit-identical to the allocating path.
+func combineInt64Bytes(acc []int64, b []byte, op Op) {
+	for i := range acc {
+		v := int64(binary.LittleEndian.Uint64(b[8*i:]))
+		switch op {
+		case OpSum:
+			acc[i] += v
+		case OpMax:
+			if v > acc[i] {
+				acc[i] = v
+			}
+		case OpMin:
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+}
+
+// combineFloat64Bytes is combineInt64Bytes for float64 vectors.
+func combineFloat64Bytes(acc []float64, b []byte, op Op) {
+	for i := range acc {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		switch op {
+		case OpSum:
+			acc[i] += v
+		case OpMax:
+			if v > acc[i] {
+				acc[i] = v
+			}
+		case OpMin:
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	}
 }
 
 func encFloat64s(vals []float64) []byte {

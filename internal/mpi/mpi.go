@@ -51,14 +51,22 @@ func (r *Rank) SetTracer(rec *trace.Recorder) { r.tracer = rec }
 // returns the maximum virtual finish time in seconds. The run is
 // deterministic for a given seed.
 func Run(nprocs int, ccfg cluster.Config, seed int64, body func(r *Rank)) float64 {
+	end, _ := RunWithStats(nprocs, ccfg, seed, body)
+	return end
+}
+
+// RunWithStats is Run returning the engine's scheduler counters as well, so
+// harnesses can report simulator throughput (events per wall second).
+func RunWithStats(nprocs int, ccfg cluster.Config, seed int64, body func(r *Rank)) (float64, sim.Stats) {
 	w := &World{
 		Cluster: cluster.New(nprocs, ccfg),
 		coll:    make(map[collKey]*collSlot),
 	}
 	e := sim.NewEngine(sim.Config{Seed: seed})
-	return e.Run(nprocs, func(p *sim.Proc) {
+	end := e.Run(nprocs, func(p *sim.Proc) {
 		body(&Rank{P: p, W: w})
 	})
+	return end, e.Stats()
 }
 
 // WorldRank returns the rank's id in the global job.

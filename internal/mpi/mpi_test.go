@@ -39,16 +39,21 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	})
 }
 
-func TestSendCopiesPayload(t *testing.T) {
+// TestSendTransfersOwnership pins the zero-copy convention: Send hands the
+// caller's buffer to the receiver without a defensive copy, so the receiver
+// sees the very same backing array.
+func TestSendTransfersOwnership(t *testing.T) {
+	probe := []byte("aaaa")
 	runWorld(t, 2, func(c *Comm) {
 		if c.Rank() == 0 {
-			buf := []byte("aaaa")
-			c.Send(1, 1, buf)
-			copy(buf, "bbbb") // must not affect the in-flight message
+			c.Send(1, 1, probe)
 		} else {
 			data, _ := c.Recv(0, 1)
 			if string(data) != "aaaa" {
-				t.Errorf("payload aliased: got %q", data)
+				t.Errorf("payload corrupted: got %q", data)
+			}
+			if len(data) > 0 && &data[0] != &probe[0] {
+				t.Error("Send copied the payload; expected ownership transfer of the same buffer")
 			}
 		}
 	})
@@ -525,17 +530,28 @@ func TestRendezvousWaitsForSlowest(t *testing.T) {
 	})
 }
 
-// TestAllgatherSharedBufferSafety: mutating the slice returned by Allgather
-// must not corrupt other ranks' views.
-func TestAllgatherSharedBufferSafety(t *testing.T) {
+// TestAllgatherSharedBlocks pins the zero-copy convention: every rank sees
+// the contributors' own buffers (read-only, shared), while the outer slice
+// is private to each caller.
+func TestAllgatherSharedBlocks(t *testing.T) {
+	contrib := make([][]byte, 4)
 	runWorld(t, 4, func(c *Comm) {
 		mine := []byte{byte(c.Rank()), byte(c.Rank())}
+		contrib[c.Rank()] = mine
 		out := c.Allgather(mine)
-		out[0][0] = 99 // returned copies must be private
+		for src, blk := range out {
+			if len(blk) != 2 || blk[0] != byte(src) || blk[1] != byte(src) {
+				t.Errorf("rank %d: block %d = %v", c.Rank(), src, blk)
+			}
+			if &blk[0] != &contrib[src][0] {
+				t.Errorf("rank %d: block %d was copied; expected the contributor's buffer shared", c.Rank(), src)
+			}
+		}
+		out[0] = nil // the outer slice must be private to this caller
 		c.Barrier()
 		again := c.Allgather(mine)
-		if again[0][0] != 0 {
-			t.Errorf("allgather buffer aliased across calls: %v", again[0])
+		if again[0] == nil || again[0][0] != 0 {
+			t.Errorf("outer slice aliased across calls: %v", again[0])
 		}
 	})
 }

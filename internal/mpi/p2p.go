@@ -13,7 +13,14 @@ type Status struct {
 
 // Send transmits data to comm rank dst with the given tag. Sends are eager:
 // the sender is charged its CPU overhead and NIC time is booked, but the
-// call does not wait for delivery. The payload is copied.
+// call does not wait for delivery.
+//
+// Ownership transfer: the payload is handed to the runtime without copying.
+// The caller must not modify data after Send returns; the matching Recv
+// hands the same buffer to the receiver, which then owns it. Callers that
+// need to keep writing to a buffer must send a copy themselves — every
+// in-tree sender builds a fresh payload, which is why the runtime no longer
+// pays a defensive copy per message.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	t0 := c.r.begin()
 	defer c.r.end(t0)
@@ -36,11 +43,11 @@ func (c *Comm) send(dst, tag int, data []byte) {
 }
 
 func (c *Comm) sendN(dst, tag int, data []byte, costBytes int) {
-	c.sendOwned(dst, tag, append([]byte(nil), data...), costBytes)
+	c.sendOwned(dst, tag, data, costBytes)
 }
 
-// sendOwned transfers a payload the caller promises not to reuse, avoiding
-// the defensive copy. Collectives building fresh payloads use it.
+// sendOwned transfers a payload the caller relinquishes (the ownership-
+// transfer convention documented on Send).
 func (c *Comm) sendOwned(dst, tag int, payload []byte, costBytes int) {
 	if dst < 0 || dst >= len(c.members) {
 		panic("mpi: Send to rank outside communicator")
@@ -56,6 +63,10 @@ func (c *Comm) sendOwned(dst, tag int, payload []byte, costBytes int) {
 
 // Recv blocks until a message with the given tag arrives from comm rank src
 // (or any member when src == AnySource) and returns its payload.
+//
+// Ownership transfer: the returned slice is the sender's payload buffer,
+// not a copy; the receiver owns it from here on. Receivers that fully
+// consume a payload built from the arena may release it with perf.PutBuf.
 func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	t0 := c.r.begin()
 	defer c.r.end(t0)

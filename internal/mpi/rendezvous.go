@@ -59,13 +59,16 @@ func (c *Comm) bwCost(bytes int64) float64 {
 
 // syncExchange deposits payload, waits until every member has arrived, and
 // returns all members' payloads indexed by comm rank. Every member's clock
-// advances to max(arrivals) + extra(totalBytes). The returned slices are
-// shared between members and must not be modified.
+// advances to max(arrivals) + extra(totalBytes).
+//
+// Ownership: the deposited payload is published to every member without
+// copying (the ownership-transfer convention, see Send), so the returned
+// slices are shared between members and must be treated as read-only — and
+// never released to the arena, since several ranks hold them.
 func (c *Comm) syncExchange(tag int, payload []byte, extra func(totalBytes int64) float64) [][]byte {
 	p := c.Size()
-	own := append([]byte(nil), payload...)
 	if p == 1 {
-		return [][]byte{own}
+		return [][]byte{payload}
 	}
 	w := c.r.W
 	key := collKey{ctx: c.ctx, seq: tag, anchor: c.members[0]}
@@ -74,7 +77,7 @@ func (c *Comm) syncExchange(tag int, payload []byte, extra func(totalBytes int64
 		slot = &collSlot{payloads: make([][]byte, p)}
 		w.coll[key] = slot
 	}
-	slot.payloads[c.me] = own
+	slot.payloads[c.me] = payload
 	slot.arrived++
 	if now := c.r.P.Now(); now > slot.tmax {
 		slot.tmax = now

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/perf"
 )
 
 // The extended two-phase protocol (Thakur & Choudhary), as implemented by
@@ -156,6 +157,13 @@ func (f *File) buildPlan(segs []datatype.Segment) *plan {
 			}
 		}
 	}
+	// The request lists were arena-encoded by encClips and are fully decoded
+	// now; this rank owns every received block (ownership transfer).
+	for _, b := range got {
+		if len(b) > 0 {
+			perf.PutBuf(b)
+		}
+	}
 
 	// Round count: each aggregator covers its *touched* range (st_loc to
 	// end_loc, as ROMIO calls them) in collective-buffer steps; the global
@@ -208,32 +216,39 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 	r, comm := f.r, f.comm
 	segs := f.view.Map(logOff, int64(len(data)))
 	p := f.buildPlan(segs)
-	buf := make([]byte, p.cb)
+	// The collective window buffer and the round-loop scratch below are
+	// reused across all rounds; the window buffer comes from the arena
+	// (lustre copies written bytes into its page store, so nothing retains
+	// slices of buf past the call).
+	buf := perf.GetBuf(int(p.cb))
 	isAgg := f.isAggregator()
 	// Per-aggregator cursor into my request stream (offset order).
 	cursor := make([]streamCursor, len(f.aggs))
 	want := make([]int, comm.Size())
+	owe := make([]int, comm.Size())         // owe[cr] = bytes aggregator cr expects from me
+	winClips := make([][]clip, comm.Size()) // per source; backing arrays reused
+	var extents []datatype.Segment
 	for round := 0; round < p.ntimes; round++ {
 		tag := f.dataTag(round)
 		// The aggregator announces how much it expects from each source
 		// this round; the dense alltoall is the global synchronization
 		// point that tells every process its send obligation. [sync]
 		clear(want)
-		var winClips map[int][]clip
+		nActive := 0
 		var w0, w1 int64
 		if isAgg {
 			w0, w1 = p.window(round)
-			winClips = make(map[int][]clip)
 			for src, cl := range p.others {
-				c := clipWindow(cl, w0, w1)
+				c := clipWindowInto(winClips[src][:0], cl, w0, w1)
+				winClips[src] = c
 				if n := clipBytes(c); n > 0 {
-					winClips[src] = c
 					want[src] = int(n)
+					nActive++
 				}
 			}
 		}
 		old := r.SetClass(mpi.ClassSync)
-		owe := comm.AlltoallInts(want) // owe[cr] = bytes aggregator cr expects from me
+		comm.AlltoallIntsInto(owe, want)
 		r.SetClass(old)
 
 		// Data exchange. [exchange]
@@ -245,8 +260,8 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 			}
 		}
 		if isAgg {
-			var extents []datatype.Segment
-			for range winClips {
+			extents = extents[:0]
+			for i := 0; i < nActive; i++ {
 				msg, st := comm.Recv(mpi.AnySource, tag)
 				cl := winClips[st.Source]
 				if clipBytes(cl) != int64(len(msg)) {
@@ -259,18 +274,19 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 					extents = append(extents, datatype.Segment{Off: c.off, Len: c.ln})
 					pos += c.ln
 				}
+				perf.PutBuf(msg) // arena-built by the sender's take
 			}
 			r.SetClass(old)
 			// File I/O: write the coalesced dirty extents, translating
 			// logical extents to physical segments when an intermediate
 			// view is active. [io]
 			if f.xlate == nil {
-				for _, ext := range mergeOverlaps(extents) {
+				for _, ext := range mergeOverlapsInPlace(extents) {
 					f.lf.WriteAt(r, ext.Off, buf[ext.Off-w0:ext.Off-w0+ext.Len])
 				}
 			} else {
 				var chunks []physChunk
-				for _, ext := range mergeOverlaps(extents) {
+				for _, ext := range mergeOverlapsInPlace(extents) {
 					pos := ext.Off - w0
 					for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
 						chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
@@ -287,6 +303,7 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 			r.SetClass(old)
 		}
 	}
+	perf.PutBuf(buf)
 	f.absorbProf()
 }
 
@@ -297,8 +314,10 @@ type streamCursor struct {
 	used int64 // bytes consumed of clip[seg]
 }
 
+// take returns an arena buffer; the receiving aggregator releases it with
+// perf.PutBuf after scattering (ownership transfer via Send).
 func (c *streamCursor) take(req []clip, data []byte, n int64) []byte {
-	out := make([]byte, 0, n)
+	out := perf.GetBuf(int(n))[:0]
 	for n > 0 {
 		if c.seg >= len(req) {
 			panic("mpiio: send obligation exceeds request stream")
@@ -329,49 +348,53 @@ func (f *File) ReadAtAll(logOff, n int64) []byte {
 	segs := f.view.Map(logOff, n)
 	p := f.buildPlan(segs)
 	out := make([]byte, n)
-	buf := make([]byte, p.cb)
+	buf := perf.GetBuf(int(p.cb)) // reused across rounds, released below
 	isAgg := f.isAggregator()
 	cursor := make([]streamCursor, len(f.aggs))
 	give := make([]int, comm.Size())
+	due := make([]int, comm.Size())         // due[cr] = bytes aggregator cr will send me
+	winClips := make([][]clip, comm.Size()) // per source; backing arrays reused
+	var extents []datatype.Segment
 	for round := 0; round < p.ntimes; round++ {
 		tag := f.dataTag(round)
 		// The aggregator announces how much it will deliver to each
 		// requester this round. [sync]
 		clear(give)
-		var winClips map[int][]clip
 		var w0, w1 int64
 		if isAgg {
 			w0, w1 = p.window(round)
-			winClips = make(map[int][]clip)
 			for src, cl := range p.others {
-				c := clipWindow(cl, w0, w1)
+				c := clipWindowInto(winClips[src][:0], cl, w0, w1)
+				winClips[src] = c
 				if n := clipBytes(c); n > 0 {
-					winClips[src] = c
 					give[src] = int(n)
 				}
 			}
 		}
 		old := r.SetClass(mpi.ClassSync)
-		due := comm.AlltoallInts(give) // due[cr] = bytes aggregator cr will send me
+		comm.AlltoallIntsInto(due, give)
 		r.SetClass(old)
 
 		if isAgg {
 			// Read the union of requested extents. [io]
-			var extents []datatype.Segment
-			for _, cl := range winClips {
-				for _, c := range cl {
+			extents = extents[:0]
+			for src := range give {
+				if give[src] == 0 {
+					continue
+				}
+				for _, c := range winClips[src] {
 					extents = append(extents, datatype.Segment{Off: c.off, Len: c.ln})
 				}
 			}
 			if f.xlate == nil {
-				for _, ext := range mergeOverlaps(extents) {
+				for _, ext := range mergeOverlapsInPlace(extents) {
 					copy(buf[ext.Off-w0:ext.Off-w0+ext.Len], f.lf.ReadAt(r, ext.Off, ext.Len))
 				}
 			} else {
 				// Gather the physical chunks backing the logical extents,
 				// read merged runs once, and scatter into the logical buf.
 				var chunks []physChunk
-				for _, ext := range mergeOverlaps(extents) {
+				for _, ext := range mergeOverlapsInPlace(extents) {
 					pos := ext.Off - w0
 					for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
 						chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
@@ -388,11 +411,11 @@ func (f *File) ReadAtAll(logOff, n int64) []byte {
 			// Serve each requester. [exchange]
 			old = r.SetClass(mpi.ClassExchange)
 			for src := 0; src < comm.Size(); src++ {
-				cl, ok := winClips[src]
-				if !ok {
+				if give[src] == 0 {
 					continue
 				}
-				payload := make([]byte, 0, clipBytes(cl))
+				cl := winClips[src]
+				payload := perf.GetBuf(int(clipBytes(cl)))[:0]
 				for _, c := range cl {
 					payload = append(payload, buf[c.off-w0:c.off-w0+c.ln]...)
 				}
@@ -409,9 +432,11 @@ func (f *File) ReadAtAll(logOff, n int64) []byte {
 			}
 			msg, _ := comm.Recv(cr, tag)
 			cursor[a].place(p.myReq[a], out, msg)
+			perf.PutBuf(msg) // arena-built by the serving aggregator
 		}
 		r.SetClass(old)
 	}
+	perf.PutBuf(buf)
 	f.absorbProf()
 	return out
 }
@@ -535,7 +560,12 @@ func clipSegs(segs []datatype.Segment, pre []int64, lo, hi int64) []clip {
 
 // clipWindow intersects clips (sorted by off) with [lo, hi).
 func clipWindow(cl []clip, lo, hi int64) []clip {
-	var out []clip
+	return clipWindowInto(nil, cl, lo, hi)
+}
+
+// clipWindowInto is clipWindow appending into dst; the round loops pass a
+// recycled backing array (dst[:0]) so steady-state rounds allocate nothing.
+func clipWindowInto(dst, cl []clip, lo, hi int64) []clip {
 	for _, c := range cl {
 		if c.off+c.ln <= lo || c.off >= hi {
 			continue
@@ -547,9 +577,9 @@ func clipWindow(cl []clip, lo, hi int64) []clip {
 		if e > hi {
 			e = hi
 		}
-		out = append(out, clip{off: o, ln: e - o, dataPos: c.dataPos + (o - c.off)})
+		dst = append(dst, clip{off: o, ln: e - o, dataPos: c.dataPos + (o - c.off)})
 	}
-	return out
+	return dst
 }
 
 func clipBytes(cl []clip) int64 {
@@ -572,13 +602,20 @@ func gatherPayload(data []byte, cl []clip) []byte {
 // mergeOverlaps coalesces possibly-overlapping extents (several readers may
 // request the same bytes).
 func mergeOverlaps(segs []datatype.Segment) []datatype.Segment {
+	return mergeOverlapsInPlace(append([]datatype.Segment(nil), segs...))
+}
+
+// mergeOverlapsInPlace is mergeOverlaps without the defensive copy: segs is
+// reordered and its prefix holds the result. The round loops call it on
+// their own scratch slice. The merged output — sorted, disjoint, covering
+// exactly the union — is the same whatever the input order.
+func mergeOverlapsInPlace(segs []datatype.Segment) []datatype.Segment {
 	if len(segs) == 0 {
 		return nil
 	}
-	sorted := append([]datatype.Segment(nil), segs...)
-	sortSegs(sorted)
-	out := sorted[:1]
-	for _, s := range sorted[1:] {
+	sortSegs(segs)
+	out := segs[:1]
+	for _, s := range segs[1:] {
 		last := &out[len(out)-1]
 		if s.Off <= last.End() {
 			if s.End() > last.End() {
@@ -595,11 +632,13 @@ func sortSegs(segs []datatype.Segment) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
 }
 
+// encClips encodes a request list into an arena buffer; the consumer
+// releases it with perf.PutBuf once decoded (buildPlan does).
 func encClips(cl []clip) []byte {
-	out := make([]byte, 0, 16*len(cl))
-	for _, c := range cl {
-		out = binary.LittleEndian.AppendUint64(out, uint64(c.off))
-		out = binary.LittleEndian.AppendUint64(out, uint64(c.ln))
+	out := perf.GetBuf(16 * len(cl))
+	for i, c := range cl {
+		binary.LittleEndian.PutUint64(out[16*i:], uint64(c.off))
+		binary.LittleEndian.PutUint64(out[16*i+8:], uint64(c.ln))
 	}
 	return out
 }

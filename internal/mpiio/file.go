@@ -138,8 +138,8 @@ func selectAggregators(comm *mpi.Comm, nodes [][]int64, hints Hints) []int {
 		}
 		return aggs
 	}
-	seen := make(map[int64]bool)
-	var aggs []int
+	seen := make(map[int64]bool, comm.Size())
+	aggs := make([]int, 0, comm.Size())
 	for cr := 0; cr < comm.Size(); cr++ {
 		n := nodes[cr][0]
 		if !seen[n] {

@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	b := GetBuf(100)
+	if len(b) != 100 || cap(b) < 100 {
+		t.Fatalf("GetBuf(100) len=%d cap=%d", len(b), cap(b))
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	PutBuf(b)
+	// A fresh buffer of the same class may reuse the released one; either
+	// way it must have the requested length and full capacity available.
+	c := GetBuf(80)
+	if len(c) != 80 {
+		t.Fatalf("GetBuf(80) len=%d", len(c))
+	}
+	PutBuf(c)
+}
+
+func TestArenaClassBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1 << 10, 1<<24 + 1} {
+		b := GetBuf(n)
+		if len(b) != n {
+			t.Fatalf("GetBuf(%d) len=%d", n, len(b))
+		}
+		PutBuf(b)
+	}
+	PutBuf(nil) // must not panic
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	r := NewBenchReport()
+	r.Add(BenchPoint{
+		Name: "Fig1/procs=64", NsPerOp: 123.5, AllocsPerOp: 42, BytesPerOp: 1024,
+		Metrics: map[string]float64{"sync%": 36.4, "events/sec": 1e6},
+	})
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != "parcoll-bench/v1" || len(got.Points) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Points[0].Metrics["sync%"] != 36.4 {
+		t.Fatalf("metrics lost: %+v", got.Points[0])
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+
+	"repro/internal/perf"
 )
 
 // AnySource and AnyTag are wildcards accepted by Recv.
@@ -122,23 +124,141 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{cfg: cfg, yieldCh: make(chan struct{})}
 }
 
+// blockKind labels why a proc last parked (deadlock diagnostics only).
+type blockKind int
+
+const (
+	blockNone blockKind = iota
+	blockSync
+	blockRecv
+)
+
 // Proc is a simulated process. All methods must be called only from the
 // proc's own body function (the engine guarantees single-threaded access).
 type Proc struct {
-	id      int
-	now     float64
-	engine  *Engine
-	state   procState
-	readyAt float64
-	resume  chan struct{}
-	mailbox []*Message
-	pending *recvSpec // non-nil while blocked in Recv
-	rng     *rand.Rand
-	blockOn string // description for deadlock reports
+	id         int
+	now        float64
+	engine     *Engine
+	state      procState
+	readyAt    float64
+	resume     chan struct{}
+	mb         mailbox
+	pending    recvSpec // valid while blocked in Recv
+	hasPending bool
+	rng        *rand.Rand
+	blockedOn  blockKind // deadlock-report context (formatted lazily)
 }
 
 type recvSpec struct {
 	src, tag int
+}
+
+// --- Indexed mailbox ---
+//
+// Messages are held in per-(src, tag) FIFO queues so the common exact-match
+// Recv is an O(1) map lookup + pop instead of a scan of every queued
+// message. Wildcard receives (AnySource and/or AnyTag) scan the *heads* of
+// the non-empty queues and pick the matching message with the smallest
+// global sequence number — exactly the message a linear scan of a deposit-
+// ordered mailbox would return, so the indexing is invisible to program
+// order. Per-queue FIFO preserves send order per (src, tag), and the unique
+// sequence numbers make the wildcard choice deterministic even though the
+// queue map itself iterates in arbitrary order.
+
+// srcTag keys one FIFO queue.
+type srcTag struct{ src, tag int }
+
+// msgQueue is a FIFO of messages sharing one (src, tag) key. Popped slots
+// are cleared and the backing array is reused once drained.
+type msgQueue struct {
+	msgs []Message
+	head int
+}
+
+func (q *msgQueue) empty() bool { return q.head == len(q.msgs) }
+
+// mailbox indexes a proc's undelivered messages. Queues are removed from
+// the map the moment they drain (and parked on a free list for reuse), so
+// wildcard scans only ever visit queues that hold at least one message.
+type mailbox struct {
+	queues map[srcTag]*msgQueue
+	free   []*msgQueue // drained queues awaiting reuse
+	count  int         // total undelivered messages
+}
+
+func (mb *mailbox) put(m Message) {
+	key := srcTag{m.Src, m.Tag}
+	q := mb.queues[key]
+	if q == nil {
+		if n := len(mb.free); n > 0 {
+			q = mb.free[n-1]
+			mb.free[n-1] = nil
+			mb.free = mb.free[:n-1]
+		} else {
+			q = &msgQueue{}
+		}
+		if mb.queues == nil {
+			mb.queues = make(map[srcTag]*msgQueue)
+		}
+		mb.queues[key] = q
+	}
+	q.msgs = append(q.msgs, m)
+	mb.count++
+}
+
+func (mb *mailbox) popFrom(key srcTag, q *msgQueue) Message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = Message{} // drop payload reference promptly
+	q.head++
+	mb.count--
+	if q.empty() {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+		delete(mb.queues, key)
+		mb.free = append(mb.free, q)
+	}
+	return m
+}
+
+// take removes and returns the earliest-deposited message matching spec.
+func (mb *mailbox) take(spec recvSpec, st *Stats) (Message, bool) {
+	if mb.count == 0 {
+		return Message{}, false
+	}
+	if spec.src != AnySource && spec.tag != AnyTag {
+		key := srcTag{spec.src, spec.tag}
+		q := mb.queues[key]
+		if q == nil {
+			return Message{}, false
+		}
+		st.ExactPops.Inc()
+		return mb.popFrom(key, q), true
+	}
+	// Wildcard: the queue heads are each queue's earliest message, so the
+	// earliest matching message overall is the matching head with the
+	// smallest sequence number.
+	var (
+		bestKey srcTag
+		bestQ   *msgQueue
+		bestSeq uint64
+	)
+	for key, q := range mb.queues {
+		st.WildcardScanned.Inc()
+		if spec.src != AnySource && spec.src != key.src {
+			continue
+		}
+		if spec.tag != AnyTag && spec.tag != key.tag {
+			continue
+		}
+		if s := q.msgs[q.head].seq; bestQ == nil || s < bestSeq {
+			bestKey, bestQ, bestSeq = key, q, s
+		}
+	}
+	if bestQ == nil {
+		return Message{}, false
+	}
+	st.WildcardPops.Inc()
+	return mb.popFrom(bestKey, bestQ), true
 }
 
 // Run starts n procs executing body and drives them to completion under the
@@ -191,7 +311,7 @@ func (e *Engine) Run(n int, body func(p *Proc)) float64 {
 		if next.readyAt > next.now {
 			next.now = next.readyAt
 		}
-		e.stats.Resumes++
+		e.stats.Resumes.Inc()
 		next.resume <- struct{}{}
 		<-e.yieldCh
 		if e.panicV != nil {
@@ -216,8 +336,17 @@ func (e *Engine) describeStates() string {
 		if p.state == stateDone {
 			continue
 		}
+		var on string
+		switch p.blockedOn {
+		case blockSync:
+			on = "Sync"
+		case blockRecv:
+			on = fmt.Sprintf("Recv(src=%d, tag=%d)", p.pending.src, p.pending.tag)
+		default:
+			on = "start"
+		}
 		fmt.Fprintf(&b, "  proc %d: t=%.9f blocked on %s (mailbox %d msgs)\n",
-			p.id, p.now, p.blockOn, len(p.mailbox))
+			p.id, p.now, on, p.mb.count)
 	}
 	return b.String()
 }
@@ -225,11 +354,27 @@ func (e *Engine) describeStates() string {
 // NumProcs reports the number of procs in the current run.
 func (e *Engine) NumProcs() int { return len(e.procs) }
 
+// MinClock returns the minimum virtual clock across all procs. Because proc
+// clocks never move backwards, the value is a nondecreasing lower bound on
+// the time of every future event — a safe watermark for Resource.Trim.
+func (e *Engine) MinClock() float64 {
+	min := 0.0
+	for i, p := range e.procs {
+		if i == 0 || p.now < min {
+			min = p.now
+		}
+	}
+	return min
+}
+
 // ID returns the proc's rank in [0, n).
 func (p *Proc) ID() int { return p.id }
 
 // Now returns the proc's virtual clock in seconds.
 func (p *Proc) Now() float64 { return p.now }
+
+// MinClock returns the engine-wide minimum proc clock (see Engine.MinClock).
+func (p *Proc) MinClock() float64 { return p.engine.MinClock() }
 
 // Rand returns the proc's deterministic random number generator.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
@@ -270,7 +415,7 @@ func (p *Proc) Sync() {
 	}
 	p.state = stateReady
 	p.readyAt = p.now
-	p.blockOn = "Sync"
+	p.blockedOn = blockSync
 	e.ready.push(p)
 	p.yield()
 }
@@ -278,18 +423,21 @@ func (p *Proc) Sync() {
 // Send deposits a message for proc dst with the given arrival time. It does
 // not advance the sender's clock; higher layers account for transmit costs
 // before computing arrival. Send never blocks (eager buffering).
+//
+// Ownership: the payload is handed off to the runtime until the receiver's
+// Recv returns it; senders must not mutate a payload after Send.
 func (p *Proc) Send(dst, tag int, payload any, arrival float64) {
 	e := p.engine
 	if dst < 0 || dst >= len(e.procs) {
 		panic(fmt.Sprintf("sim: proc %d Send to invalid dst %d", p.id, dst))
 	}
 	e.seq++
-	e.stats.Sends++
-	m := &Message{Src: p.id, Tag: tag, Payload: payload, Arrival: arrival, seq: e.seq}
+	e.stats.Sends.Inc()
+	m := Message{Src: p.id, Tag: tag, Payload: payload, Arrival: arrival, seq: e.seq}
 	q := e.procs[dst]
-	q.mailbox = append(q.mailbox, m)
-	if q.state == stateBlocked && q.pending != nil && q.pending.matches(m) {
-		q.pending = nil
+	q.mb.put(m)
+	if q.state == stateBlocked && q.hasPending && q.pending.matches(&m) {
+		q.hasPending = false
 		q.state = stateReady
 		q.readyAt = q.now
 		if m.Arrival > q.readyAt {
@@ -307,40 +455,42 @@ func (s *recvSpec) matches(m *Message) bool {
 // Recv blocks (in virtual time) until a message matching src and tag is
 // available, then removes and returns it. src may be AnySource and tag may
 // be AnyTag. Messages from the same source with the same tag are delivered
-// in send order. The proc's clock advances to at least the arrival time.
-func (p *Proc) Recv(src, tag int) *Message {
+// in send order; a wildcard receive takes the earliest-deposited matching
+// message. The proc's clock advances to at least the arrival time.
+//
+// Ownership: the returned payload belongs to the receiver; the sender
+// relinquished it at Send time.
+func (p *Proc) Recv(src, tag int) Message {
 	spec := recvSpec{src: src, tag: tag}
 	for {
-		for i, m := range p.mailbox {
-			if spec.matches(m) {
-				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
-				if m.Arrival > p.now {
-					p.now = m.Arrival
-				}
-				return m
+		if m, ok := p.mb.take(spec, &p.engine.stats); ok {
+			if m.Arrival > p.now {
+				p.now = m.Arrival
 			}
+			p.engine.stats.Recvs.Inc()
+			return m
 		}
-		p.pending = &spec
+		p.pending = spec
+		p.hasPending = true
 		p.state = stateBlocked
-		p.blockOn = fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag)
+		p.blockedOn = blockRecv
 		p.yield()
 	}
 }
 
 // TryRecv is a non-blocking Recv; ok is false when no matching message has
 // been deposited yet (regardless of its virtual arrival time).
-func (p *Proc) TryRecv(src, tag int) (m *Message, ok bool) {
+func (p *Proc) TryRecv(src, tag int) (Message, bool) {
 	spec := recvSpec{src: src, tag: tag}
-	for i, q := range p.mailbox {
-		if spec.matches(q) {
-			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
-			if q.Arrival > p.now {
-				p.now = q.Arrival
-			}
-			return q, true
-		}
+	m, ok := p.mb.take(spec, &p.engine.stats)
+	if !ok {
+		return Message{}, false
 	}
-	return nil, false
+	if m.Arrival > p.now {
+		p.now = m.Arrival
+	}
+	p.engine.stats.Recvs.Inc()
+	return m, true
 }
 
 // Resource models a shared device (NIC, OST) that serves one request at a
@@ -348,8 +498,9 @@ func (p *Proc) TryRecv(src, tag int) (m *Message, ok bool) {
 // earliest gap at or after the requested time. All access happens from the
 // single running proc, so no locking is needed.
 type Resource struct {
-	name string
-	busy []interval // sorted by start, non-overlapping, merged
+	name        string
+	busy        []interval // sorted by start, non-overlapping, merged
+	trimmedBusy float64    // booked time already dropped by Trim
 }
 
 type interval struct{ start, end float64 }
@@ -393,13 +544,35 @@ func (r *Resource) NextFree(at float64) float64 {
 	return at
 }
 
-// BusyTime reports the total booked duration on the resource.
+// BusyTime reports the total booked duration on the resource, including
+// intervals already dropped by Trim.
 func (r *Resource) BusyTime() float64 {
-	var t float64
+	t := r.trimmedBusy
 	for _, iv := range r.busy {
 		t += iv.end - iv.start
 	}
 	return t
+}
+
+// NumIntervals reports the current ledger length (diagnostics and tests).
+func (r *Resource) NumIntervals() int { return len(r.busy) }
+
+// Trim drops ledger intervals that end at or before watermark, keeping the
+// ledger compact over long runs. It is safe — bit-identical results — as
+// long as no future Acquire or NextFree uses an `at` below watermark; the
+// engine's MinClock is such a watermark for well-behaved callers (bookings
+// are always made at or after the calling proc's clock). Trimmed time still
+// counts toward BusyTime.
+func (r *Resource) Trim(watermark float64) {
+	i := 0
+	for i < len(r.busy) && r.busy[i].end <= watermark {
+		r.trimmedBusy += r.busy[i].end - r.busy[i].start
+		i++
+	}
+	if i > 0 {
+		n := copy(r.busy, r.busy[i:])
+		r.busy = r.busy[:n]
+	}
 }
 
 func (r *Resource) insert(iv interval) {
@@ -407,7 +580,8 @@ func (r *Resource) insert(iv interval) {
 	r.busy = append(r.busy, interval{})
 	copy(r.busy[i+1:], r.busy[i:])
 	r.busy[i] = iv
-	// Merge with neighbors that touch (zero-length gaps collapse).
+	// Merge with neighbors that touch (zero-length gaps collapse), eagerly,
+	// so adjacent bookings never fragment the ledger.
 	if i > 0 && r.busy[i-1].end >= r.busy[i].start {
 		r.busy[i-1].end = maxf(r.busy[i-1].end, r.busy[i].end)
 		r.busy = append(r.busy[:i], r.busy[i+1:]...)
@@ -426,10 +600,20 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// Stats reports scheduler counters for performance diagnosis.
+// Stats reports scheduler and mailbox counters for performance diagnosis.
 type Stats struct {
-	Resumes uint64 // proc resumptions (context switches)
-	Sends   uint64 // messages deposited
+	Resumes         perf.Counter // proc resumptions (context switches)
+	Sends           perf.Counter // messages deposited
+	Recvs           perf.Counter // messages delivered
+	ExactPops       perf.Counter // receives served by the exact (src,tag) index
+	WildcardPops    perf.Counter // receives served by the wildcard head scan
+	WildcardScanned perf.Counter // queue heads examined by wildcard scans
+}
+
+// Events returns the total scheduler-visible event count (resumes plus
+// message deposits and deliveries) — the numerator of events/sec.
+func (s Stats) Events() uint64 {
+	return s.Resumes.Value() + s.Sends.Value() + s.Recvs.Value()
 }
 
 // Stats returns the engine's counters (valid after Run).

@@ -104,6 +104,51 @@ func TestFIFOPerSourceTag(t *testing.T) {
 	})
 }
 
+// TestWildcardInterleavedWithTagged pins the ordering contract the indexed
+// mailbox must uphold: per-(src,tag) streams are FIFO, wildcard receives
+// take the earliest-deposited matching message, and interleaving tagged and
+// wildcard receives never reorders either view.
+//
+// Proc 0 runs to completion first (smallest id at t=0), then proc 1, so the
+// deposit order at proc 2 is a0 a1 a2 b0 b1 c0.
+func TestWildcardInterleavedWithTagged(t *testing.T) {
+	e := NewEngine(Config{Seed: 1})
+	e.Run(3, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			for _, s := range []string{"a0", "a1", "a2"} {
+				p.Send(2, 1, s, p.Now())
+			}
+		case 1:
+			p.Advance(1e-9) // deposit strictly after proc 0's sends
+			for _, s := range []string{"b0", "b1"} {
+				p.Send(2, 1, s, p.Now())
+			}
+			p.Send(2, 2, "c0", p.Now())
+		case 2:
+			p.AdvanceTo(1) // everything already deposited when we start
+			steps := []struct {
+				src, tag int
+				want     string
+			}{
+				{1, 2, "c0"},              // exact match skips earlier tag-1 traffic
+				{AnySource, 1, "a0"},      // earliest deposit wins among a0/b0
+				{0, 1, "a1"},              // FIFO within (0,1) despite the wildcard pop
+				{AnySource, AnyTag, "a2"}, // full wildcard: earliest remaining deposit
+				{AnySource, AnyTag, "b0"}, // then the (1,1) stream, still in order
+				{1, 1, "b1"},              // tagged tail of the wildcard-drained stream
+			}
+			for i, s := range steps {
+				m := p.Recv(s.src, s.tag)
+				if m.Payload.(string) != s.want {
+					t.Fatalf("step %d: Recv(%d,%d) = %v, want %q",
+						i, s.src, s.tag, m.Payload, s.want)
+				}
+			}
+		}
+	})
+}
+
 func TestTryRecv(t *testing.T) {
 	e := NewEngine(Config{Seed: 1})
 	e.Run(2, func(p *Proc) {
@@ -241,6 +286,64 @@ func TestResourceGapFilling(t *testing.T) {
 	s, e = r.Acquire(0, 5) // exactly fits [5,10)
 	if s != 5 || e != 10 {
 		t.Fatalf("exact-fit booking [%g,%g), want [5,10)", s, e)
+	}
+}
+
+// TestResourceAdjacentBookingsStayCompact pins the eager-merge behaviour of
+// the interval ledger: back-to-back bookings must collapse into a single
+// interval instead of accumulating one entry per request.
+func TestResourceAdjacentBookingsStayCompact(t *testing.T) {
+	r := NewResource("ost")
+	at := 0.0
+	for i := 0; i < 1000; i++ {
+		_, end := r.Acquire(at, 0.5)
+		at = end
+	}
+	if n := r.NumIntervals(); n != 1 {
+		t.Fatalf("ledger holds %d intervals after adjacent bookings, want 1", n)
+	}
+	if got := r.BusyTime(); got != 500 {
+		t.Errorf("BusyTime = %g, want 500", got)
+	}
+	// Out-of-order bookings that exactly fill a gap must merge too.
+	r2 := NewResource("gap")
+	r2.Acquire(0, 1) // [0,1)
+	r2.Acquire(2, 1) // [2,3)
+	r2.Acquire(0, 1) // fills [1,2)
+	if n := r2.NumIntervals(); n != 1 {
+		t.Fatalf("gap fill left %d intervals, want 1", n)
+	}
+}
+
+// TestResourceTrim verifies Trim keeps results bit-identical for bookings at
+// or after the watermark while shrinking the ledger and preserving BusyTime.
+func TestResourceTrim(t *testing.T) {
+	build := func() *Resource {
+		r := NewResource("frag")
+		for i := 0; i < 100; i++ {
+			r.Acquire(float64(3*i), 1) // fragmented: [0,1) [3,4) [6,7) ...
+		}
+		return r
+	}
+	plain, trimmed := build(), build()
+	trimmed.Trim(150)
+	if n := trimmed.NumIntervals(); n >= plain.NumIntervals() {
+		t.Fatalf("Trim did not shrink the ledger: %d vs %d", n, plain.NumIntervals())
+	}
+	if a, b := plain.BusyTime(), trimmed.BusyTime(); a != b {
+		t.Fatalf("Trim changed BusyTime: %g vs %g", b, a)
+	}
+	// Future bookings at or after the watermark behave identically.
+	for i := 0; i < 50; i++ {
+		at := 150 + float64(7*i%40)
+		s1, e1 := plain.Acquire(at, 0.9)
+		s2, e2 := trimmed.Acquire(at, 0.9)
+		if s1 != s2 || e1 != e2 {
+			t.Fatalf("booking %d diverged after Trim: [%g,%g) vs [%g,%g)", i, s2, e2, s1, e1)
+		}
+	}
+	if a, b := plain.BusyTime(), trimmed.BusyTime(); a != b {
+		t.Errorf("BusyTime diverged after post-trim bookings: %g vs %g", b, a)
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet
+.PHONY: all build test bench race vet faults
 
 all: build test
 
@@ -15,9 +15,18 @@ vet:
 	$(GO) vet ./...
 
 # The sim engine is the concurrency-sensitive core (cooperative goroutine
-# scheduling); run it under the race detector separately.
+# scheduling); run it — and the layers the fault injector touches — under
+# the race detector separately.
 race:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/...
+
+# Fault-injection gate: vet the fault layer, then run its unit tests, the
+# perturber hook tests, and the scenario determinism goldens + straggler
+# sweep acceptance test (DESIGN.md §8, EXPERIMENTS.md "Straggler sweep").
+faults: vet
+	$(GO) test ./internal/fault/... -count=1
+	$(GO) test ./internal/sim/ -run 'TestPerturber|TestResourceTrimWatermarkBoundary|TestTrimAtMinClockInRun' -count=1
+	$(GO) test . -run 'TestFaultScenarios|TestHealthyScenario|TestGoldenFaultScenario|TestStragglerSweep' -count=1 -v
 
 # Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
 # run the full bench suite with allocation stats, and regenerate the

@@ -1,0 +1,128 @@
+// Fault-injection determinism and acceptance tests. Injected faults draw
+// only from seeded, serialized RNGs, so a perturbed run is as reproducible
+// as a healthy one: these tests pin run-to-run identity and bit-exact golden
+// metrics for every named scenario, the invariance of the healthy scenario
+// against running with no plan at all, and the paper's headline property —
+// under growing straggler severity the unpartitioned protocol degrades
+// strictly faster than ParColl.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+const (
+	scenarioProcs  = 32
+	scenarioGroups = 4
+)
+
+// TestFaultScenariosRunTwiceIdentical runs the whole scenario catalog twice
+// and asserts bit-identical elapsed times, breakdowns, and perturbation
+// counts.
+func TestFaultScenariosRunTwiceIdentical(t *testing.T) {
+	p := experiments.BenchPreset()
+	first := p.ScenarioSuite(scenarioProcs, scenarioGroups)
+	second := p.ScenarioSuite(scenarioProcs, scenarioGroups)
+	if len(first) != len(second) || len(first) != 2*len(fault.Names()) {
+		t.Fatalf("suite sizes: %d and %d, want %d", len(first), len(second), 2*len(fault.Names()))
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		if a.Elapsed != b.Elapsed || a.Breakdown != b.Breakdown || a.Perturbed != b.Perturbed {
+			t.Errorf("%s/groups=%d: runs differ:\n  first:  %+v\n  second: %+v",
+				a.Scenario, a.Groups, a, b)
+		}
+	}
+}
+
+// TestHealthyScenarioMatchesNoPlan pins the zero-plan invariance: the
+// explicit "healthy" scenario must be bit-identical to running with no fault
+// plan installed at all (no hook may consume a draw or shift a clock when
+// inactive).
+func TestHealthyScenarioMatchesNoPlan(t *testing.T) {
+	p := experiments.BenchPreset()
+	healthy, err := fault.Scenario(fault.Healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, groups := range []int{1, scenarioGroups} {
+		with := p.TileUnderFault(scenarioProcs, groups, healthy)
+		without := p.TileUnderFault(scenarioProcs, groups, nil)
+		if with.Elapsed != without.Elapsed || with.Breakdown != without.Breakdown {
+			t.Errorf("groups=%d: healthy scenario != no plan:\n  healthy: %+v\n  none:    %+v",
+				groups, with, without)
+		}
+		if with.Perturbed != 0 {
+			t.Errorf("groups=%d: healthy run counted %d perturbed messages", groups, with.Perturbed)
+		}
+	}
+}
+
+// TestGoldenFaultScenarioMetrics pins each scenario's simulated metrics to
+// bit-exact hex-float goldens (captured from the initial implementation).
+// Deliberate changes to the fault model or scenario catalog must update
+// these and say why; refactors must leave them untouched.
+func TestGoldenFaultScenarioMetrics(t *testing.T) {
+	p := experiments.BenchPreset()
+	got := make(map[string]string)
+	for _, pt := range p.ScenarioSuite(scenarioProcs, scenarioGroups) {
+		got[fmt.Sprintf("%s/groups=%d", pt.Scenario, pt.Groups)] = fmt.Sprintf(
+			"elapsed=%x sync=%x io=%x perturbed=%d",
+			pt.Elapsed, pt.Breakdown.Sync, pt.Breakdown.IO, pt.Perturbed)
+	}
+	want := map[string]string{
+		"healthy/groups=1":       "elapsed=0x1.d56fc411bdf5ep-04 sync=0x1.509a2c87cceeep-05 io=0x1.9c2172baaaefp-05 perturbed=0",
+		"healthy/groups=4":       "elapsed=0x1.cd1b0b4381742p-04 sync=0x1.40251fd33ab74p-05 io=0x1.9c2172baaaeeep-05 perturbed=0",
+		"hot-ost/groups=1":       "elapsed=0x1.6700eed93adeep-03 sync=0x1.98ce213739c79p-04 io=0x1.ac43901573dcap-05 perturbed=0",
+		"hot-ost/groups=4":       "elapsed=0x1.615b389bb79f3p-03 sync=0x1.ab87b23c696e7p-05 io=0x1.ac43901573dc9p-05 perturbed=0",
+		"jittery-net/groups=1":   "elapsed=0x1.d6ed669a256bcp-04 sync=0x1.5266a6baaddacp-05 io=0x1.9c1e79c6c20efp-05 perturbed=89",
+		"jittery-net/groups=4":   "elapsed=0x1.d1e4e6858e76cp-04 sync=0x1.44410a2789191p-05 io=0x1.9c1e3629b67c8p-05 perturbed=87",
+		"one-straggler/groups=1": "elapsed=0x1.70171587e89dbp-02 sync=0x1.1ad7cc3ddd9b4p-02 io=0x1.9c2172baaaee2p-05 perturbed=0",
+		"one-straggler/groups=4": "elapsed=0x1.6df5a5ff22439p-02 sync=0x1.718d88ab9024fp-04 io=0x1.9c2172baaaeecp-05 perturbed=0",
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s:\n  got:  %s\n  want: %s", k, got[k], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("scenario point count: got %d, want %d", len(got), len(want))
+	}
+}
+
+// TestStragglerSweepDegradation is the acceptance test for the collective
+// wall under faults: as straggler severity rises, the baseline's absolute
+// degradation (seconds over its own healthy time) must strictly exceed
+// ParColl's, and the elapsed-time gap between the protocols must strictly
+// widen.
+func TestStragglerSweepDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("straggler sweep runs many replicated simulations")
+	}
+	p := experiments.BenchPreset()
+	pts := p.StragglerSweep(64, 8, []float64{0, 2, 8})
+	base := pts[0]
+	if base.ParColl >= base.Ext2ph {
+		t.Fatalf("healthy: ParColl (%g) not faster than ext2ph (%g)", base.ParColl, base.Ext2ph)
+	}
+	prevGap := base.Gap()
+	for _, pt := range pts[1:] {
+		extDegr := pt.Ext2ph - base.Ext2ph
+		pcDegr := pt.ParColl - base.ParColl
+		if extDegr <= 0 {
+			t.Errorf("severity %g: ext2ph did not degrade (%+g s)", pt.Severity, extDegr)
+		}
+		if pcDegr >= extDegr {
+			t.Errorf("severity %g: ParColl degraded %+gs, not strictly less than ext2ph's %+gs",
+				pt.Severity, pcDegr, extDegr)
+		}
+		if pt.Gap() <= prevGap {
+			t.Errorf("severity %g: gap %g s did not widen over %g s", pt.Severity, pt.Gap(), prevGap)
+		}
+		prevGap = pt.Gap()
+	}
+}

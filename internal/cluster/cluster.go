@@ -9,6 +9,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 
 	MemBandwidth float64 // intra-node copy bandwidth, bytes/second
 	MemLatency   float64 // intra-node message latency, seconds
+
+	// Faults, when non-nil, degrades the NIC path per the plan: nodes named
+	// in the plan's NodeBWScale transmit and receive at derated bandwidth.
+	// (Per-message jitter lives in the sim.Perturber hook; this is the
+	// deterministic, topology-level part of the network fault model.)
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns SeaStar-class parameters: 5 us latency, 2 GB/s NIC,
@@ -156,10 +163,15 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst, nbytes int) (arrival float64) 
 	}
 	c.maybeTrim(p)
 	txDur := float64(nbytes) / c.cfg.NICBandwidth
+	rxDur := txDur
+	if c.cfg.Faults != nil {
+		txDur *= c.cfg.Faults.NodeBWDivisor(c.nodeOf[src])
+		rxDur *= c.cfg.Faults.NodeBWDivisor(c.nodeOf[dst])
+	}
 	_, txEnd := c.tx[c.nodeOf[src]].Acquire(p.Now(), txDur)
 	// The receive NIC serializes incoming transfers; the packet train can
 	// start landing one latency after it started leaving.
-	_, rxEnd := c.rx[c.nodeOf[dst]].Acquire(txEnd-txDur+c.cfg.Latency, txDur)
+	_, rxEnd := c.rx[c.nodeOf[dst]].Acquire(txEnd-txDur+c.cfg.Latency, rxDur)
 	return rxEnd
 }
 

@@ -1,0 +1,146 @@
+package core
+
+// Invariant tests for aggregator distribution (paper §4.2). The generator
+// stays inside the regime the paper's algorithm targets — cyclic rank→node
+// placement, contiguous per-group rank blocks at least one node-cycle long,
+// and at least as many aggregator nodes as groups, so every group's member
+// list covers every aggregator node. Under those preconditions the
+// round-robin pass must satisfy all three of §4.2's requirements outright:
+// (a) every subgroup gets at least one aggregator without drafting,
+// (b) no aggregator node serves two subgroups, and
+// (c) aggregator counts are spread evenly (max-min <= 1).
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomAggCase builds groups of contiguous rank blocks (each block at least
+// numNodes long, so it covers every node under cyclic placement), a cyclic
+// nodeOf, and a random aggregator-node subset of size >= numGroups.
+func randomAggCase(rng *rand.Rand) (groups [][]int, nodeOf func(int) int, aggNodes []int) {
+	numNodes := 2 + rng.Intn(7)
+	numGroups := 1 + rng.Intn(4)
+	if numGroups > numNodes {
+		numGroups = numNodes // need |aggNodes| >= numGroups and aggNodes ⊆ nodes
+	}
+	groups = make([][]int, numGroups)
+	next := 0
+	for g := range groups {
+		blockLen := numNodes + rng.Intn(2*numNodes)
+		for i := 0; i < blockLen; i++ {
+			groups[g] = append(groups[g], next)
+			next++
+		}
+	}
+	nodeOf = func(rank int) int { return rank % numNodes }
+	nAgg := numGroups + rng.Intn(numNodes-numGroups+1)
+	if nAgg > numNodes {
+		nAgg = numNodes
+	}
+	for _, n := range rng.Perm(numNodes)[:nAgg] {
+		aggNodes = append(aggNodes, n)
+	}
+	return groups, nodeOf, aggNodes
+}
+
+func TestPropDistributeAggregators(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups, nodeOf, aggNodes := randomAggCase(rng)
+		out := DistributeAggregators(groups, nodeOf, aggNodes)
+
+		allowed := make(map[int]bool, len(aggNodes))
+		for _, n := range aggNodes {
+			allowed[n] = true
+		}
+		member := make(map[int]int) // rank -> group
+		for g, ms := range groups {
+			for _, r := range ms {
+				member[r] = g
+			}
+		}
+
+		if len(out) != len(groups) {
+			t.Logf("seed %d: %d aggregator lists for %d groups", seed, len(out), len(groups))
+			return false
+		}
+		nodeOwner := make(map[int]int) // agg node -> group
+		seenRank := make(map[int]bool)
+		minN, maxN := len(aggNodes)+1, 0
+		for g, aggs := range out {
+			// (a) every subgroup has at least one aggregator.
+			if len(aggs) == 0 {
+				t.Logf("seed %d: group %d has no aggregator", seed, g)
+				return false
+			}
+			for _, r := range aggs {
+				if member[r] != g {
+					t.Logf("seed %d: aggregator rank %d not a member of group %d", seed, r, g)
+					return false
+				}
+				if seenRank[r] {
+					t.Logf("seed %d: rank %d aggregates twice", seed, r)
+					return false
+				}
+				seenRank[r] = true
+				n := nodeOf(r)
+				// Every group covers every agg node, so the draft
+				// fallback must never fire: all picks sit on allowed
+				// nodes.
+				if !allowed[n] {
+					t.Logf("seed %d: aggregator rank %d on non-aggregator node %d", seed, r, n)
+					return false
+				}
+				// (b) no node aggregates for two different subgroups.
+				if owner, ok := nodeOwner[n]; ok && owner != g {
+					t.Logf("seed %d: node %d aggregates for groups %d and %d", seed, n, owner, g)
+					return false
+				}
+				nodeOwner[n] = g
+			}
+			if len(aggs) < minN {
+				minN = len(aggs)
+			}
+			if len(aggs) > maxN {
+				maxN = len(aggs)
+			}
+		}
+		// All aggregator nodes get consumed in this regime.
+		if len(nodeOwner) != len(aggNodes) {
+			t.Logf("seed %d: %d of %d aggregator nodes used", seed, len(nodeOwner), len(aggNodes))
+			return false
+		}
+		// (c) even spread.
+		if maxN-minN > 1 {
+			t.Logf("seed %d: aggregator spread %d-%d > 1 (groups=%d aggNodes=%d)",
+				seed, maxN, minN, len(groups), len(aggNodes))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistributeAggregatorsDraft pins the drafting fallback outside the
+// clean regime: a group with no member on any aggregator node must still
+// receive one aggregator (requirement (a)), drafted from its own members on
+// a node that hosts no other group's aggregator when possible.
+func TestDistributeAggregatorsDraft(t *testing.T) {
+	groups := [][]int{{0, 1}, {2, 3}}
+	nodeOf := func(rank int) int { return rank } // one rank per node
+	aggNodes := []int{0, 1}                      // both in group 0
+	out := DistributeAggregators(groups, nodeOf, aggNodes)
+	if len(out[0]) == 0 || len(out[1]) == 0 {
+		t.Fatalf("draft fallback failed: %v", out)
+	}
+	if got := out[1][0]; got != 2 && got != 3 {
+		t.Fatalf("group 1 drafted rank %d, want one of its own members", got)
+	}
+	if nodeOf(out[1][0]) == nodeOf(out[0][0]) {
+		t.Fatalf("draft reused an aggregator node: %v", out)
+	}
+}

@@ -156,6 +156,11 @@ func partitionLogical(spans []span, ngroups int) (groups [][]int, prefix map[int
 		}
 	}
 	groups = out
+	if len(groups) == 0 {
+		// No active spans at all: keep one group so the inactive ranks
+		// still land somewhere.
+		groups = [][]int{nil}
+	}
 	for i, r := range inactives {
 		groups[i%len(groups)] = append(groups[i%len(groups)], r)
 	}

@@ -128,6 +128,29 @@ func TestFuzzMaterializedRoundTrip(t *testing.T) {
 	}
 }
 
+// FuzzPartitionDirect is a native fuzz target over the file-area
+// partitioners: the fuzzer picks the generator seed and group count, and the
+// invariant checkers from fa_prop_test.go must hold (and nothing may panic)
+// for both direct and logical partitioning. `go test` exercises the seed
+// corpus below; `go test -fuzz=FuzzPartitionDirect ./internal/core` explores.
+func FuzzPartitionDirect(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(2), uint8(3))
+	f.Add(int64(42), uint8(8))
+	f.Add(int64(-7), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, ng uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		spans := randomSpans(rng)
+		ngroups := 1 + int(ng)%(len(spans)+2)
+		if err := checkPartitionDirect(spans, ngroups); err != nil {
+			t.Errorf("direct: seed %d ngroups %d: %v", seed, ngroups, err)
+		}
+		if err := checkPartitionLogical(spans, ngroups); err != nil {
+			t.Errorf("logical: seed %d ngroups %d: %v", seed, ngroups, err)
+		}
+	})
+}
+
 // TestFuzzMultiCallSameView checks repeated collective writes through one
 // view (plan caching path) against independent writes, at random offsets.
 func TestFuzzMultiCallSameView(t *testing.T) {

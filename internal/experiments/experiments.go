@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
@@ -109,8 +110,20 @@ func EnvFor(p Preset, scale float64, opts core.Options) workload.Env {
 
 // env builds a fresh file system environment for one run.
 func (p Preset) env(scale float64, opts core.Options) workload.Env {
+	return p.envPlan(scale, opts, nil)
+}
+
+// envPlan is env with a fault plan threaded through every layer that
+// consumes one: the lustre config (OST degradation) and the MPI-IO hints
+// (per-round compute noise). The sim- and cluster-level parts of the plan
+// are installed by mpi.RunPlan at run time.
+func (p Preset) envPlan(scale float64, opts core.Options, plan *fault.Plan) workload.Env {
 	lcfg := p.Lustre
 	lcfg.CostScale = scale
+	if !plan.IsZero() {
+		lcfg.Faults = plan
+		opts.Hints.Fault = plan
+	}
 	stripeSize := int64(4<<20) / int64(scale)
 	if stripeSize < 256 {
 		stripeSize = 256

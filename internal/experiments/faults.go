@@ -1,0 +1,120 @@
+package experiments
+
+// Fault-scenario experiments: the quantitative form of the paper's central
+// claim. Section 1 argues that the global synchronization in every
+// collective-I/O round couples all processes to the slowest one — the
+// "collective wall" — and Section 4 argues that partitioning confines each
+// perturbation to one subgroup. Running the same workload under a named
+// fault plan with groups=1 (baseline ext2ph) and groups=G (ParColl) makes
+// that argument measurable: as straggler severity rises, the baseline's
+// elapsed time must degrade strictly faster than ParColl's.
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/workload"
+)
+
+// ScenarioPoint is one (plan, groups) tile-IO collective-write measurement.
+type ScenarioPoint struct {
+	Scenario  string
+	Groups    int
+	Elapsed   float64 // global elapsed seconds for the collective write
+	Breakdown mpiio.Breakdown
+	Perturbed uint64 // messages delayed by the perturber (diagnostics)
+}
+
+// TileUnderFault runs one collective tile write at nprocs ranks and the
+// given subgroup count (1 = baseline ext2ph) under the fault plan, which
+// may be nil for a healthy run.
+func (p Preset) TileUnderFault(nprocs, groups int, plan *fault.Plan) ScenarioPoint {
+	return p.tileUnderFault(nprocs, groups, plan, 0, p.Seed)
+}
+
+// tileUnderFault is TileUnderFault with an explicit collective-buffer size
+// (0 = preset default; the sweep shrinks it to raise the round count) and
+// seed (replicate runs vary it).
+func (p Preset) tileUnderFault(nprocs, groups int, plan *fault.Plan, cb, seed int64) ScenarioPoint {
+	opts := core.Options{NumGroups: groups}
+	opts.Hints.CBBufferSize = cb
+	env := p.envPlan(p.TileScale, opts, plan)
+	pt := ScenarioPoint{Groups: groups}
+	if plan != nil {
+		pt.Scenario = plan.Name
+	}
+	_, st := mpi.RunPlan(nprocs, p.Cluster, seed, plan, func(r *mpi.Rank) {
+		res := p.Tile.Write(r, env, "tile")
+		bd := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
+		if r.WorldRank() == 0 {
+			pt.Elapsed = res.Elapsed
+			pt.Breakdown = bd
+		}
+	})
+	pt.Perturbed = st.Perturbed.Value()
+	return pt
+}
+
+// ScenarioSuite runs the full named-scenario catalog at nprocs ranks, each
+// under baseline (groups=1) and ParColl (the given group count). The
+// result order is fault.Names() order, baseline before ParColl — stable,
+// so goldens can pin it.
+func (p Preset) ScenarioSuite(nprocs, groups int) []ScenarioPoint {
+	var out []ScenarioPoint
+	for _, name := range fault.Names() {
+		plan, err := fault.Scenario(name)
+		if err != nil {
+			panic(err)
+		}
+		for _, g := range []int{1, groups} {
+			out = append(out, p.TileUnderFault(nprocs, g, plan))
+		}
+	}
+	return out
+}
+
+// StragglerPoint compares baseline and ParColl elapsed time at one
+// straggler severity.
+type StragglerPoint struct {
+	Severity float64
+	Ext2ph   float64 // groups=1 elapsed, seconds
+	ParColl  float64 // groups=G elapsed, seconds
+}
+
+// Gap returns how much slower the baseline ran than ParColl, in seconds.
+func (s StragglerPoint) Gap() float64 { return s.Ext2ph - s.ParColl }
+
+// StragglerSweep sweeps straggler severity (fault.SeverityPlan) for the
+// tile workload, measuring baseline ext2ph against ParColl with the given
+// subgroup count at each level. Severity 0 is the healthy reference. The
+// paper's claim, quantified: Ext2ph's degradation over its own healthy
+// time grows strictly faster with severity than ParColl's, because the
+// unpartitioned protocol pays the maximum per-round stall over all nprocs
+// ranks every round while ParColl pays only the maximum within each
+// subgroup.
+// Each point averages sweepReps independent replicates (seeds p.Seed+k):
+// the per-round stall maximum is an order statistic, so single runs at few
+// rounds are noisy; the replicate mean is what the paper's repeated
+// measurements report. The collective buffer is shrunk 4x below the preset
+// default to raise the round count — more synchronization points per call,
+// which is precisely the regime the collective wall lives in.
+func (p Preset) StragglerSweep(nprocs, groups int, severities []float64) []StragglerPoint {
+	const sweepReps = 4
+	cb := int64(4<<20) / int64(p.TileScale) / 4
+	if cb < 256 {
+		cb = 256
+	}
+	out := make([]StragglerPoint, 0, len(severities))
+	for _, sev := range severities {
+		plan := fault.SeverityPlan(sev)
+		var pt StragglerPoint
+		pt.Severity = sev
+		for k := int64(0); k < sweepReps; k++ {
+			pt.Ext2ph += p.tileUnderFault(nprocs, 1, plan, cb, p.Seed+k).Elapsed / sweepReps
+			pt.ParColl += p.tileUnderFault(nprocs, groups, plan, cb, p.Seed+k).Elapsed / sweepReps
+		}
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package fault is a deterministic, seed-driven fault-injection layer for
+// the simulator. A Plan declaratively describes how a run's virtual-time
+// model is perturbed — per-rank compute stragglers, per-round heavy-tailed
+// OS noise, degraded or transiently unavailable OSTs, and message-delivery
+// jitter on the NIC path — without breaking reproducibility.
+//
+// Determinism contract: a Plan is pure data plus pure functions. It owns no
+// random state; every probabilistic decision draws from a *rand.Rand handed
+// in by the layer applying the fault (the engine's perturbation RNG for
+// message delivery, the proc-local RNG for per-round noise, the file
+// system's RNG for service tails). All of those generators are seeded from
+// the run's seed, and the engine serializes execution, so two runs of the
+// same program under the same Plan and seed produce bit-identical
+// virtual-time results. A zero Plan perturbs nothing and never consumes a
+// random draw, so runs under the "healthy" scenario are bit-identical to
+// runs with no plan installed at all.
+//
+// Layer map (who applies what):
+//
+//	Stragglers  -> sim.Proc.Advance via the sim.Perturber hook (ComputeScale)
+//	Net jitter  -> sim.Proc.Send via the sim.Perturber hook (DeliveryDelay)
+//	Net.NodeBW  -> cluster.Transfer (per-node NIC bandwidth derating)
+//	RoundNoise  -> mpiio round loops (RoundStall), the collective-wall probe
+//	OSTs        -> lustre FS.svcTime (service scaling + downtime windows)
+package fault
+
+import "math/rand"
+
+// Straggler slows one rank's (or every rank's) local time: every Advance —
+// CPU overheads and I/O waits alike — is stretched by Factor. It models a
+// persistently slow node (thermal throttling, a sick disk path, an
+// oversubscribed core).
+type Straggler struct {
+	Rank   int     // world rank; -1 applies to every rank
+	Factor float64 // multiplicative slowdown, >= 1 (1 = no effect)
+}
+
+// RoundNoise injects heavy-tailed per-round compute stalls into the
+// collective I/O round loop: before each round's synchronizing alltoall, an
+// afflicted rank draws and, with probability Prob, stalls for Stall seconds
+// (and with probability TailProb for TailStall seconds — the rare, large
+// event). This is the perturbation the collective wall amplifies: a global
+// protocol pays the maximum stall over all ranks every round, a partitioned
+// protocol only the maximum within each subgroup.
+type RoundNoise struct {
+	Rank      int     // world rank; -1 applies to every rank
+	Prob      float64 // per-rank per-round stall probability
+	Stall     float64 // seconds added on a common stall event
+	TailProb  float64 // per-rank per-round heavy-tail probability
+	TailStall float64 // seconds added on a tail event
+}
+
+// OSTFault degrades one OST (or all): service times are multiplied by
+// Scale, and the target is periodically unavailable — requests arriving
+// inside a down window stall until it ends. Windows are
+// [DownAt+k*DownEvery, DownAt+k*DownEvery+DownFor) for k = 0, 1, ...;
+// DownEvery == 0 means the single window at DownAt. DownFor == 0 disables
+// downtime.
+type OSTFault struct {
+	OST      int     // OST index; -1 applies to every OST
+	Scale    float64 // service-time multiplier, >= 1 (0 and 1 = no effect)
+	DownAt   float64 // start of the first unavailability window, seconds
+	DownFor  float64 // window length, seconds
+	DownEvery float64 // window period, seconds (0 = one-shot)
+}
+
+// NetFault perturbs message delivery. Jitter and spikes are drawn per
+// message from the engine's perturbation RNG and added to the arrival time;
+// NodeBWScale derates specific nodes' NIC bandwidth deterministically
+// (a flaky link or a misrouted adapter).
+type NetFault struct {
+	JitterProb  float64 // per-message probability of a small delay
+	JitterDelay float64 // maximum small delay, seconds (uniform draw)
+	SpikeProb   float64 // per-message probability of a large delay spike
+	SpikeDelay  float64 // spike delay, seconds (fixed)
+	// NodeBWScale divides the named nodes' NIC bandwidth (2 = half speed).
+	NodeBWScale map[int]float64
+}
+
+// Plan is one named fault scenario: the complete, declarative description
+// of how a run is perturbed. The zero value is the healthy (unperturbed)
+// plan.
+type Plan struct {
+	Name       string
+	Stragglers []Straggler
+	RoundNoise RoundNoise
+	OSTs       []OSTFault
+	Net        NetFault
+}
+
+// IsZero reports whether the plan perturbs nothing.
+func (p *Plan) IsZero() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.Stragglers) == 0 && !p.RoundNoise.active() &&
+		len(p.OSTs) == 0 && !p.netActive()
+}
+
+func (n RoundNoise) active() bool {
+	return n.Prob > 0 || n.TailProb > 0
+}
+
+func (p *Plan) netActive() bool {
+	return p.Net.JitterProb > 0 || p.Net.SpikeProb > 0 || len(p.Net.NodeBWScale) > 0
+}
+
+// --- sim.Perturber implementation -----------------------------------------
+
+// ComputeScale returns the multiplicative slowdown of proc's local time
+// advances (1 = unperturbed). It is a pure function of the proc id, so it
+// consumes no randomness.
+func (p *Plan) ComputeScale(proc int) float64 {
+	s := 1.0
+	for _, st := range p.Stragglers {
+		if (st.Rank == -1 || st.Rank == proc) && st.Factor > 1 {
+			s *= st.Factor
+		}
+	}
+	return s
+}
+
+// DeliveryDelay returns extra seconds added to a message's arrival time.
+// rng is the engine's dedicated perturbation generator; no draw happens
+// unless the plan carries delivery jitter, so healthy plans leave the
+// generator untouched.
+func (p *Plan) DeliveryDelay(src, dst int, rng *rand.Rand) float64 {
+	var d float64
+	if p.Net.JitterProb > 0 && rng.Float64() < p.Net.JitterProb {
+		d += p.Net.JitterDelay * rng.Float64()
+	}
+	if p.Net.SpikeProb > 0 && rng.Float64() < p.Net.SpikeProb {
+		d += p.Net.SpikeDelay
+	}
+	return d
+}
+
+// --- cluster hook ----------------------------------------------------------
+
+// NodeBWDivisor returns the factor by which the node's NIC bandwidth is
+// divided (1 = unperturbed).
+func (p *Plan) NodeBWDivisor(node int) float64 {
+	if p == nil {
+		return 1
+	}
+	if s, ok := p.Net.NodeBWScale[node]; ok && s > 1 {
+		return s
+	}
+	return 1
+}
+
+// --- mpiio hook -------------------------------------------------------------
+
+// RoundStall returns the compute stall, in seconds, rank suffers before one
+// collective I/O round. rng is the rank's proc-local generator; no draw
+// happens when the plan carries no round noise or the rank is not afflicted.
+func (p *Plan) RoundStall(rank int, rng *rand.Rand) float64 {
+	if p == nil {
+		return 0
+	}
+	n := p.RoundNoise
+	if !n.active() || (n.Rank != -1 && n.Rank != rank) {
+		return 0
+	}
+	var d float64
+	if n.Prob > 0 && rng.Float64() < n.Prob {
+		d += n.Stall
+	}
+	if n.TailProb > 0 && rng.Float64() < n.TailProb {
+		d += n.TailStall
+	}
+	return d
+}
+
+// --- lustre hooks -----------------------------------------------------------
+
+// OSTScale returns the service-time multiplier for the given OST
+// (1 = unperturbed).
+func (p *Plan) OSTScale(ost int) float64 {
+	if p == nil {
+		return 1
+	}
+	s := 1.0
+	for _, f := range p.OSTs {
+		if (f.OST == -1 || f.OST == ost) && f.Scale > 1 {
+			s *= f.Scale
+		}
+	}
+	return s
+}
+
+// OSTDownDelay returns how long a request arriving at virtual time `at`
+// must wait for the OST to come back up (0 when the OST is up). Pure
+// function of (ost, at): deterministic by construction.
+func (p *Plan) OSTDownDelay(ost int, at float64) float64 {
+	if p == nil {
+		return 0
+	}
+	var delay float64
+	for _, f := range p.OSTs {
+		if (f.OST != -1 && f.OST != ost) || f.DownFor <= 0 {
+			continue
+		}
+		start := f.DownAt
+		if f.DownEvery > 0 && at > start {
+			k := int((at - f.DownAt) / f.DownEvery)
+			start = f.DownAt + float64(k)*f.DownEvery
+		}
+		if at >= start && at < start+f.DownFor {
+			if d := start + f.DownFor - at; d > delay {
+				delay = d
+			}
+		}
+	}
+	return delay
+}

@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIsZero(t *testing.T) {
+	var nilPlan *Plan
+	cases := []struct {
+		name string
+		p    *Plan
+		want bool
+	}{
+		{"nil", nilPlan, true},
+		{"empty", &Plan{}, true},
+		{"named-only", &Plan{Name: "healthy"}, true},
+		{"straggler", &Plan{Stragglers: []Straggler{{Rank: 1, Factor: 2}}}, false},
+		{"round-noise", &Plan{RoundNoise: RoundNoise{Rank: -1, Prob: 0.1, Stall: 1e-3}}, false},
+		{"ost", &Plan{OSTs: []OSTFault{{OST: 0, Scale: 2}}}, false},
+		{"net-jitter", &Plan{Net: NetFault{JitterProb: 0.1, JitterDelay: 1e-5}}, false},
+		{"net-bw", &Plan{Net: NetFault{NodeBWScale: map[int]float64{0: 2}}}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.IsZero(); got != c.want {
+			t.Errorf("%s: IsZero() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	p := &Plan{Stragglers: []Straggler{
+		{Rank: 1, Factor: 4},
+		{Rank: -1, Factor: 1.5},
+		{Rank: 2, Factor: 0.5}, // < 1: speedups are not a fault, ignored
+	}}
+	if got := p.ComputeScale(0); got != 1.5 {
+		t.Errorf("rank 0 scale = %v, want 1.5 (wildcard only)", got)
+	}
+	if got := p.ComputeScale(1); got != 6 {
+		t.Errorf("rank 1 scale = %v, want 6 (4 * wildcard 1.5)", got)
+	}
+	if got := p.ComputeScale(2); got != 1.5 {
+		t.Errorf("rank 2 scale = %v, want 1.5 (sub-1 factor ignored)", got)
+	}
+	if got := (&Plan{}).ComputeScale(0); got != 1 {
+		t.Errorf("zero plan scale = %v, want 1", got)
+	}
+}
+
+func TestOSTScale(t *testing.T) {
+	p := &Plan{OSTs: []OSTFault{{OST: 0, Scale: 3}, {OST: -1, Scale: 2}}}
+	if got := p.OSTScale(0); got != 6 {
+		t.Errorf("OST 0 scale = %v, want 6", got)
+	}
+	if got := p.OSTScale(5); got != 2 {
+		t.Errorf("OST 5 scale = %v, want 2", got)
+	}
+	var nilPlan *Plan
+	if got := nilPlan.OSTScale(0); got != 1 {
+		t.Errorf("nil plan OST scale = %v, want 1", got)
+	}
+}
+
+func TestOSTDownDelay(t *testing.T) {
+	// One-shot window [0.5, 0.6).
+	one := &Plan{OSTs: []OSTFault{{OST: 0, DownAt: 0.5, DownFor: 0.1}}}
+	if got := one.OSTDownDelay(0, 0.4); got != 0 {
+		t.Errorf("before window: %v, want 0", got)
+	}
+	if got := one.OSTDownDelay(0, 0.5); !close(got, 0.1) {
+		t.Errorf("window start: %v, want 0.1", got)
+	}
+	if got := one.OSTDownDelay(0, 0.55); !close(got, 0.05) {
+		t.Errorf("mid window: %v, want 0.05", got)
+	}
+	if got := one.OSTDownDelay(0, 0.6); got != 0 {
+		t.Errorf("window end is exclusive: %v, want 0", got)
+	}
+	if got := one.OSTDownDelay(1, 0.55); got != 0 {
+		t.Errorf("other OST: %v, want 0", got)
+	}
+
+	// Periodic: [0.1+k*1.0, +0.2).
+	per := &Plan{OSTs: []OSTFault{{OST: -1, DownAt: 0.1, DownFor: 0.2, DownEvery: 1.0}}}
+	for _, k := range []float64{0, 1, 5} {
+		if got := per.OSTDownDelay(3, 0.15+k); !close(got, 0.15) {
+			t.Errorf("period %v: %v, want 0.15", k, got)
+		}
+		if got := per.OSTDownDelay(3, 0.5+k); got != 0 {
+			t.Errorf("up phase of period %v: %v, want 0", k, got)
+		}
+	}
+
+	// DownFor == 0 disables downtime even with DownAt set.
+	off := &Plan{OSTs: []OSTFault{{OST: 0, DownAt: 0.5}}}
+	if got := off.OSTDownDelay(0, 0.5); got != 0 {
+		t.Errorf("DownFor=0: %v, want 0", got)
+	}
+}
+
+// TestDeliveryDelayDrawDiscipline checks the determinism contract's key
+// clause: an inactive perturbation consumes no random draws, and an active
+// one consumes draws in a fixed order — so installing a healthy plan cannot
+// shift any downstream random stream.
+func TestDeliveryDelayDrawDiscipline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(7))
+	zero := &Plan{}
+	if d := zero.DeliveryDelay(0, 1, rng); d != 0 {
+		t.Errorf("zero plan delay = %v, want 0", d)
+	}
+	if got := rng.Int63(); got != before {
+		t.Error("zero plan consumed a random draw")
+	}
+
+	// Always-jitter plan: delay bounded by JitterDelay + SpikeDelay, >= 0.
+	p := &Plan{Net: NetFault{JitterProb: 1, JitterDelay: 1e-4, SpikeProb: 1, SpikeDelay: 1e-3}}
+	rng = rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		d := p.DeliveryDelay(0, 1, rng)
+		if d < 1e-3 || d > 1e-3+1e-4 {
+			t.Fatalf("delay %v outside [1e-3, 1.1e-3]", d)
+		}
+	}
+
+	// Same seed, same draws: bit-identical delays.
+	a, b := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+	j := &Plan{Net: NetFault{JitterProb: 0.5, JitterDelay: 1e-4}}
+	for i := 0; i < 100; i++ {
+		if da, db := j.DeliveryDelay(0, 1, a), j.DeliveryDelay(0, 1, b); da != db {
+			t.Fatalf("draw %d: %v != %v", i, da, db)
+		}
+	}
+}
+
+func TestRoundStall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var nilPlan *Plan
+	if d := nilPlan.RoundStall(0, rng); d != 0 {
+		t.Errorf("nil plan stall = %v", d)
+	}
+
+	// Rank-targeted noise: other ranks draw nothing.
+	p := &Plan{RoundNoise: RoundNoise{Rank: 1, Prob: 1, Stall: 2e-3}}
+	rng = rand.New(rand.NewSource(3))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(3))
+	if d := p.RoundStall(0, rng); d != 0 {
+		t.Errorf("unafflicted rank stall = %v", d)
+	}
+	if got := rng.Int63(); got != before {
+		t.Error("unafflicted rank consumed a draw")
+	}
+	if d := p.RoundStall(1, rng); d != 2e-3 {
+		t.Errorf("afflicted rank stall = %v, want 2e-3", d)
+	}
+
+	// Certain common + certain tail stack.
+	both := &Plan{RoundNoise: RoundNoise{Rank: -1, Prob: 1, Stall: 1e-3, TailProb: 1, TailStall: 1e-2}}
+	if d := both.RoundStall(5, rng); !close(d, 1.1e-2) {
+		t.Errorf("stacked stall = %v, want 1.1e-2", d)
+	}
+}
+
+func TestScenarioCatalog(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("catalog has %d scenarios: %v", len(names), names)
+	}
+	for _, n := range names {
+		p, err := Scenario(n)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("Scenario(%q).Name = %q", n, p.Name)
+		}
+		if n == Healthy != p.IsZero() {
+			t.Errorf("scenario %q: IsZero = %v", n, p.IsZero())
+		}
+	}
+	if _, err := Scenario("no-such"); err == nil {
+		t.Error("unknown scenario did not error")
+	}
+	// Fresh plan per call: callers may tweak their copy.
+	a, _ := Scenario(HotOST)
+	b, _ := Scenario(HotOST)
+	if a == b {
+		t.Error("Scenario returned a shared plan")
+	}
+}
+
+func TestSeverityPlan(t *testing.T) {
+	if p := SeverityPlan(0); !p.IsZero() {
+		t.Error("severity 0 is not a zero plan")
+	}
+	lo, hi := SeverityPlan(1), SeverityPlan(4)
+	if lo.IsZero() || hi.IsZero() {
+		t.Fatal("nonzero severity produced a zero plan")
+	}
+	if hi.RoundNoise.Stall != 4*lo.RoundNoise.Stall || hi.RoundNoise.TailStall != 4*lo.RoundNoise.TailStall {
+		t.Errorf("stall magnitudes do not scale linearly: %+v vs %+v", lo.RoundNoise, hi.RoundNoise)
+	}
+	if lo.RoundNoise.Rank != -1 {
+		t.Error("severity noise must afflict every rank")
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}

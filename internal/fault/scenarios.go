@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The named scenario catalog. Every scenario is a fixed Plan so experiment
+// goldens can pin its results; new scenarios should be added here (and to
+// DESIGN.md's "Fault model" section) rather than built ad hoc, so the
+// determinism test sweep covers them automatically.
+
+// Scenario names.
+const (
+	Healthy      = "healthy"
+	OneStraggler = "one-straggler"
+	HotOST       = "hot-ost"
+	JitteryNet   = "jittery-net"
+)
+
+// scenarios maps each name to a constructor (fresh Plan per call: plans are
+// shared-nothing so callers may tweak them).
+var scenarios = map[string]func() *Plan{
+	// healthy: the explicit no-fault baseline. Bit-identical to running
+	// with no plan installed.
+	Healthy: func() *Plan { return &Plan{Name: Healthy} },
+
+	// one-straggler: rank 1 runs 4x slow and stalls at every collective
+	// round, occasionally badly — one sick node dragging on every
+	// synchronization that includes it.
+	OneStraggler: func() *Plan {
+		return &Plan{
+			Name:       OneStraggler,
+			Stragglers: []Straggler{{Rank: 1, Factor: 4}},
+			RoundNoise: RoundNoise{Rank: 1, Prob: 1, Stall: 1e-2, TailProb: 0.1, TailStall: 5e-2},
+		}
+	},
+
+	// hot-ost: OST 0 serves 3x slow and blinks out for 5 ms every 100 ms —
+	// an overloaded or rebuilding target behind a shared stripe.
+	HotOST: func() *Plan {
+		return &Plan{
+			Name: HotOST,
+			OSTs: []OSTFault{{OST: 0, Scale: 3, DownAt: 2e-2, DownFor: 5e-3, DownEvery: 1e-1}},
+		}
+	},
+
+	// jittery-net: every message risks a small uniform delay and, rarely, a
+	// millisecond-class spike; node 0's NIC runs at half speed.
+	JitteryNet: func() *Plan {
+		return &Plan{
+			Name: JitteryNet,
+			Net: NetFault{
+				JitterProb:  0.1,
+				JitterDelay: 2e-5,
+				SpikeProb:   0.005,
+				SpikeDelay:  1e-3,
+				NodeBWScale: map[int]float64{0: 2},
+			},
+		}
+	},
+}
+
+// Scenario returns a fresh Plan for the named scenario.
+func Scenario(name string) (*Plan, error) {
+	mk, ok := scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown scenario %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the scenario catalog in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeverityPlan builds the straggler-severity plan the sweep experiment uses:
+// distributed heavy-tailed per-round compute noise on every rank whose
+// magnitude scales linearly with severity (0 = healthy). Under a globally
+// synchronized protocol each round pays the maximum stall over all ranks;
+// under ParColl only the maximum within each subgroup — so the elapsed-time
+// gap between the two grows with severity. That growing gap is the paper's
+// "collective wall" made quantitative.
+func SeverityPlan(severity float64) *Plan {
+	if severity <= 0 {
+		return &Plan{Name: "severity-0"}
+	}
+	return &Plan{
+		Name: fmt.Sprintf("severity-%g", severity),
+		RoundNoise: RoundNoise{
+			Rank:      -1,
+			Prob:      0.02,
+			Stall:     severity * 4e-3,
+			TailProb:  0.005,
+			TailStall: severity * 2e-2,
+		},
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/ldlm"
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -61,6 +62,11 @@ type Config struct {
 	// RevokeCost is the time one lock callback adds to a request when
 	// extent locks are enabled (callback + flush + re-grant).
 	RevokeCost float64
+	// Faults, when non-nil, degrades OSTs per the plan: service times are
+	// multiplied by the per-OST scale, and requests arriving inside a
+	// transient unavailability window stall until it closes. Both effects
+	// are pure functions of (OST, virtual time), so determinism holds.
+	Faults *fault.Plan
 }
 
 // DefaultConfig approximates the paper's test file system: 72 OSTs behind
@@ -129,22 +135,32 @@ func (fs *FS) maybeTrim(r *mpi.Rank) {
 
 // OSTStat aggregates one OST's service counters for analysis output.
 type OSTStat struct {
-	Requests int64
-	Bytes    int64 // virtual bytes served
-	Switches int64 // client alternations (lock/seek penalties paid)
-	Tails    int64 // heavy-tail events
-	BusySecs float64
+	Requests  int64
+	Bytes     int64 // virtual bytes served
+	Switches  int64 // client alternations (lock/seek penalties paid)
+	Tails     int64 // heavy-tail events
+	BusySecs  float64
+	FaultSecs float64 // service time added by the fault plan
 }
 
 // svcTime returns the service time for a request of virt bytes on OST ost
-// issued by client rank, including jitter and concurrency penalties: either
-// the flat client-switch heuristic or, with UseExtentLocks, the revocation
-// round trips the LDLM reports for the extent [off, off+ln).
-func (fs *FS) svcTime(obj string, ost int, rank int, off, ln int64, virt float64, mode ldlm.Mode) float64 {
+// issued by client rank arriving at virtual time `at`, including jitter and
+// concurrency penalties: either the flat client-switch heuristic or, with
+// UseExtentLocks, the revocation round trips the LDLM reports for the
+// extent [off, off+ln). Under a fault plan, the base service time is scaled
+// by the OST's degradation factor and a request arriving inside a downtime
+// window additionally waits for the OST to come back up.
+func (fs *FS) svcTime(obj string, ost int, rank int, at float64, off, ln int64, virt float64, mode ldlm.Mode) float64 {
 	st := &fs.stats[ost]
 	st.Requests++
 	st.Bytes += int64(virt)
 	svc := (fs.cfg.RequestOverhead + virt/fs.cfg.OSTBandwidth) * fs.noise()
+	if fs.cfg.Faults != nil {
+		base := svc
+		svc *= fs.cfg.Faults.OSTScale(ost)
+		svc += fs.cfg.Faults.OSTDownDelay(ost, at)
+		st.FaultSecs += svc - base
+	}
 	if fs.locks != nil {
 		key := fmt.Sprintf("%s/%d", obj, ost)
 		if revoked := fs.locks.Enqueue(key, rank, off, off+ln, mode); revoked > 0 {
@@ -307,7 +323,7 @@ func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
 		virt := float64(l) * cfg.CostScale
 		_, txEnd := tx.Acquire(now, virt/nicBW)
 		ost := f.ostIndexFor(unit)
-		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), o, l, virt, ldlm.PW)
+		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
 		_, ostEnd := f.fs.osts[ost].Acquire(txEnd+lat, svc)
 		if fin := ostEnd + lat; fin > done {
 			done = fin
@@ -338,7 +354,7 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 	f.chunks(off, n, func(o, l, unit int64) {
 		virt := float64(l) * cfg.CostScale
 		ost := f.ostIndexFor(unit)
-		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), o, l, virt, ldlm.PR)
+		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
 		_, ostEnd := f.fs.osts[ost].Acquire(now+lat, svc)
 		_, rxEnd := rx.Acquire(ostEnd+lat, virt/nicBW)
 		if rxEnd > done {

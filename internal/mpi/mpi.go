@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -58,11 +59,27 @@ func Run(nprocs int, ccfg cluster.Config, seed int64, body func(r *Rank)) float6
 // RunWithStats is Run returning the engine's scheduler counters as well, so
 // harnesses can report simulator throughput (events per wall second).
 func RunWithStats(nprocs int, ccfg cluster.Config, seed int64, body func(r *Rank)) (float64, sim.Stats) {
+	return RunPlan(nprocs, ccfg, seed, nil, body)
+}
+
+// RunPlan is RunWithStats under a fault plan: the plan's compute stragglers
+// and delivery jitter are installed as the engine's perturber, and its
+// NIC-path degradation is threaded into the cluster config. A nil or zero
+// plan runs bit-identically to RunWithStats — no perturbation machinery is
+// engaged at all. (OST faults live in the lustre config; see
+// lustre.Config.Faults.) Determinism holds for any plan: all perturbation
+// randomness comes from generators seeded by `seed`.
+func RunPlan(nprocs int, ccfg cluster.Config, seed int64, plan *fault.Plan, body func(r *Rank)) (float64, sim.Stats) {
+	scfg := sim.Config{Seed: seed}
+	if !plan.IsZero() {
+		scfg.Perturber = plan
+		ccfg.Faults = plan
+	}
 	w := &World{
 		Cluster: cluster.New(nprocs, ccfg),
 		coll:    make(map[collKey]*collSlot),
 	}
-	e := sim.NewEngine(sim.Config{Seed: seed})
+	e := sim.NewEngine(scfg)
 	end := e.Run(nprocs, func(p *sim.Proc) {
 		body(&Rank{P: p, W: w})
 	})

@@ -192,6 +192,21 @@ func (f *File) buildPlan(segs []datatype.Segment) *plan {
 	return p
 }
 
+// roundStall applies the fault plan's per-round compute noise, if any,
+// before a round's synchronizing alltoall: with the configured probability
+// the rank stalls (OS noise, a page fault storm, a heavy-tail event) and
+// every other member of the synchronization group ends up waiting for it.
+// The draw comes from the rank's proc-local seeded RNG, so runs under a
+// plan are bit-identical to each other.
+func (f *File) roundStall() {
+	if f.hints.Fault == nil {
+		return
+	}
+	if d := f.hints.Fault.RoundStall(f.r.WorldRank(), f.r.P.Rand()); d > 0 {
+		f.r.Compute(d)
+	}
+}
+
 func (f *File) isAggregator() bool { return f.aggIndex() >= 0 }
 
 // aggIndex returns this rank's position in the aggregator list, or -1.
@@ -230,6 +245,7 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 	var extents []datatype.Segment
 	for round := 0; round < p.ntimes; round++ {
 		tag := f.dataTag(round)
+		f.roundStall()
 		// The aggregator announces how much it expects from each source
 		// this round; the dense alltoall is the global synchronization
 		// point that tells every process its send obligation. [sync]
@@ -357,6 +373,7 @@ func (f *File) ReadAtAll(logOff, n int64) []byte {
 	var extents []datatype.Segment
 	for round := 0; round < p.ntimes; round++ {
 		tag := f.dataTag(round)
+		f.roundStall()
 		// The aggregator announces how much it will deliver to each
 		// requester this round. [sync]
 		clear(give)

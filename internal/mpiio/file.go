@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 )
@@ -41,6 +42,12 @@ type Hints struct {
 	// non-contiguous I/O (ReadAtSieved/WriteAtSieved). Zero means the
 	// ROMIO default of 4 MiB.
 	IndBufferSize int64
+	// Fault, when non-nil, injects the plan's per-round compute noise into
+	// the collective round loops (see fault.RoundNoise). It is not an
+	// MPI_Info string hint; the experiment harness threads it through so
+	// fault scenarios reach the protocol layer. Stalls draw from the
+	// rank's proc-local seeded RNG, so runs stay deterministic.
+	Fault *fault.Plan
 }
 
 func (h Hints) cb() int64 {

@@ -49,6 +49,26 @@ type Config struct {
 	// Seed drives all per-proc random number generators. Two runs of the
 	// same program with the same seed produce identical event orders.
 	Seed int64
+	// Perturber, when non-nil, injects deterministic perturbations into
+	// the virtual-time model (see the Perturber interface). nil runs the
+	// unperturbed model.
+	Perturber Perturber
+}
+
+// Perturber perturbs the engine's virtual-time model without breaking
+// determinism. Implementations must be pure: any randomness must come from
+// the *rand.Rand the engine passes in (seeded from Config.Seed and consumed
+// in the engine's serialized execution order), never from wall time or
+// global state. internal/fault provides the canonical implementation.
+type Perturber interface {
+	// ComputeScale returns the multiplicative slowdown applied to every
+	// Advance of the given proc (1 = unperturbed). It is sampled once per
+	// proc at Run start, so it must be a pure function of the proc id.
+	ComputeScale(proc int) float64
+	// DeliveryDelay returns extra seconds added to the arrival time of a
+	// message from src to dst. rng is the engine's dedicated perturbation
+	// generator; implementations that perturb nothing must not draw.
+	DeliveryDelay(src, dst int, rng *rand.Rand) float64
 }
 
 // Engine owns the virtual clock and the proc scheduler.
@@ -61,6 +81,7 @@ type Engine struct {
 	panicV  any
 	stopped bool
 	stats   Stats
+	frng    *rand.Rand // perturbation draws (delivery jitter); seeded, serialized
 }
 
 // readyHeap is a binary min-heap of ready procs ordered by (readyAt, id).
@@ -121,7 +142,14 @@ func (h readyHeap) peek() *Proc {
 
 // NewEngine returns an engine ready for a single Run call.
 func NewEngine(cfg Config) *Engine {
-	return &Engine{cfg: cfg, yieldCh: make(chan struct{})}
+	return &Engine{
+		cfg:     cfg,
+		yieldCh: make(chan struct{}),
+		// The perturbation generator exists even without a Perturber so the
+		// healthy path differs from the faulty one only in whether draws
+		// happen, never in setup.
+		frng: rand.New(rand.NewSource(cfg.Seed*999983 + 77)),
+	}
 }
 
 // blockKind labels why a proc last parked (deadlock diagnostics only).
@@ -147,6 +175,7 @@ type Proc struct {
 	hasPending bool
 	rng        *rand.Rand
 	blockedOn  blockKind // deadlock-report context (formatted lazily)
+	slow       float64   // multiplicative Advance slowdown (1 = healthy)
 }
 
 type recvSpec struct {
@@ -281,6 +310,12 @@ func (e *Engine) Run(n int, body func(p *Proc)) float64 {
 			state:  stateReady,
 			resume: make(chan struct{}),
 			rng:    rand.New(rand.NewSource(e.cfg.Seed*1000003 + int64(i))),
+			slow:   1,
+		}
+		if e.cfg.Perturber != nil {
+			if s := e.cfg.Perturber.ComputeScale(i); s > 1 {
+				e.procs[i].slow = s
+			}
 		}
 	}
 	done := 0
@@ -380,11 +415,14 @@ func (p *Proc) MinClock() float64 { return p.engine.MinClock() }
 func (p *Proc) Rand() *rand.Rand { return p.rng }
 
 // Advance moves the proc's clock forward by d seconds (d must be >= 0).
+// Under a Perturber, a straggling proc's advances are stretched by its
+// compute-scale factor: CPU overheads and I/O waits alike run slow, which
+// is how a sick node looks to the rest of the machine.
 func (p *Proc) Advance(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: proc %d Advance(%g) negative", p.id, d))
 	}
-	p.now += d
+	p.now += d * p.slow
 }
 
 // AdvanceTo moves the clock forward to t; it is a no-op when t <= Now.
@@ -433,6 +471,14 @@ func (p *Proc) Send(dst, tag int, payload any, arrival float64) {
 	}
 	e.seq++
 	e.stats.Sends.Inc()
+	if e.cfg.Perturber != nil {
+		// Delivery jitter only ever delays a message, so the Sync-ordering
+		// invariant (arrival >= sender clock) is preserved.
+		if d := e.cfg.Perturber.DeliveryDelay(p.id, dst, e.frng); d > 0 {
+			arrival += d
+			e.stats.Perturbed.Inc()
+		}
+	}
 	m := Message{Src: p.id, Tag: tag, Payload: payload, Arrival: arrival, seq: e.seq}
 	q := e.procs[dst]
 	q.mb.put(m)
@@ -608,6 +654,7 @@ type Stats struct {
 	ExactPops       perf.Counter // receives served by the exact (src,tag) index
 	WildcardPops    perf.Counter // receives served by the wildcard head scan
 	WildcardScanned perf.Counter // queue heads examined by wildcard scans
+	Perturbed       perf.Counter // messages delayed by the fault perturber
 }
 
 // Events returns the total scheduler-visible event count (resumes plus

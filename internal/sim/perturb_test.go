@@ -1,0 +1,169 @@
+package sim
+
+// Tests for the fault-injection hook (Config.Perturber) and for the
+// Resource.Trim watermark-boundary contract the fault experiments lean on.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testPerturber is a minimal Perturber: fixed per-proc compute scales and a
+// fixed per-message delivery delay.
+type testPerturber struct {
+	scale map[int]float64
+	delay float64
+}
+
+func (tp testPerturber) ComputeScale(proc int) float64 {
+	if s, ok := tp.scale[proc]; ok {
+		return s
+	}
+	return 1
+}
+
+func (tp testPerturber) DeliveryDelay(src, dst int, rng *rand.Rand) float64 { return tp.delay }
+
+func TestPerturberComputeScale(t *testing.T) {
+	var fast, slow float64
+	e := NewEngine(Config{Seed: 1, Perturber: testPerturber{scale: map[int]float64{1: 4}}})
+	e.Run(2, func(p *Proc) {
+		p.Advance(1.0)
+		if p.ID() == 0 {
+			fast = p.Now()
+		} else {
+			slow = p.Now()
+		}
+	})
+	if fast != 1.0 {
+		t.Errorf("unperturbed proc advanced to %g, want 1", fast)
+	}
+	if slow != 4.0 {
+		t.Errorf("straggler proc advanced to %g, want 4 (scale 4)", slow)
+	}
+}
+
+func TestPerturberDeliveryDelay(t *testing.T) {
+	e := NewEngine(Config{Seed: 1, Perturber: testPerturber{delay: 0.25}})
+	e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, "x", 1.0)
+		} else {
+			p.Recv(0, 7)
+			if p.Now() != 1.25 {
+				t.Errorf("arrival = %g, want 1.25 (1.0 + 0.25 delay)", p.Now())
+			}
+		}
+	})
+	if got := e.Stats().Perturbed.Value(); got != 1 {
+		t.Errorf("Perturbed counter = %d, want 1", got)
+	}
+}
+
+// TestPerturberNilMatchesZero checks that installing a perturber that
+// perturbs nothing changes nothing: same end time, no counted perturbations.
+func TestPerturberNilMatchesZero(t *testing.T) {
+	run := func(pert Perturber) float64 {
+		e := NewEngine(Config{Seed: 42, Perturber: pert})
+		return e.Run(4, func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Advance(p.Rand().Float64() * 1e-3)
+				p.Send((p.ID()+1)%4, 1, i, p.Now()+1e-4)
+				p.Recv((p.ID()+3)%4, 1)
+			}
+		})
+	}
+	plain := run(nil)
+	zero := run(testPerturber{})
+	if plain != zero {
+		t.Errorf("zero perturber shifted the end time: %x vs %x", zero, plain)
+	}
+}
+
+// TestPerturberDeterminism runs a jittery workload twice; the perturbation
+// RNG is seeded from the run seed, so end times must be bit-identical.
+func TestPerturberDeterminism(t *testing.T) {
+	run := func() float64 {
+		e := NewEngine(Config{Seed: 7, Perturber: rngPerturber{}})
+		return e.Run(4, func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Send((p.ID()+1)%4, 1, i, p.Now())
+				p.Recv((p.ID()+3)%4, 1)
+			}
+		})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("perturbed runs diverged: %x vs %x", a, b)
+	}
+}
+
+// rngPerturber draws its delay from the engine's perturbation RNG, like the
+// real fault plans do.
+type rngPerturber struct{}
+
+func (rngPerturber) ComputeScale(proc int) float64 { return 1 }
+func (rngPerturber) DeliveryDelay(src, dst int, rng *rand.Rand) float64 {
+	return rng.Float64() * 1e-4
+}
+
+// TestResourceTrimWatermarkBoundary pins the boundary semantics of Trim:
+// an interval ending exactly at the watermark is dropped, one starting
+// exactly there is kept, BusyTime is unchanged, and bookings at the
+// watermark itself land identically on trimmed and untrimmed ledgers.
+func TestResourceTrimWatermarkBoundary(t *testing.T) {
+	const w = 100.0
+	build := func() *Resource {
+		r := NewResource("edge")
+		r.Acquire(w-10, 1) // [90,91): strictly before
+		r.Acquire(w-1, 1)  // [99,100): ends exactly at the watermark
+		r.Acquire(w, 1)    // [100,101): starts exactly at the watermark
+		return r
+	}
+	plain, trimmed := build(), build()
+	trimmed.Trim(w)
+	if n := trimmed.NumIntervals(); n != 1 {
+		t.Fatalf("ledger holds %d intervals after boundary trim, want 1", n)
+	}
+	if a, b := plain.BusyTime(), trimmed.BusyTime(); a != b {
+		t.Fatalf("boundary trim changed BusyTime: %g vs %g", b, a)
+	}
+	if a, b := plain.NextFree(w), trimmed.NextFree(w); a != b {
+		t.Fatalf("NextFree(watermark) differs: %g vs %g", b, a)
+	}
+	// A booking at exactly the watermark must see the kept interval and
+	// queue behind it identically.
+	s1, e1 := plain.Acquire(w, 2)
+	s2, e2 := trimmed.Acquire(w, 2)
+	if s1 != s2 || e1 != e2 {
+		t.Fatalf("Acquire(watermark) diverged: [%g,%g) vs [%g,%g)", s2, e2, s1, e1)
+	}
+	if s1 != w+1 {
+		t.Fatalf("Acquire(watermark) booked at %g, want %g (behind kept interval)", s1, w+1)
+	}
+}
+
+// TestTrimAtMinClockInRun exercises the watermark contract in situ: procs
+// book a shared resource, trim it at MinClock mid-run, and keep booking.
+// The end time must match a run that never trims.
+func TestTrimAtMinClockInRun(t *testing.T) {
+	run := func(trim bool) float64 {
+		r := NewResource("shared")
+		e := NewEngine(Config{Seed: 3})
+		return e.Run(3, func(p *Proc) {
+			for i := 0; i < 30; i++ {
+				_, end := r.Acquire(p.Now(), 1e-3)
+				p.AdvanceTo(end)
+				if trim && i%7 == p.ID() {
+					r.Trim(p.MinClock())
+				}
+				p.Sync()
+			}
+		})
+	}
+	plain := run(false)
+	trimmed := run(true)
+	if plain != trimmed {
+		t.Errorf("trimming at MinClock changed the run: %x vs %x", trimmed, plain)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet faults
+.PHONY: all build test bench race vet faults fuzz
 
 all: build test
 
@@ -15,10 +15,10 @@ vet:
 	$(GO) vet ./...
 
 # The sim engine is the concurrency-sensitive core (cooperative goroutine
-# scheduling); run it — and the layers the fault injector touches — under
-# the race detector separately.
+# scheduling); run it — and the layers the fault injector and the
+# nonblocking progress engine touch — under the race detector separately.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/...
+	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/...
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
 # perturber hook tests, and the scenario determinism goldens + straggler
@@ -28,10 +28,17 @@ faults: vet
 	$(GO) test ./internal/sim/ -run 'TestPerturber|TestResourceTrimWatermarkBoundary|TestTrimAtMinClockInRun' -count=1
 	$(GO) test . -run 'TestFaultScenarios|TestHealthyScenario|TestGoldenFaultScenario|TestStragglerSweep' -count=1 -v
 
+# Fuzz smoke: a short exploration of each native fuzz target beyond its
+# checked-in seed corpus (the corpus itself already runs under `make test`).
+fuzz:
+	$(GO) test -fuzz 'FuzzPartitionDirect' -fuzztime=10s ./internal/core
+	$(GO) test -fuzz 'FuzzSieve' -fuzztime=10s ./internal/mpiio
+
 # Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
 # run the full bench suite with allocation stats, and regenerate the
 # machine-readable report (see DESIGN.md, "Performance model of the
-# simulator", for how to read BENCH_1.json).
+# simulator", for how to read BENCH_3.json; BENCH_1.json is the PR-1
+# baseline to diff allocs/op against).
 bench: vet race
 	$(GO) test -bench=. -benchmem -run '^$$' .
-	BENCH_JSON=BENCH_1.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
+	BENCH_JSON=BENCH_3.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .

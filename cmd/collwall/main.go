@@ -6,8 +6,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -19,23 +21,35 @@ import (
 	"repro/internal/trace"
 )
 
+// jsonOut is set by -json; when true every mode emits a machine-readable
+// JSON document on stdout instead of the human tables.
+var jsonOut bool
+
 func main() {
 	maxProcs := flag.Int("maxprocs", 512, "largest process count to profile")
 	minProcs := flag.Int("minprocs", 16, "smallest process count to profile")
 	gantt := flag.Int("gantt", 0, "render a per-rank timeline of one run with this many ranks (s=sync e=exchange i=io)")
 	scenario := flag.String("scenario", "", "run baseline vs ParColl under a named fault scenario ('all' runs the catalog: "+strings.Join(fault.Names(), ", ")+")")
 	sweep := flag.Bool("sweep", false, "sweep straggler severity for ext2ph vs ParColl (the collective-wall demonstration)")
-	groups := flag.Int("groups", 8, "ParColl subgroup count for -scenario and -sweep")
-	nprocs := flag.Int("procs", 64, "process count for -scenario and -sweep")
+	overlap := flag.Bool("overlap", false, "sweep compute/IO ratio for blocking vs split collectives (healthy and one-straggler)")
+	groups := flag.Int("groups", 8, "ParColl subgroup count for -scenario, -sweep and -overlap")
+	nprocs := flag.Int("procs", 64, "process count for -scenario, -sweep and -overlap")
 	severities := flag.String("severities", "0,1,2,4,8", "comma-separated severity levels for -sweep")
+	ratios := flag.String("ratios", "0,0.25,0.5,1,2", "comma-separated compute/IO ratios for -overlap")
+	steps := flag.Int("steps", 6, "collective dumps per run for -overlap")
+	flag.BoolVar(&jsonOut, "json", false, "emit JSON instead of tables")
 	flag.Parse()
 
 	if *gantt > 0 {
 		renderGantt(*gantt)
 		return
 	}
+	if *overlap {
+		runOverlap(*nprocs, *groups, *steps, parseFloats("ratio", *ratios))
+		return
+	}
 	if *sweep {
-		runSweep(*nprocs, *groups, parseSeverities(*severities))
+		runSweep(*nprocs, *groups, parseFloats("severity", *severities))
 		return
 	}
 	if *scenario != "" {
@@ -49,6 +63,10 @@ func main() {
 		procs = append(procs, n)
 	}
 	points := p.CollectiveWall(procs)
+	if jsonOut {
+		emitJSON("collective-wall", points)
+		return
+	}
 
 	t := stats.NewTable("procs", "sync(s)", "exchange(s)", "io(s)", "total(s)", "sync-share")
 	for _, pt := range points {
@@ -65,16 +83,60 @@ func main() {
 	}
 }
 
-func parseSeverities(s string) []float64 {
+// emitJSON prints {"experiment": name, "points": points} with stable
+// formatting, so scripts can consume any collwall mode.
+func emitJSON(name string, points any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"experiment": name, "points": points}); err != nil {
+		panic(err)
+	}
+}
+
+func parseFloats(what, s string) []float64 {
 	var out []float64
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil || v < 0 {
-			panic(fmt.Sprintf("collwall: bad severity %q", f))
+			panic(fmt.Sprintf("collwall: bad %s %q", what, f))
 		}
 		out = append(out, v)
 	}
 	return out
+}
+
+// runOverlap is the split-collective demonstration: the same multi-step tile
+// write at each compute/IO ratio, blocking vs split, ext2ph vs ParColl —
+// first healthy, then under the one-straggler scenario. Split collectives
+// retire the two-phase rounds' I/O tails while the application computes, so
+// as the ratio grows the hidden fraction rises and the split variants pull
+// ahead of their blocking twins.
+func runOverlap(nprocs, groups, steps int, ratios []float64) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneStraggler)
+	if err != nil {
+		panic(err)
+	}
+	pts := p.OverlapSweep(nprocs, groups, steps, ratios, nil)
+	pts = append(pts, p.OverlapSweep(nprocs, groups, steps, ratios, plan)...)
+	if jsonOut {
+		emitJSON("overlap-sweep", pts)
+		return
+	}
+	t := stats.NewTable("scenario", "ratio", "block-ext2ph(s)", "split-ext2ph(s)",
+		fmt.Sprintf("block-parcoll-%d(s)", groups), fmt.Sprintf("split-parcoll-%d(s)", groups),
+		"hidden-ext2ph", "hidden-parcoll")
+	for _, pt := range pts {
+		t.AddRow(pt.Scenario, pt.Ratio, pt.BlockExt2ph, pt.SplitExt2ph,
+			pt.BlockParColl, pt.SplitParColl,
+			fmt.Sprintf("%.0f%%", pt.HiddenExt2ph*100),
+			fmt.Sprintf("%.0f%%", pt.HiddenParColl*100))
+	}
+	fmt.Printf("Overlap sweep (MPI-Tile-IO write, %d procs, %d dumps; ratio = compute per dump / blocking dump time)\n", nprocs, steps)
+	fmt.Println(t)
+	last := pts[len(ratios)-1]
+	fmt.Printf("At ratio %g the split ParColl pipeline hides %.0f%% of its I/O tail and runs %.3fs faster than blocking ParColl.\n",
+		last.Ratio, last.HiddenParColl*100, last.SplitGain())
 }
 
 // runSweep is the quantitative collective-wall demonstration: the same tile
@@ -86,6 +148,10 @@ func parseSeverities(s string) []float64 {
 func runSweep(nprocs, groups int, severities []float64) {
 	p := experiments.BenchPreset()
 	pts := p.StragglerSweep(nprocs, groups, severities)
+	if jsonOut {
+		emitJSON("straggler-sweep", pts)
+		return
+	}
 	t := stats.NewTable("severity", "ext2ph(s)", fmt.Sprintf("parcoll-%d(s)", groups), "gap(s)", "ext2ph-degr(s)", "parcoll-degr(s)")
 	base := pts[0]
 	for _, pt := range pts {
@@ -105,21 +171,23 @@ func runSweep(nprocs, groups int, severities []float64) {
 // fault scenario, or the whole catalog.
 func runScenarios(name string, nprocs, groups int) {
 	p := experiments.BenchPreset()
-	t := stats.NewTable("scenario", "groups", "elapsed(s)", "sync(s)", "io(s)", "perturbed-msgs")
-	add := func(pt experiments.ScenarioPoint) {
-		t.AddRow(pt.Scenario, pt.Groups, pt.Elapsed, pt.Breakdown.Sync, pt.Breakdown.IO, pt.Perturbed)
-	}
+	var pts []experiments.ScenarioPoint
 	if name == "all" {
-		for _, pt := range p.ScenarioSuite(nprocs, groups) {
-			add(pt)
-		}
+		pts = p.ScenarioSuite(nprocs, groups)
 	} else {
 		plan, err := fault.Scenario(name)
 		if err != nil {
 			panic(err)
 		}
-		add(p.TileUnderFault(nprocs, 1, plan))
-		add(p.TileUnderFault(nprocs, groups, plan))
+		pts = append(pts, p.TileUnderFault(nprocs, 1, plan), p.TileUnderFault(nprocs, groups, plan))
+	}
+	if jsonOut {
+		emitJSON("fault-scenarios", pts)
+		return
+	}
+	t := stats.NewTable("scenario", "groups", "elapsed(s)", "sync(s)", "io(s)", "perturbed-msgs")
+	for _, pt := range pts {
+		t.AddRow(pt.Scenario, pt.Groups, pt.Elapsed, pt.Breakdown.Sync, pt.Breakdown.IO, pt.Perturbed)
 	}
 	fmt.Printf("Fault scenarios (MPI-Tile-IO write, %d procs; groups=1 is baseline ext2ph)\n", nprocs)
 	fmt.Println(t)

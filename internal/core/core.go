@@ -28,6 +28,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/nbio"
 )
 
 // Mode reports how the current file view was partitioned.
@@ -243,6 +244,64 @@ func (f *File) ReadAtAll(logOff, n int64) []byte {
 	}
 	f.absorb()
 	return out
+}
+
+// WriteAllBegin starts a split collective write (MPI_File_write_all_begin
+// semantics): the two-phase rounds run now, with each subgroup pipelining
+// its exchange and OST writes independently inside its File Area, and up to
+// two writes per aggregator still in flight on return. Compute between
+// Begin and WriteAllEnd hides their tails. No other collective may run on
+// this handle until End.
+func (f *File) WriteAllBegin(logOff int64, data []byte) *nbio.Request {
+	tuning := f.tuneBegin()
+	f.ensurePlan()
+	if f.plan.Mode != ModeIntermediate {
+		f.subFile.SetView(f.view)
+	}
+	sub := f.subFile.WriteAllBegin(logOff, data)
+	return nbio.Start(f.r, f.r.Now(), func() {
+		f.subFile.WriteAllEnd(sub)
+		if tuning {
+			f.tuneEnd()
+		}
+		f.absorb()
+	}, nil, sub)
+}
+
+// WriteAllEnd completes a split collective write.
+func (f *File) WriteAllEnd(q *nbio.Request) { q.Wait() }
+
+// ReadAllBegin starts a split collective read; ReadAllEnd returns the data.
+func (f *File) ReadAllBegin(logOff, n int64) *nbio.Request {
+	tuning := f.tuneBegin()
+	f.ensurePlan()
+	if f.plan.Mode != ModeIntermediate {
+		f.subFile.SetView(f.view)
+	}
+	sub := f.subFile.ReadAllBegin(logOff, n)
+	out := new([]byte)
+	return nbio.Start(f.r, f.r.Now(), func() {
+		*out = f.subFile.ReadAllEnd(sub)
+		if tuning {
+			f.tuneEnd()
+		}
+		f.absorb()
+	}, nil, out)
+}
+
+// ReadAllEnd completes a split collective read and returns the data.
+func (f *File) ReadAllEnd(q *nbio.Request) []byte {
+	q.Wait()
+	return *(q.Op().(*[]byte))
+}
+
+// Overlap returns this rank's accumulated split-collective overlap stats
+// (hidden vs. exposed I/O tail time) from the current subgroup file.
+func (f *File) Overlap() mpiio.OverlapStats {
+	if f.subFile == nil {
+		return mpiio.OverlapStats{}
+	}
+	return f.subFile.Overlap()
 }
 
 // tuneBegin reports whether this call is an AutoTune measurement and, if

@@ -1,0 +1,85 @@
+package experiments
+
+// Overlap experiments: split collectives against the collective wall.
+// ROMIO's split collectives (MPI_File_write_all_begin/end) are the other
+// lever besides partitioning: the application computes between Begin and
+// End while the simulator's progress engine retires the in-flight two-phase
+// rounds in the background. The sweep measures blocking vs. split, baseline
+// ext2ph vs. ParColl, across compute/IO ratios — healthy and under a fault
+// plan — quantifying how much I/O tail the overlap hides and how the two
+// mechanisms compose (partitioning confines stragglers; overlap hides what
+// remains).
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/workload"
+)
+
+// OverlapPoint is one compute/IO ratio's comparison of blocking and split
+// collectives under both protocols.
+type OverlapPoint struct {
+	Scenario string
+	Ratio    float64 // per-step compute seconds / per-step blocking I/O seconds
+	Steps    int
+
+	BlockExt2ph  float64 // elapsed seconds, blocking, groups=1
+	SplitExt2ph  float64 // elapsed seconds, split, groups=1
+	BlockParColl float64 // elapsed seconds, blocking, ParColl groups
+	SplitParColl float64 // elapsed seconds, split, ParColl groups
+
+	HiddenExt2ph  float64 // hidden fraction of the split ext2ph run's I/O tail
+	HiddenParColl float64 // hidden fraction of the split ParColl run's I/O tail
+}
+
+// SplitGain returns how much elapsed time the split ParColl variant saved
+// over blocking ParColl, in seconds.
+func (o OverlapPoint) SplitGain() float64 { return o.BlockParColl - o.SplitParColl }
+
+// overlapRun executes one multi-step tile write in a fresh environment.
+func (p Preset) overlapRun(nprocs, groups, steps int, compute float64, split bool, plan *fault.Plan) workload.Result {
+	env := p.envPlan(p.TileScale, core.Options{NumGroups: groups}, plan)
+	w := p.Tile
+	w.Steps = steps
+	w.Compute = compute
+	w.Split = split
+	var res workload.Result
+	mpi.RunPlan(nprocs, p.Cluster, p.Seed, plan, func(r *mpi.Rank) {
+		out := w.Write(r, env, "tile")
+		if r.WorldRank() == 0 {
+			res = out
+		}
+	})
+	return res
+}
+
+// OverlapSweep measures the multi-step tile write at each compute/IO ratio,
+// in four variants per point: {blocking, split} x {ext2ph, ParColl-groups}.
+// The per-step compute is ratio times the per-step elapsed time of a
+// healthy blocking ext2ph run with no compute (the I/O reference), so
+// ratio 1 means the application computes about as long as one dump takes.
+// plan may be nil for healthy runs; the reference is always healthy, so a
+// scenario's degradation is measured against the same compute budget.
+func (p Preset) OverlapSweep(nprocs, groups, steps int, ratios []float64, plan *fault.Plan) []OverlapPoint {
+	ref := p.overlapRun(nprocs, 1, steps, 0, false, nil).Elapsed / float64(steps)
+	name := fault.Healthy
+	if plan != nil {
+		name = plan.Name
+	}
+	out := make([]OverlapPoint, 0, len(ratios))
+	for _, ratio := range ratios {
+		c := ratio * ref
+		pt := OverlapPoint{Scenario: name, Ratio: ratio, Steps: steps}
+		pt.BlockExt2ph = p.overlapRun(nprocs, 1, steps, c, false, plan).Elapsed
+		se := p.overlapRun(nprocs, 1, steps, c, true, plan)
+		pt.SplitExt2ph = se.Elapsed
+		pt.HiddenExt2ph = se.Overlap.HiddenFrac()
+		pt.BlockParColl = p.overlapRun(nprocs, groups, steps, c, false, plan).Elapsed
+		sp := p.overlapRun(nprocs, groups, steps, c, true, plan)
+		pt.SplitParColl = sp.Elapsed
+		pt.HiddenParColl = sp.Overlap.HiddenFrac()
+		out = append(out, pt)
+	}
+	return out
+}

@@ -334,6 +334,81 @@ func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
 	f.fs.maybeTrim(r)
 }
 
+// WriteAtAsync books the same NIC/OST resources as WriteAt — identical
+// sequence, identical RNG draws — and stores the data immediately, but
+// instead of charging the rank's clock it returns the virtual completion
+// time. The caller (the nonblocking layer) decides when and how much of
+// that tail to expose via ChargeIO; data is durable the moment this
+// returns, so `data` may be reused.
+func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
+	if len(data) == 0 {
+		return r.Now()
+	}
+	if off < 0 {
+		panic("lustre: negative offset")
+	}
+	cl := r.W.Cluster
+	cfg := f.fs.cfg
+	r.P.Sync()
+	now := r.Now()
+	tx := cl.TxNIC(r.WorldRank())
+	lat := cl.Config().Latency
+	nicBW := cl.Config().NICBandwidth
+	var done float64
+	f.chunks(off, int64(len(data)), func(o, l, unit int64) {
+		virt := float64(l) * cfg.CostScale
+		_, txEnd := tx.Acquire(now, virt/nicBW)
+		ost := f.ostIndexFor(unit)
+		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
+		_, ostEnd := f.fs.osts[ost].Acquire(txEnd+lat, svc)
+		if fin := ostEnd + lat; fin > done {
+			done = fin
+		}
+	})
+	f.obj.store(off, data)
+	f.fs.maybeTrim(r)
+	if done < now {
+		done = now
+	}
+	return done
+}
+
+// ReadAtAsync books the same resources as ReadAt and returns the data plus
+// the virtual completion time instead of charging the clock. The bytes are
+// the file's contents at issue time (the store is immediate, so ordering
+// with preceding writes on the same proc is preserved).
+func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
+	if n <= 0 {
+		return nil, r.Now()
+	}
+	if off < 0 {
+		panic("lustre: negative offset")
+	}
+	cl := r.W.Cluster
+	cfg := f.fs.cfg
+	r.P.Sync()
+	now := r.Now()
+	rx := cl.RxNIC(r.WorldRank())
+	lat := cl.Config().Latency
+	nicBW := cl.Config().NICBandwidth
+	var done float64
+	f.chunks(off, n, func(o, l, unit int64) {
+		virt := float64(l) * cfg.CostScale
+		ost := f.ostIndexFor(unit)
+		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
+		_, ostEnd := f.fs.osts[ost].Acquire(now+lat, svc)
+		_, rxEnd := rx.Acquire(ostEnd+lat, virt/nicBW)
+		if rxEnd > done {
+			done = rxEnd
+		}
+	})
+	f.fs.maybeTrim(r)
+	if done < now {
+		done = now
+	}
+	return f.obj.load(off, n), done
+}
+
 // ReadAt reads n bytes from off; unwritten bytes read as zero. Time is
 // charged like WriteAt, with the data crossing the receive NIC.
 func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {

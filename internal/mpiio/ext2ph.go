@@ -226,101 +226,191 @@ func (f *File) dataTag(round int) int {
 
 // WriteAtAll is a collective write: all communicator members must call it.
 // logOff and data are interpreted through each rank's file view.
+//
+// The round loop is assembled from the same resumable phase methods the
+// split-collective path (split.go) pipelines; run back to back they perform
+// the statements of the original monolithic loop in the original order, so
+// blocking-mode results are bit-identical.
 func (f *File) WriteAtAll(logOff int64, data []byte) {
+	s := f.beginWrite(logOff, data)
+	for round := 0; round < s.p.ntimes; round++ {
+		s.syncRound(round)
+		s.exchangeRound(round)
+		s.ioRound(round)
+	}
+	perf.PutBuf(s.buf)
+	f.absorbProf()
+}
+
+// wstate is the resumable per-call state of one collective write: the plan,
+// the collective window buffer, and the round-loop scratch, split out so the
+// blocking loop and the split-collective pipeline share one implementation.
+type wstate struct {
+	f      *File
+	data   []byte
+	p      *plan
+	buf    []byte // current round's staging buffer (split mode swaps it)
+	isAgg  bool
+	cursor []streamCursor // per-aggregator cursor into my request stream
+
+	want     []int          // want[src] = bytes I (as aggregator) expect this round
+	owe      []int          // owe[cr] = bytes aggregator cr expects from me
+	winClips [][]clip       // per source; backing arrays reused across rounds
+	extents  []datatype.Segment
+
+	tag     int   // current round's user tag
+	w0, w1  int64 // current round's window
+	nActive int   // sources sending to me this round
+}
+
+// beginWrite runs protocol steps 1–3 and allocates the round-loop state.
+// The collective window buffer and the scratch are reused across all
+// rounds; the window buffer comes from the arena (lustre copies written
+// bytes into its page store, so nothing retains slices of buf past the
+// call).
+func (f *File) beginWrite(logOff int64, data []byte) *wstate {
 	f.seq++
-	r, comm := f.r, f.comm
 	segs := f.view.Map(logOff, int64(len(data)))
 	p := f.buildPlan(segs)
-	// The collective window buffer and the round-loop scratch below are
-	// reused across all rounds; the window buffer comes from the arena
-	// (lustre copies written bytes into its page store, so nothing retains
-	// slices of buf past the call).
-	buf := perf.GetBuf(int(p.cb))
-	isAgg := f.isAggregator()
-	// Per-aggregator cursor into my request stream (offset order).
-	cursor := make([]streamCursor, len(f.aggs))
-	want := make([]int, comm.Size())
-	owe := make([]int, comm.Size())         // owe[cr] = bytes aggregator cr expects from me
-	winClips := make([][]clip, comm.Size()) // per source; backing arrays reused
-	var extents []datatype.Segment
-	for round := 0; round < p.ntimes; round++ {
-		tag := f.dataTag(round)
-		f.roundStall()
-		// The aggregator announces how much it expects from each source
-		// this round; the dense alltoall is the global synchronization
-		// point that tells every process its send obligation. [sync]
-		clear(want)
-		nActive := 0
-		var w0, w1 int64
-		if isAgg {
-			w0, w1 = p.window(round)
-			for src, cl := range p.others {
-				c := clipWindowInto(winClips[src][:0], cl, w0, w1)
-				winClips[src] = c
-				if n := clipBytes(c); n > 0 {
-					want[src] = int(n)
-					nActive++
-				}
-			}
-		}
-		old := r.SetClass(mpi.ClassSync)
-		comm.AlltoallIntsInto(owe, want)
-		r.SetClass(old)
+	return &wstate{
+		f:        f,
+		data:     data,
+		p:        p,
+		buf:      perf.GetBuf(int(p.cb)),
+		isAgg:    f.isAggregator(),
+		cursor:   make([]streamCursor, len(f.aggs)),
+		want:     make([]int, f.comm.Size()),
+		owe:      make([]int, f.comm.Size()),
+		winClips: make([][]clip, f.comm.Size()),
+	}
+}
 
-		// Data exchange. [exchange]
-		old = r.SetClass(mpi.ClassExchange)
-		for a, cr := range f.aggs {
-			if n := owe[cr]; n > 0 {
-				payload := cursor[a].take(p.myReq[a], data, int64(n))
-				comm.SendWeighted(cr, tag, payload, scaled(len(payload), f.scale))
+// syncRound is the round's global synchronization point: the aggregator
+// announces how much it expects from each source this round; the dense
+// alltoall tells every process its send obligation. [sync]
+func (s *wstate) syncRound(round int) {
+	f, r, comm := s.f, s.f.r, s.f.comm
+	s.tag = f.dataTag(round)
+	f.roundStall()
+	clear(s.want)
+	s.nActive = 0
+	s.w0, s.w1 = 0, 0
+	if s.isAgg {
+		s.w0, s.w1 = s.p.window(round)
+		for src, cl := range s.p.others {
+			c := clipWindowInto(s.winClips[src][:0], cl, s.w0, s.w1)
+			s.winClips[src] = c
+			if n := clipBytes(c); n > 0 {
+				s.want[src] = int(n)
+				s.nActive++
 			}
-		}
-		if isAgg {
-			extents = extents[:0]
-			for i := 0; i < nActive; i++ {
-				msg, st := comm.Recv(mpi.AnySource, tag)
-				cl := winClips[st.Source]
-				if clipBytes(cl) != int64(len(msg)) {
-					panic(fmt.Sprintf("mpiio: round %d expected %d bytes from %d, got %d",
-						round, clipBytes(cl), st.Source, len(msg)))
-				}
-				var pos int64
-				for _, c := range cl {
-					copy(buf[c.off-w0:c.off-w0+c.ln], msg[pos:pos+c.ln])
-					extents = append(extents, datatype.Segment{Off: c.off, Len: c.ln})
-					pos += c.ln
-				}
-				perf.PutBuf(msg) // arena-built by the sender's take
-			}
-			r.SetClass(old)
-			// File I/O: write the coalesced dirty extents, translating
-			// logical extents to physical segments when an intermediate
-			// view is active. [io]
-			if f.xlate == nil {
-				for _, ext := range mergeOverlapsInPlace(extents) {
-					f.lf.WriteAt(r, ext.Off, buf[ext.Off-w0:ext.Off-w0+ext.Len])
-				}
-			} else {
-				var chunks []physChunk
-				for _, ext := range mergeOverlapsInPlace(extents) {
-					pos := ext.Off - w0
-					for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
-						chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
-						pos += ph.Len
-					}
-				}
-				// Physically adjacent chunks (often from neighboring
-				// processes' joined segments) merge into single writes.
-				for _, run := range mergeChunks(chunks) {
-					f.lf.WriteAt(r, run.off, run.data)
-				}
-			}
-		} else {
-			r.SetClass(old)
 		}
 	}
-	perf.PutBuf(buf)
-	f.absorbProf()
+	t0 := r.Now()
+	old := r.SetClass(mpi.ClassSync)
+	comm.AlltoallIntsInto(s.owe, s.want)
+	r.SetClass(old)
+	f.traceRound("round-sync", t0, r.Now(), round)
+}
+
+// exchangeRound sends this rank's obligations and, on aggregators, receives
+// and scatters the round's incoming data into the staging buffer.
+// [exchange]
+func (s *wstate) exchangeRound(round int) {
+	f, r, comm := s.f, s.f.r, s.f.comm
+	t0 := r.Now()
+	old := r.SetClass(mpi.ClassExchange)
+	for a, cr := range f.aggs {
+		if n := s.owe[cr]; n > 0 {
+			payload := s.cursor[a].take(s.p.myReq[a], s.data, int64(n))
+			comm.SendWeighted(cr, s.tag, payload, scaled(len(payload), f.scale))
+		}
+	}
+	if s.isAgg {
+		s.extents = s.extents[:0]
+		for i := 0; i < s.nActive; i++ {
+			msg, st := comm.Recv(mpi.AnySource, s.tag)
+			cl := s.winClips[st.Source]
+			if clipBytes(cl) != int64(len(msg)) {
+				panic(fmt.Sprintf("mpiio: round %d expected %d bytes from %d, got %d",
+					round, clipBytes(cl), st.Source, len(msg)))
+			}
+			var pos int64
+			for _, c := range cl {
+				copy(s.buf[c.off-s.w0:c.off-s.w0+c.ln], msg[pos:pos+c.ln])
+				s.extents = append(s.extents, datatype.Segment{Off: c.off, Len: c.ln})
+				pos += c.ln
+			}
+			perf.PutBuf(msg) // arena-built by the sender's take
+		}
+	}
+	r.SetClass(old)
+	f.traceRound("round-exchange", t0, r.Now(), round)
+}
+
+// ioRound writes the coalesced dirty extents, translating logical extents
+// to physical segments when an intermediate view is active, and charges the
+// completion wait. [io]
+func (s *wstate) ioRound(round int) {
+	if !s.isAgg {
+		return
+	}
+	f, r := s.f, s.f.r
+	t0 := r.Now()
+	if f.xlate == nil {
+		for _, ext := range mergeOverlapsInPlace(s.extents) {
+			f.lf.WriteAt(r, ext.Off, s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len])
+		}
+	} else {
+		var chunks []physChunk
+		for _, ext := range mergeOverlapsInPlace(s.extents) {
+			pos := ext.Off - s.w0
+			for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+				chunks = append(chunks, physChunk{off: ph.Off, data: s.buf[pos : pos+ph.Len]})
+				pos += ph.Len
+			}
+		}
+		// Physically adjacent chunks (often from neighboring processes'
+		// joined segments) merge into single writes.
+		for _, run := range mergeChunks(chunks) {
+			f.lf.WriteAt(r, run.off, run.data)
+		}
+	}
+	f.traceRound("round-io", t0, r.Now(), round)
+}
+
+// ioRoundAsync is ioRound's nonblocking twin: the same writes issued
+// through lustre's async path, booking identical NIC/OST resources but
+// charging nothing. It returns the virtual completion time of the slowest
+// write; the split-collective pipeline accounts the tail (hidden or
+// exposed) when the staging buffer is next reused or at WriteAllEnd.
+func (s *wstate) ioRoundAsync(round int) float64 {
+	f, r := s.f, s.f.r
+	t0 := r.Now()
+	done := t0
+	if f.xlate == nil {
+		for _, ext := range mergeOverlapsInPlace(s.extents) {
+			if d := f.lf.WriteAtAsync(r, ext.Off, s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len]); d > done {
+				done = d
+			}
+		}
+	} else {
+		var chunks []physChunk
+		for _, ext := range mergeOverlapsInPlace(s.extents) {
+			pos := ext.Off - s.w0
+			for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+				chunks = append(chunks, physChunk{off: ph.Off, data: s.buf[pos : pos+ph.Len]})
+				pos += ph.Len
+			}
+		}
+		for _, run := range mergeChunks(chunks) {
+			if d := f.lf.WriteAtAsync(r, run.off, run.data); d > done {
+				done = d
+			}
+		}
+	}
+	f.traceRound("round-io", t0, done, round)
+	return done
 }
 
 // streamCursor walks a rank's per-aggregator request list in offset order,
@@ -357,105 +447,234 @@ func (c *streamCursor) take(req []clip, data []byte, n int64) []byte {
 }
 
 // ReadAtAll is a collective read of n logical bytes at logOff through each
-// rank's view. All communicator members must call it.
+// rank's view. All communicator members must call it. Like WriteAtAll, the
+// loop is assembled from the phase methods split.go pipelines.
 func (f *File) ReadAtAll(logOff, n int64) []byte {
+	s := f.beginRead(logOff, n)
+	for round := 0; round < s.p.ntimes; round++ {
+		s.syncRound(round)
+		s.ioRound(round)
+		s.serveRound(round)
+		s.recvRound(round)
+	}
+	perf.PutBuf(s.buf)
+	f.absorbProf()
+	return s.out
+}
+
+// rstate mirrors wstate for collective reads.
+type rstate struct {
+	f      *File
+	out    []byte
+	p      *plan
+	buf    []byte
+	isAgg  bool
+	cursor []streamCursor
+
+	give     []int // give[src] = bytes I (as aggregator) deliver this round
+	due      []int // due[cr] = bytes aggregator cr will send me
+	winClips [][]clip
+	extents  []datatype.Segment
+
+	tag    int
+	w0, w1 int64
+}
+
+func (f *File) beginRead(logOff, n int64) *rstate {
 	f.seq++
-	r, comm := f.r, f.comm
 	segs := f.view.Map(logOff, n)
 	p := f.buildPlan(segs)
-	out := make([]byte, n)
-	buf := perf.GetBuf(int(p.cb)) // reused across rounds, released below
-	isAgg := f.isAggregator()
-	cursor := make([]streamCursor, len(f.aggs))
-	give := make([]int, comm.Size())
-	due := make([]int, comm.Size())         // due[cr] = bytes aggregator cr will send me
-	winClips := make([][]clip, comm.Size()) // per source; backing arrays reused
-	var extents []datatype.Segment
-	for round := 0; round < p.ntimes; round++ {
-		tag := f.dataTag(round)
-		f.roundStall()
-		// The aggregator announces how much it will deliver to each
-		// requester this round. [sync]
-		clear(give)
-		var w0, w1 int64
-		if isAgg {
-			w0, w1 = p.window(round)
-			for src, cl := range p.others {
-				c := clipWindowInto(winClips[src][:0], cl, w0, w1)
-				winClips[src] = c
-				if n := clipBytes(c); n > 0 {
-					give[src] = int(n)
-				}
-			}
-		}
-		old := r.SetClass(mpi.ClassSync)
-		comm.AlltoallIntsInto(due, give)
-		r.SetClass(old)
+	return &rstate{
+		f:        f,
+		out:      make([]byte, n),
+		p:        p,
+		buf:      perf.GetBuf(int(p.cb)), // reused across rounds
+		isAgg:    f.isAggregator(),
+		cursor:   make([]streamCursor, len(f.aggs)),
+		give:     make([]int, f.comm.Size()),
+		due:      make([]int, f.comm.Size()),
+		winClips: make([][]clip, f.comm.Size()),
+	}
+}
 
-		if isAgg {
-			// Read the union of requested extents. [io]
-			extents = extents[:0]
-			for src := range give {
-				if give[src] == 0 {
-					continue
-				}
-				for _, c := range winClips[src] {
-					extents = append(extents, datatype.Segment{Off: c.off, Len: c.ln})
-				}
+// syncRound: the aggregator announces how much it will deliver to each
+// requester this round. [sync]
+func (s *rstate) syncRound(round int) {
+	f, r, comm := s.f, s.f.r, s.f.comm
+	s.tag = f.dataTag(round)
+	f.roundStall()
+	clear(s.give)
+	s.w0, s.w1 = 0, 0
+	if s.isAgg {
+		s.w0, s.w1 = s.p.window(round)
+		for src, cl := range s.p.others {
+			c := clipWindowInto(s.winClips[src][:0], cl, s.w0, s.w1)
+			s.winClips[src] = c
+			if n := clipBytes(c); n > 0 {
+				s.give[src] = int(n)
 			}
-			if f.xlate == nil {
-				for _, ext := range mergeOverlapsInPlace(extents) {
-					copy(buf[ext.Off-w0:ext.Off-w0+ext.Len], f.lf.ReadAt(r, ext.Off, ext.Len))
-				}
-			} else {
-				// Gather the physical chunks backing the logical extents,
-				// read merged runs once, and scatter into the logical buf.
-				var chunks []physChunk
-				for _, ext := range mergeOverlapsInPlace(extents) {
-					pos := ext.Off - w0
-					for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
-						chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
-						pos += ph.Len
-					}
-				}
-				for _, run := range mergeRuns(chunks) {
-					got := f.lf.ReadAt(r, run.off, run.n)
-					for _, c := range run.parts {
-						copy(c.data, got[c.off-run.off:c.off-run.off+int64(len(c.data))])
-					}
-				}
-			}
-			// Serve each requester. [exchange]
-			old = r.SetClass(mpi.ClassExchange)
-			for src := 0; src < comm.Size(); src++ {
-				if give[src] == 0 {
-					continue
-				}
-				cl := winClips[src]
-				payload := perf.GetBuf(int(clipBytes(cl)))[:0]
-				for _, c := range cl {
-					payload = append(payload, buf[c.off-w0:c.off-w0+c.ln]...)
-				}
-				comm.SendWeighted(src, tag, payload, scaled(len(payload), f.scale))
-			}
-			r.SetClass(old)
 		}
-		// Receive my pieces and scatter them into the output buffer via
-		// the request-stream cursor. [exchange]
-		old = r.SetClass(mpi.ClassExchange)
-		for a, cr := range f.aggs {
-			if due[cr] == 0 {
+	}
+	t0 := r.Now()
+	old := r.SetClass(mpi.ClassSync)
+	comm.AlltoallIntsInto(s.due, s.give)
+	r.SetClass(old)
+	f.traceRound("round-sync", t0, r.Now(), round)
+}
+
+// windowExtents computes the merged extents every source requests inside
+// the given round's window — purely from the plan, with no communication.
+// That locality is what lets the split-collective pipeline prefetch round
+// k+1's window before round k's alltoall confirms it: the confirmation is
+// redundant for the aggregator's own read set.
+func (s *rstate) windowExtents(round int, scratch []datatype.Segment) []datatype.Segment {
+	w0, w1 := s.p.window(round)
+	if w0 >= w1 {
+		return nil
+	}
+	exts := scratch[:0]
+	for _, cl := range s.p.others {
+		for _, c := range cl {
+			if c.off+c.ln <= w0 || c.off >= w1 {
 				continue
 			}
-			msg, _ := comm.Recv(cr, tag)
-			cursor[a].place(p.myReq[a], out, msg)
-			perf.PutBuf(msg) // arena-built by the serving aggregator
+			o, e := c.off, c.off+c.ln
+			if o < w0 {
+				o = w0
+			}
+			if e > w1 {
+				e = w1
+			}
+			exts = append(exts, datatype.Segment{Off: o, Len: e - o})
 		}
-		r.SetClass(old)
 	}
-	perf.PutBuf(buf)
-	f.absorbProf()
-	return out
+	return mergeOverlapsInPlace(exts)
+}
+
+// ioRound reads the union of requested extents into the staging buffer.
+// [io]
+func (s *rstate) ioRound(round int) {
+	if !s.isAgg {
+		return
+	}
+	f, r := s.f, s.f.r
+	t0 := r.Now()
+	s.extents = s.extents[:0]
+	for src := range s.give {
+		if s.give[src] == 0 {
+			continue
+		}
+		for _, c := range s.winClips[src] {
+			s.extents = append(s.extents, datatype.Segment{Off: c.off, Len: c.ln})
+		}
+	}
+	if f.xlate == nil {
+		for _, ext := range mergeOverlapsInPlace(s.extents) {
+			copy(s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len], f.lf.ReadAt(r, ext.Off, ext.Len))
+		}
+	} else {
+		// Gather the physical chunks backing the logical extents, read
+		// merged runs once, and scatter into the logical buf.
+		var chunks []physChunk
+		for _, ext := range mergeOverlapsInPlace(s.extents) {
+			pos := ext.Off - s.w0
+			for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+				chunks = append(chunks, physChunk{off: ph.Off, data: s.buf[pos : pos+ph.Len]})
+				pos += ph.Len
+			}
+		}
+		for _, run := range mergeRuns(chunks) {
+			got := f.lf.ReadAt(r, run.off, run.n)
+			for _, c := range run.parts {
+				copy(c.data, got[c.off-run.off:c.off-run.off+int64(len(c.data))])
+			}
+		}
+	}
+	f.traceRound("round-io", t0, r.Now(), round)
+}
+
+// ioRoundAsyncInto is the prefetching twin of ioRound: it reads the given
+// round's window — computed locally via windowExtents, so it can run
+// before that round's alltoall — into buf through lustre's async path and
+// returns the virtual completion time without charging it. buf's window
+// origin is the target round's own w0.
+func (s *rstate) ioRoundAsyncInto(buf []byte, round int) float64 {
+	f, r := s.f, s.f.r
+	t0 := r.Now()
+	done := t0
+	w0, _ := s.p.window(round)
+	exts := s.windowExtents(round, nil)
+	if f.xlate == nil {
+		for _, ext := range exts {
+			got, d := f.lf.ReadAtAsync(r, ext.Off, ext.Len)
+			copy(buf[ext.Off-w0:ext.Off-w0+ext.Len], got)
+			if d > done {
+				done = d
+			}
+		}
+	} else {
+		var chunks []physChunk
+		for _, ext := range exts {
+			pos := ext.Off - w0
+			for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+				chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
+				pos += ph.Len
+			}
+		}
+		for _, run := range mergeRuns(chunks) {
+			got, d := f.lf.ReadAtAsync(r, run.off, run.n)
+			for _, c := range run.parts {
+				copy(c.data, got[c.off-run.off:c.off-run.off+int64(len(c.data))])
+			}
+			if d > done {
+				done = d
+			}
+		}
+	}
+	f.traceRound("round-io", t0, done, round)
+	return done
+}
+
+// serveRound sends each requester its pieces of the staging buffer.
+// [exchange]
+func (s *rstate) serveRound(round int) {
+	if !s.isAgg {
+		return
+	}
+	f, r, comm := s.f, s.f.r, s.f.comm
+	t0 := r.Now()
+	old := r.SetClass(mpi.ClassExchange)
+	for src := 0; src < comm.Size(); src++ {
+		if s.give[src] == 0 {
+			continue
+		}
+		cl := s.winClips[src]
+		payload := perf.GetBuf(int(clipBytes(cl)))[:0]
+		for _, c := range cl {
+			payload = append(payload, s.buf[c.off-s.w0:c.off-s.w0+c.ln]...)
+		}
+		comm.SendWeighted(src, s.tag, payload, scaled(len(payload), f.scale))
+	}
+	r.SetClass(old)
+	f.traceRound("round-exchange", t0, r.Now(), round)
+}
+
+// recvRound receives my pieces and scatters them into the output buffer
+// via the request-stream cursor. [exchange]
+func (s *rstate) recvRound(round int) {
+	f, r, comm := s.f, s.f.r, s.f.comm
+	t0 := r.Now()
+	old := r.SetClass(mpi.ClassExchange)
+	for a, cr := range f.aggs {
+		if s.due[cr] == 0 {
+			continue
+		}
+		msg, _ := comm.Recv(cr, s.tag)
+		s.cursor[a].place(s.p.myReq[a], s.out, msg)
+		perf.PutBuf(msg) // arena-built by the serving aggregator
+	}
+	r.SetClass(old)
+	f.traceRound("round-exchange", t0, r.Now(), round)
 }
 
 // place scatters msg into out following the request stream, the inverse of

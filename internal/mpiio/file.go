@@ -14,11 +14,13 @@ package mpiio
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/datatype"
 	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // Hints configures collective I/O, mirroring the MPI-IO hints the paper
@@ -48,6 +50,12 @@ type Hints struct {
 	// fault scenarios reach the protocol layer. Stalls draw from the
 	// rank's proc-local seeded RNG, so runs stay deterministic.
 	Fault *fault.Plan
+	// Trace, when non-nil, records a span per protocol round and phase
+	// ("round-sync", "round-exchange", "round-io") plus the split-collective
+	// overlap spans ("hidden", "exposed"). The recorder only observes
+	// virtual clocks — never advances them and draws no randomness — so a
+	// traced run is bit-identical to an untraced one.
+	Trace *trace.Recorder
 }
 
 func (h Hints) cb() int64 {
@@ -97,6 +105,44 @@ type File struct {
 	xlate Translator
 	prof  Breakdown
 	prev  [mpi.NumClasses]float64
+	ovl   OverlapStats
+}
+
+// OverlapStats accounts the I/O tails of split-collective operations on
+// this rank: Hidden is tail time that elapsed while the rank was doing
+// other work (compute, the next round's exchange); Exposed is tail time the
+// rank had to wait out (charged to ClassIO). For a given workload,
+// Hidden + Exposed equals the I/O wait the blocking protocol would have
+// charged — the split is what the overlap moved off the critical path.
+type OverlapStats struct {
+	Hidden, Exposed float64
+}
+
+// HiddenFrac is the fraction of the I/O tail that overlap hid.
+func (o OverlapStats) HiddenFrac() float64 {
+	t := o.Hidden + o.Exposed
+	if t == 0 {
+		return 0
+	}
+	return o.Hidden / t
+}
+
+// Add accumulates another rank's stats (for global aggregation).
+func (o *OverlapStats) Add(x OverlapStats) {
+	o.Hidden += x.Hidden
+	o.Exposed += x.Exposed
+}
+
+// Overlap returns the rank's accumulated split-collective overlap stats.
+func (f *File) Overlap() OverlapStats { return f.ovl }
+
+// traceRound emits one protocol-round span when tracing is enabled. end may
+// lie in the virtual future for async I/O spans.
+func (f *File) traceRound(kind string, start, end float64, round int) {
+	if f.hints.Trace == nil {
+		return
+	}
+	f.hints.Trace.Add(f.r.WorldRank(), kind, start, end, "round "+strconv.Itoa(round))
 }
 
 // SetTranslator installs a logical-to-physical translator used by the

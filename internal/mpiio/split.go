@@ -1,0 +1,146 @@
+package mpiio
+
+import (
+	"repro/internal/nbio"
+	"repro/internal/perf"
+)
+
+// Split collectives: MPI_File_write_all_begin/end and the read twins,
+// implemented as a pipeline over the resumable round state of ext2ph.go.
+//
+// Writes: the aggregator stages each round in one of two arena buffers and
+// issues the round's OST writes asynchronously, so round k+1's alltoall and
+// data exchange run while round k's write is still in flight. Before a
+// staging buffer is refilled, the write that last used it is waited for —
+// any still-outstanding tail is exposed and charged, the rest was hidden by
+// the intervening rounds. Up to two writes are still in flight when Begin
+// returns; application compute between Begin and End lets the sim progress
+// engine retire them in the background, and WriteAllEnd charges only what
+// remains.
+//
+// Reads run the pipeline in the other direction: an aggregator's window
+// extents for round k+1 are computable locally from the plan (see
+// rstate.windowExtents), so the prefetch into the idle staging buffer is
+// issued before round k is served. Every rank's final-round receive is
+// deferred into ReadAllEnd, so compute between Begin and End also hides the
+// last serve's delivery latency.
+//
+// At most one split operation may be outstanding per file: End must be
+// called before the next collective on the same handle (the per-call tag
+// sequence assumes it, as does the shared round state).
+
+// track accumulates a tail request's hidden/exposed split into the file's
+// overlap stats (and trace) whenever — and however — it completes.
+func (f *File) track(q *nbio.Request) *nbio.Request {
+	q.OnComplete(func(q *nbio.Request) {
+		f.ovl.Hidden += q.Hidden()
+		f.ovl.Exposed += q.Exposed()
+		if tr := f.hints.Trace; tr != nil {
+			if h := q.Hidden(); h > 0 {
+				tr.Add(f.r.WorldRank(), "hidden", q.Issued(), q.Issued()+h, "")
+			}
+			if e := q.Exposed(); e > 0 {
+				tr.Add(f.r.WorldRank(), "exposed", q.At()-e, q.At(), "")
+			}
+		}
+	})
+	return q
+}
+
+// tailReq wraps an async completion time in a tracked request; a tail that
+// is already due needs no bookkeeping and stays nil.
+func (f *File) tailReq(done float64) *nbio.Request {
+	if done <= f.r.Now() {
+		return nil
+	}
+	return f.track(nbio.Start(f.r, done, nil, nil, nil))
+}
+
+// WriteAllBegin starts a split collective write. All communicator members
+// must call it and later complete it with WriteAllEnd; no other collective
+// may run on this file in between.
+func (f *File) WriteAllBegin(logOff int64, data []byte) *nbio.Request {
+	r := f.r
+	s := f.beginWrite(logOff, data)
+	stage := [2][]byte{s.buf, perf.GetBuf(int(s.p.cb))}
+	ioreq := make([]*nbio.Request, 2)
+	for round := 0; round < s.p.ntimes; round++ {
+		s.syncRound(round)
+		b := round % 2
+		if ioreq[b] != nil {
+			// The write that last used this staging buffer must finish
+			// before we refill it; whatever tail the last two rounds'
+			// sync/exchange did not absorb is exposed here.
+			ioreq[b].Wait()
+			ioreq[b] = nil
+		}
+		s.buf = stage[b]
+		s.exchangeRound(round)
+		if s.isAgg {
+			ioreq[b] = f.tailReq(s.ioRoundAsync(round))
+		}
+	}
+	return nbio.Start(r, r.Now(), func() {
+		nbio.Waitall(ioreq...)
+		f.absorbProf()
+	}, func() {
+		perf.PutBuf(stage[0])
+		perf.PutBuf(stage[1])
+	}, s)
+}
+
+// WriteAllEnd completes a split collective write, waiting out whatever I/O
+// tail the work since WriteAllBegin did not hide.
+func (f *File) WriteAllEnd(q *nbio.Request) { q.Wait() }
+
+// ReadAllBegin starts a split collective read of n view-logical bytes at
+// logOff. Complete it with ReadAllEnd to obtain the data.
+func (f *File) ReadAllBegin(logOff, n int64) *nbio.Request {
+	r := f.r
+	s := f.beginRead(logOff, n)
+	stage := [2][]byte{s.buf, perf.GetBuf(int(s.p.cb))}
+	ioreq := make([]*nbio.Request, 2)
+	nt := s.p.ntimes
+	for round := 0; round < nt; round++ {
+		s.syncRound(round)
+		b := round % 2
+		if s.isAgg {
+			if round == 0 {
+				ioreq[0] = f.tailReq(s.ioRoundAsyncInto(stage[0], 0))
+			}
+			if round+1 < nt {
+				// Prefetch the next window into the idle buffer before
+				// serving this one: the read overlaps this round's serve
+				// and receive and the next round's alltoall.
+				ioreq[1-b] = f.tailReq(s.ioRoundAsyncInto(stage[1-b], round+1))
+			}
+			if ioreq[b] != nil {
+				ioreq[b].Wait()
+				ioreq[b] = nil
+			}
+			s.buf = stage[b]
+			s.serveRound(round)
+		}
+		if round < nt-1 {
+			s.recvRound(round)
+		}
+	}
+	return nbio.Start(r, r.Now(), func() {
+		if nt > 0 {
+			// The final round's delivery was left pending so compute after
+			// Begin overlaps it; s.tag/s.due still hold that round's state.
+			s.recvRound(nt - 1)
+		}
+		nbio.Waitall(ioreq...)
+		f.absorbProf()
+	}, func() {
+		perf.PutBuf(stage[0])
+		perf.PutBuf(stage[1])
+	}, s)
+}
+
+// ReadAllEnd completes a split collective read and returns the data.
+func (f *File) ReadAllEnd(q *nbio.Request) []byte {
+	q.Wait()
+	return q.Op().(*rstate).out
+}

@@ -176,6 +176,9 @@ type Proc struct {
 	rng        *rand.Rand
 	blockedOn  blockKind // deadlock-report context (formatted lazily)
 	slow       float64   // multiplicative Advance slowdown (1 = healthy)
+	pend       pendHeap  // deferred completions ordered by (at, seq)
+	pendSeq    uint64
+	firing     bool // fireDue reentrancy guard
 }
 
 type recvSpec struct {
@@ -423,6 +426,7 @@ func (p *Proc) Advance(d float64) {
 		panic(fmt.Sprintf("sim: proc %d Advance(%g) negative", p.id, d))
 	}
 	p.now += d * p.slow
+	p.fireDue()
 }
 
 // AdvanceTo moves the clock forward to t; it is a no-op when t <= Now.
@@ -430,6 +434,7 @@ func (p *Proc) AdvanceTo(t float64) {
 	if t > p.now {
 		p.now = t
 	}
+	p.fireDue()
 }
 
 // yield parks the proc and returns control to the engine until resumed.
@@ -513,6 +518,7 @@ func (p *Proc) Recv(src, tag int) Message {
 			if m.Arrival > p.now {
 				p.now = m.Arrival
 			}
+			p.fireDue()
 			p.engine.stats.Recvs.Inc()
 			return m
 		}
@@ -535,6 +541,7 @@ func (p *Proc) TryRecv(src, tag int) (Message, bool) {
 	if m.Arrival > p.now {
 		p.now = m.Arrival
 	}
+	p.fireDue()
 	p.engine.stats.Recvs.Inc()
 	return m, true
 }

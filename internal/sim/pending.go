@@ -1,0 +1,158 @@
+package sim
+
+import "fmt"
+
+// Deferred completions: the progress engine behind nonblocking operations.
+//
+// A proc registers a completion callback with After(at, fn); the engine fires
+// it the first time the proc's virtual clock reaches `at`. Because procs run
+// cooperatively — the engine resumes exactly one at a time, always the one
+// with the smallest clock — the only moments a proc's clock can move are its
+// own Advance/AdvanceTo calls and the arrival alignment inside Recv. Those
+// call sites drain the proc's due-completion queue, so a pending operation
+// "progresses in the background" whenever the owning rank yields or burns
+// compute, without any real concurrency. Completions fire in (at,
+// registration-order) order, a pure function of the program and the seed, so
+// run-twice bit-identity is preserved (see DESIGN.md §9).
+//
+// Callbacks run on the owning proc's goroutine and must not advance the
+// clock, block, or send: they are bookkeeping hooks (marking a request done,
+// recording hidden time), not simulated work. A callback that needs to block
+// belongs in the explicit Wait path of the higher layer.
+
+type pendingState uint8
+
+const (
+	pendWaiting pendingState = iota
+	pendFired
+	pendCanceled
+)
+
+// Pending is a handle to one deferred completion.
+type Pending struct {
+	p     *Proc
+	at    float64
+	seq   uint64
+	fn    func()
+	state pendingState
+}
+
+// At returns the virtual time the completion is due.
+func (pd *Pending) At() float64 { return pd.at }
+
+// Fired reports whether the callback has run.
+func (pd *Pending) Fired() bool { return pd.state == pendFired }
+
+// Cancel withdraws a not-yet-fired completion; the callback will never run.
+// Canceling a fired completion is a no-op.
+func (pd *Pending) Cancel() {
+	if pd.state == pendWaiting {
+		pd.state = pendCanceled
+	}
+}
+
+// pendHeap is a binary min-heap of deferred completions keyed by (at, seq):
+// earliest due time first, registration order breaking ties.
+type pendHeap []*Pending
+
+func (h pendHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *pendHeap) push(pd *Pending) {
+	*h = append(*h, pd)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *pendHeap) pop() *Pending {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// After registers fn to fire when the proc's clock reaches at. If at is
+// already due, the callback still fires at the next progress point (an
+// Advance, AdvanceTo, Recv, or explicit Progress call), never inside After
+// itself — registration is side-effect free.
+func (p *Proc) After(at float64, fn func()) *Pending {
+	if fn == nil {
+		panic(fmt.Sprintf("sim: proc %d After with nil callback", p.id))
+	}
+	p.pendSeq++
+	pd := &Pending{p: p, at: at, seq: p.pendSeq, fn: fn}
+	p.pend.push(pd)
+	return pd
+}
+
+// Progress fires every due deferred completion (at <= Now), in (at, seq)
+// order. It never advances the clock.
+func (p *Proc) Progress() { p.fireDue() }
+
+// PendingOps reports the number of live (unfired, uncanceled) deferred
+// completions — diagnostics and tests.
+func (p *Proc) PendingOps() int {
+	n := 0
+	for _, pd := range p.pend {
+		if pd.state == pendWaiting {
+			n++
+		}
+	}
+	return n
+}
+
+// fireDue drains due completions. Called from every clock-advancing path;
+// the leading length check keeps the blocking hot paths free when no
+// nonblocking operation is in flight. Reentrancy (a callback that triggers
+// another progress point) is suppressed: the outer loop re-examines the heap
+// after every callback, so nothing is lost.
+func (p *Proc) fireDue() {
+	if len(p.pend) == 0 || p.firing {
+		return
+	}
+	p.firing = true
+	for len(p.pend) > 0 {
+		top := p.pend[0]
+		if top.state != pendWaiting {
+			p.pend.pop()
+			continue
+		}
+		if top.at > p.now {
+			break
+		}
+		p.pend.pop()
+		top.state = pendFired
+		top.fn()
+	}
+	p.firing = false
+}

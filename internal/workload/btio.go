@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
 )
 
 // BTIO models NAS BT-IO full mode (paper §5.3): the BT solver's 3D solution
@@ -17,6 +18,12 @@ type BTIO struct {
 	N     int64 // solution cube edge, in cells (must be divisible by k)
 	Elem  int64 // bytes per cell (BT stores 5 doubles: 40 bytes)
 	Steps int   // number of solution dumps
+	// Compute is seconds of per-rank solver time between dumps (the BT
+	// timesteps themselves); with Split set it runs between Begin and End
+	// so the dump's I/O tail is hidden behind it.
+	Compute float64
+	// Split uses split collectives (WriteAllBegin/End) for the dumps.
+	Split bool
 }
 
 // K returns the partitioning factor for nprocs (nprocs must be a square).
@@ -107,14 +114,31 @@ func (w BTIO) Write(r *mpi.Rank, env Env, name string) Result {
 	elapsed := measure(comm, func() {
 		for s := 0; s < w.Steps; s++ {
 			Fill(data, me, int64(s)*per)
-			f.WriteAtAll(int64(s)*per, data)
+			if w.Split {
+				q := f.WriteAllBegin(int64(s)*per, data)
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				f.WriteAllEnd(q)
+			} else {
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				f.WriteAtAll(int64(s)*per, data)
+			}
 		}
 	})
+	bd := f.Breakdown()
+	var ovl mpiio.OverlapStats
+	if w.Split {
+		ovl = GlobalOverlap(comm, f.Overlap())
+	}
 	return Result{
 		Elapsed:   elapsed,
 		VirtBytes: per * int64(comm.Size()) * int64(w.Steps) * scaleOf(env),
-		Breakdown: f.Breakdown(),
+		Breakdown: bd,
 		Plan:      f.LastPlan(),
+		Overlap:   ovl,
 	}
 }
 
@@ -127,13 +151,30 @@ func (w BTIO) Read(r *mpi.Rank, env Env, name string) Result {
 	per := w.DumpBytes(comm.Size())
 	elapsed := measure(comm, func() {
 		for s := 0; s < w.Steps; s++ {
-			f.ReadAtAll(int64(s)*per, per)
+			if w.Split {
+				q := f.ReadAllBegin(int64(s)*per, per)
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				f.ReadAllEnd(q)
+			} else {
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				f.ReadAtAll(int64(s)*per, per)
+			}
 		}
 	})
+	bd := f.Breakdown()
+	var ovl mpiio.OverlapStats
+	if w.Split {
+		ovl = GlobalOverlap(comm, f.Overlap())
+	}
 	return Result{
 		Elapsed:   elapsed,
 		VirtBytes: per * int64(comm.Size()) * int64(w.Steps) * scaleOf(env),
-		Breakdown: f.Breakdown(),
+		Breakdown: bd,
 		Plan:      f.LastPlan(),
+		Overlap:   ovl,
 	}
 }

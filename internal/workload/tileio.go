@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datatype"
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
 )
 
 // TileIO models the MPI-Tile-IO benchmark of the paper's §5.2: a dense 2D
@@ -16,6 +17,17 @@ import (
 type TileIO struct {
 	TileX, TileY int64 // tile size in elements
 	Elem         int64 // bytes per element
+	// Steps repeats the collective dump that many times (frames of an
+	// animation, checkpoints); zero or one means a single dump, matching
+	// the original benchmark.
+	Steps int
+	// Compute is seconds of per-rank computation between consecutive
+	// collectives — the work split collectives can hide I/O behind.
+	Compute float64
+	// Split switches the collective calls to split semantics
+	// (WriteAllBegin/End): the compute of each step runs between Begin and
+	// End, overlapping the in-flight rounds' I/O tails.
+	Split bool
 }
 
 // Grid factors nprocs into the most square nx >= ny arrangement (ny is the
@@ -55,14 +67,42 @@ func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 	f.SetView(w.View(me, comm.Size()))
 	data := make([]byte, w.TileBytes())
 	Fill(data, me, 0)
+	steps := w.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	per := w.TileBytes()
 	elapsed := measure(comm, func() {
-		f.WriteAtAll(0, data)
+		for s := 0; s < steps; s++ {
+			if s > 0 {
+				Fill(data, me, int64(s)*per)
+			}
+			off := int64(s) * per // frame s of the tiled view
+			if w.Split {
+				q := f.WriteAllBegin(off, data)
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				f.WriteAllEnd(q)
+			} else {
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				f.WriteAtAll(off, data)
+			}
+		}
 	})
+	bd := f.Breakdown()
+	var ovl mpiio.OverlapStats
+	if w.Split {
+		ovl = GlobalOverlap(comm, f.Overlap())
+	}
 	return Result{
 		Elapsed:   elapsed,
-		VirtBytes: w.TileBytes() * int64(comm.Size()) * scaleOf(env),
-		Breakdown: f.Breakdown(),
+		VirtBytes: per * int64(steps) * int64(comm.Size()) * scaleOf(env),
+		Breakdown: bd,
 		Plan:      f.LastPlan(),
+		Overlap:   ovl,
 	}
 }
 
@@ -72,15 +112,40 @@ func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
 	me := r.WorldRank()
 	f.SetView(w.View(me, comm.Size()))
+	steps := w.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	per := w.TileBytes()
 	var got []byte
 	elapsed := measure(comm, func() {
-		got = f.ReadAtAll(0, w.TileBytes())
+		for s := 0; s < steps; s++ {
+			off := int64(s) * per
+			if w.Split {
+				q := f.ReadAllBegin(off, per)
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				got = f.ReadAllEnd(q)
+			} else {
+				if w.Compute > 0 {
+					r.Compute(w.Compute)
+				}
+				got = f.ReadAtAll(off, per)
+			}
+		}
 	})
+	bd := f.Breakdown()
+	var ovl mpiio.OverlapStats
+	if w.Split {
+		ovl = GlobalOverlap(comm, f.Overlap())
+	}
 	res := Result{
 		Elapsed:   elapsed,
-		VirtBytes: w.TileBytes() * int64(comm.Size()) * scaleOf(env),
-		Breakdown: f.Breakdown(),
+		VirtBytes: per * int64(steps) * int64(comm.Size()) * scaleOf(env),
+		Breakdown: bd,
 		Plan:      f.LastPlan(),
+		Overlap:   ovl,
 	}
 	_ = got
 	return res

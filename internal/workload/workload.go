@@ -28,6 +28,9 @@ type Result struct {
 	VirtBytes int64   // total virtual bytes moved across all ranks
 	Breakdown mpiio.Breakdown
 	Plan      core.Plan // how ParColl partitioned the last collective call
+	// Overlap sums the split-collective overlap accounting across all ranks
+	// (zero for blocking runs).
+	Overlap mpiio.OverlapStats
 }
 
 // Bandwidth returns the aggregate rate in bytes/second.
@@ -54,6 +57,13 @@ func measure(comm *mpi.Comm, fn func()) float64 {
 	t0 := comm.MaxFinishTime()
 	fn()
 	return comm.MaxFinishTime() - t0
+}
+
+// GlobalOverlap sums per-rank overlap stats across the communicator
+// (identical result everywhere).
+func GlobalOverlap(comm *mpi.Comm, o mpiio.OverlapStats) mpiio.OverlapStats {
+	v := comm.AllreduceFloat64([]float64{o.Hidden, o.Exposed}, mpi.OpSum)
+	return mpiio.OverlapStats{Hidden: v[0], Exposed: v[1]}
 }
 
 // MeanBreakdown averages a breakdown across the communicator (identical

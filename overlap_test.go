@@ -1,0 +1,126 @@
+// Split-collective regression tests: determinism, bit-exact goldens, and
+// the overlap acceptance claims. The split pipeline moves I/O tails into
+// the progress engine, so its results must still be a pure function of
+// (workload, config, seed) — run-twice identity — and its virtual-time
+// numbers are pinned as hex-float goldens exactly like the blocking ones
+// in determinism_test.go.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// overlapRatios deliberately stops at 1: the hidden fraction saturates once
+// per-step compute exceeds the largest per-step tail (everything hideable
+// is hidden), so strict growth is only observable below saturation. One
+// point at or past saturation (ratio 1) pins the plateau.
+var overlapRatios = []float64{0, 0.25, 1}
+
+func overlapKey(pt experiments.OverlapPoint) string {
+	return fmt.Sprintf("%s/ratio=%g", pt.Scenario, pt.Ratio)
+}
+
+func overlapVal(pt experiments.OverlapPoint) string {
+	return fmt.Sprintf("bE=%x sE=%x bP=%x sP=%x hE=%x hP=%x",
+		pt.BlockExt2ph, pt.SplitExt2ph, pt.BlockParColl, pt.SplitParColl,
+		pt.HiddenExt2ph, pt.HiddenParColl)
+}
+
+func TestSplitCollectives(t *testing.T) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneStraggler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nprocs, groups, steps = 32, 4, 6
+	healthy := p.OverlapSweep(nprocs, groups, steps, overlapRatios, nil)
+	straggler := p.OverlapSweep(nprocs, groups, steps, overlapRatios, plan)
+
+	t.Run("RunTwiceIdentical", func(t *testing.T) {
+		again := p.OverlapSweep(nprocs, groups, steps, overlapRatios, nil)
+		for i := range healthy {
+			if healthy[i] != again[i] {
+				t.Errorf("%s: split sweep differs between runs:\n  first:  %+v\n  second: %+v",
+					overlapKey(healthy[i]), healthy[i], again[i])
+			}
+		}
+	})
+
+	t.Run("Golden", func(t *testing.T) {
+		got := make(map[string]string)
+		for _, pt := range append(append([]experiments.OverlapPoint{}, healthy...), straggler...) {
+			got[overlapKey(pt)] = overlapVal(pt)
+		}
+		want := map[string]string{
+			"healthy/ratio=0":          "bE=0x1.ac8e9478040dap-01 sE=0x1.01c386b580e26p-01 bP=0x1.94beca3a3961ap-01 sP=0x1.00d1304e2d1e8p-01 hE=0x1.8292b1e86cc56p-02 hP=0x1.7d53354e64368p-02",
+			"healthy/ratio=0.25":       "bE=0x1.0bd91ccb02889p+00 sE=0x1.01f53fe3a9a22p-01 bP=0x1.f2d3e5063ef2cp-01 sP=0x1.099eab799a2c3p-01 hE=0x1.688d94687c46fp-01 hP=0x1.5aa4b53a979fdp-01",
+			"healthy/ratio=1":          "bE=0x1.ac8e9478040bfp+00 sE=0x1.134b137384f82p+00 bP=0x1.9a1f6a3020fcbp+00 sP=0x1.1260c81b45939p+00 hE=0x1.6e4192c57bbe7p-01 hP=0x1.6e6b4236f5f6dp-01",
+			"one-straggler/ratio=0":    "bE=0x1.4a8138d28a9ffp+00 sE=0x1.3561a56a110ecp+00 bP=0x1.34f80517afd54p+00 sP=0x1.2c40bae0a4ep+00 hE=0x1.537d2f98b2552p-01 hP=0x1.ccad28a6500bdp-02",
+			"one-straggler/ratio=0.25": "bE=0x1.e8265b394517dp+00 sE=0x1.c29b8bb1c32a9p+00 bP=0x1.cbaa07bcc16a3p+00 sP=0x1.c22bb27d565d5p+00 hE=0x1.faa086ba0caadp-01 hP=0x1.8b1f5d2ff391fp-01",
+			"one-straggler/ratio=1":    "bE=0x1.1abf0e7b52cb3p+02 sE=0x1.115c5a99724f8p+02 bP=0x1.139ff99c31dfep+02 sP=0x1.1140644c571c6p+02 hE=0x1p+00 hP=0x1.8b564170e4f6dp-01",
+		}
+		for k, w := range want {
+			if got[k] != w {
+				t.Errorf("%s:\n  got:  %s\n  want: %s", k, got[k], w)
+			}
+		}
+	})
+
+	t.Run("Acceptance", func(t *testing.T) {
+		// Healthy: at every ratio the split variant is at least as fast as
+		// its blocking twin, and at ratio >= 1 strictly faster — the compute
+		// fully pays for the pipeline's exposed tails.
+		for _, pt := range healthy {
+			if pt.SplitParColl > pt.BlockParColl || pt.SplitExt2ph > pt.BlockExt2ph {
+				t.Errorf("healthy ratio %g: split slower than blocking: %+v", pt.Ratio, pt)
+			}
+			if pt.Ratio >= 1 && pt.SplitParColl >= pt.BlockParColl {
+				t.Errorf("ratio %g: split ParColl %g not strictly below blocking %g",
+					pt.Ratio, pt.SplitParColl, pt.BlockParColl)
+			}
+		}
+		// The hidden fraction grows strictly with the compute/IO ratio
+		// (the ratios stop at saturation; see overlapRatios).
+		for i := 1; i < len(healthy); i++ {
+			if healthy[i].HiddenParColl <= healthy[i-1].HiddenParColl {
+				t.Errorf("hidden fraction not growing: ratio %g -> %g gives %g -> %g",
+					healthy[i-1].Ratio, healthy[i].Ratio,
+					healthy[i-1].HiddenParColl, healthy[i].HiddenParColl)
+			}
+			if healthy[i].HiddenExt2ph <= healthy[i-1].HiddenExt2ph {
+				t.Errorf("ext2ph hidden fraction not growing: ratio %g -> %g gives %g -> %g",
+					healthy[i-1].Ratio, healthy[i].Ratio,
+					healthy[i-1].HiddenExt2ph, healthy[i].HiddenExt2ph)
+			}
+		}
+		// One-straggler: degradation against the common healthy blocking
+		// reference must be strictly smaller for the split variant — i.e.
+		// the overlap advantage survives the fault at every ratio. (The
+		// straggler's 4x-slow compute dominates both variants equally, so
+		// the gap narrows, but split must never fall behind.) And the
+		// pipeline hides strictly more under the fault than when healthy:
+		// the stall waits the straggler induces are exactly the idle time
+		// the progress engine retires tails into.
+		for i, pt := range straggler {
+			h := healthy[i]
+			degSplit := pt.SplitParColl - h.BlockParColl
+			degBlock := pt.BlockParColl - h.BlockParColl
+			if degSplit >= degBlock {
+				t.Errorf("one-straggler ratio %g: split degradation %g not below blocking %g",
+					pt.Ratio, degSplit, degBlock)
+			}
+			if pt.SplitExt2ph >= pt.BlockExt2ph {
+				t.Errorf("one-straggler ratio %g: split ext2ph %g not below blocking %g",
+					pt.Ratio, pt.SplitExt2ph, pt.BlockExt2ph)
+			}
+			if pt.HiddenParColl <= h.HiddenParColl || pt.HiddenExt2ph <= h.HiddenExt2ph {
+				t.Errorf("one-straggler ratio %g: hides less than healthy (hP %g<=%g or hE %g<=%g)",
+					pt.Ratio, pt.HiddenParColl, h.HiddenParColl, pt.HiddenExt2ph, h.HiddenExt2ph)
+			}
+		}
+	})
+}

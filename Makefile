@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet faults fuzz
+.PHONY: all build test bench race vet faults fuzz recovery
 
 all: build test
 
@@ -18,7 +18,7 @@ vet:
 # scheduling); run it — and the layers the fault injector and the
 # nonblocking progress engine touch — under the race detector separately.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/...
+	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/...
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
 # perturber hook tests, and the scenario determinism goldens + straggler
@@ -33,12 +33,21 @@ faults: vet
 fuzz:
 	$(GO) test -fuzz 'FuzzPartitionDirect' -fuzztime=10s ./internal/core
 	$(GO) test -fuzz 'FuzzSieve' -fuzztime=10s ./internal/mpiio
+	$(GO) test -fuzz 'FuzzRetrySchedule' -fuzztime=10s ./internal/recovery
+
+# Fail-stop recovery gate: the retry/backoff/breaker unit tests, the
+# resilient-collective acceptance tests (byte-exact read-back under crashes,
+# ParColl's time-to-recover strictly below ext2ph's), and the crash-plan
+# determinism goldens (DESIGN.md §10, EXPERIMENTS.md "Recovery sweep").
+recovery: vet
+	$(GO) test ./internal/recovery/... -count=1
+	$(GO) test . -run 'TestTileWriteUnderFailure|TestBTWriteUnderFailure|TestParCollRecoversFaster|TestRecoveryRunTwice' -count=1 -v
 
 # Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
 # run the full bench suite with allocation stats, and regenerate the
 # machine-readable report (see DESIGN.md, "Performance model of the
-# simulator", for how to read BENCH_3.json; BENCH_1.json is the PR-1
-# baseline to diff allocs/op against).
+# simulator", for how to read BENCH_4.json; BENCH_1.json is the PR-1
+# baseline to diff allocs/op against, BENCH_3.json the pre-recovery one).
 bench: vet race
 	$(GO) test -bench=. -benchmem -run '^$$' .
-	BENCH_JSON=BENCH_3.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
+	BENCH_JSON=BENCH_4.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .

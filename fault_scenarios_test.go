@@ -83,6 +83,20 @@ func TestGoldenFaultScenarioMetrics(t *testing.T) {
 		"jittery-net/groups=4":   "elapsed=0x1.d1e4e6858e76cp-04 sync=0x1.44410a2789191p-05 io=0x1.9c1e3629b67c8p-05 perturbed=87",
 		"one-straggler/groups=1": "elapsed=0x1.70171587e89dbp-02 sync=0x1.1ad7cc3ddd9b4p-02 io=0x1.9c2172baaaee2p-05 perturbed=0",
 		"one-straggler/groups=4": "elapsed=0x1.6df5a5ff22439p-02 sync=0x1.718d88ab9024fp-04 io=0x1.9c2172baaaeecp-05 perturbed=0",
+		// Fail-stop catalog additions (PR 4). flaky-ost/groups=1 is
+		// bit-identical to healthy: at that geometry every write happens to
+		// fall between the scenario's failure windows, and outside a window
+		// the injection hook consumes no RNG draw — the equality is itself a
+		// determinism property worth pinning. one-agg-crash elapsed times are
+		// dominated by the 250 ms detection watchdog both ways; the metric
+		// that separates the protocols is time-to-recover (see
+		// TestParCollRecoversFasterThanExt2ph in recovery_test.go).
+		"flaky-ost/groups=1":     "elapsed=0x1.d56fc411bdf5ep-04 sync=0x1.509a2c87cceeep-05 io=0x1.9c2172baaaefp-05 perturbed=0",
+		"flaky-ost/groups=4":     "elapsed=0x1.d94aa8fdbffafp-04 sync=0x1.38911ffee751ep-05 io=0x1.9c366e1170829p-05 perturbed=0",
+		"lossy-net/groups=1":     "elapsed=0x1.dd866057d1a2ep-04 sync=0x1.63383c6c8b38bp-05 io=0x1.9bdfe9835f282p-05 perturbed=50",
+		"lossy-net/groups=4":     "elapsed=0x1.d6eca0a9479ap-04 sync=0x1.52ab3ae8d29eep-05 io=0x1.9afa8941d5f0ep-05 perturbed=49",
+		"one-agg-crash/groups=1": "elapsed=0x1.900f6dd26ab87p-02 sync=0x1.3c0d0d32f4c6p-02 io=0x1.9c9f9aef6f781p-05 perturbed=0",
+		"one-agg-crash/groups=4": "elapsed=0x1.91cdd4b2ed70ap-02 sync=0x1.9e6e627deafccp-04 io=0x1.9c31cfaa1a28p-05 perturbed=0",
 	}
 	for k, w := range want {
 		if got[k] != w {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/recovery"
 	"repro/internal/nbio"
 )
 
@@ -302,6 +303,18 @@ func (f *File) Overlap() mpiio.OverlapStats {
 		return mpiio.OverlapStats{}
 	}
 	return f.subFile.Overlap()
+}
+
+// Recovery returns this rank's accumulated fail-stop recovery stats from the
+// current subgroup file: zero on healthy runs, the subgroup-confined
+// detection/failover record when a fault plan carried crashes. Partitioning
+// is what keeps the numbers small — only the crashed aggregator's subgroup
+// replans, while under the unpartitioned baseline every rank participates.
+func (f *File) Recovery() recovery.FailoverStats {
+	if f.subFile == nil {
+		return recovery.FailoverStats{}
+	}
+	return f.subFile.Recovery()
 }
 
 // tuneBegin reports whether this call is an AutoTune measurement and, if

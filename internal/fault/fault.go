@@ -57,10 +57,10 @@ type RoundNoise struct {
 // DownEvery == 0 means the single window at DownAt. DownFor == 0 disables
 // downtime.
 type OSTFault struct {
-	OST      int     // OST index; -1 applies to every OST
-	Scale    float64 // service-time multiplier, >= 1 (0 and 1 = no effect)
-	DownAt   float64 // start of the first unavailability window, seconds
-	DownFor  float64 // window length, seconds
+	OST       int     // OST index; -1 applies to every OST
+	Scale     float64 // service-time multiplier, >= 1 (0 and 1 = no effect)
+	DownAt    float64 // start of the first unavailability window, seconds
+	DownFor   float64 // window length, seconds
 	DownEvery float64 // window period, seconds (0 = one-shot)
 }
 
@@ -75,6 +75,51 @@ type NetFault struct {
 	SpikeDelay  float64 // spike delay, seconds (fixed)
 	// NodeBWScale divides the named nodes' NIC bandwidth (2 = half speed).
 	NodeBWScale map[int]float64
+	// Message loss: each message whose unperturbed arrival falls inside the
+	// loss window is independently dropped with probability LossProb and
+	// retransmitted after RTO seconds, repeatedly, until a copy gets
+	// through (capped at maxRetransmits). Loss therefore never deadlocks a
+	// blocking receive — it shows up as a deterministic k*RTO delivery
+	// delay, which is exactly how a reliable transport surfaces a lossy
+	// link. LossUntil <= LossFrom means the window is unbounded.
+	LossProb  float64
+	LossFrom  float64 // window start (virtual seconds)
+	LossUntil float64 // window end; <= LossFrom = open-ended
+	RTO       float64 // retransmission timeout per lost copy
+}
+
+// maxRetransmits bounds the geometric retransmission draw so a pathological
+// LossProb cannot stall a message forever.
+const maxRetransmits = 8
+
+// Crash is a fail-stop failure of one rank's I/O-aggregator role: from the
+// start of round Round of the rank's Call-th collective call (1-based; Call
+// 0 means the first call) the rank stops performing aggregator duties —
+// no round announcements, no data collection, no OST writes — forever
+// after. The *process* survives: it still holds its application data and
+// keeps participating as a data source, which is what makes byte-exact
+// recovery possible (the model is a dead I/O delegate — an aggregator
+// thread, a burst-buffer node — not a lost memory image).
+type Crash struct {
+	Rank  int // world rank whose aggregator role dies
+	Call  int // collective-call sequence number, 1-based (0 = first call)
+	Round int // round within that call at whose start the role dies
+}
+
+// OSTFail injects request failures on one OST (or all, with OST == -1):
+// requests arriving inside a failure window [At+k*Every, At+k*Every+For)
+// fail with probability Prob (Prob >= 1 fails deterministically; For <= 0
+// makes the window [At, inf)). Transient failures are retried by lustre's
+// recovery engine with capped exponential backoff; Permanent marks the
+// window's failures as unrecoverable (a dead target), surfacing a typed
+// error to the caller instead.
+type OSTFail struct {
+	OST       int     // OST index; -1 applies to every OST
+	Prob      float64 // per-request failure probability inside a window
+	At        float64 // start of the first failure window, seconds
+	For       float64 // window length, seconds (<= 0 = open-ended)
+	Every     float64 // window period, seconds (0 = one-shot)
+	Permanent bool    // failures are unrecoverable (no retry will succeed)
 }
 
 // Plan is one named fault scenario: the complete, declarative description
@@ -86,6 +131,8 @@ type Plan struct {
 	RoundNoise RoundNoise
 	OSTs       []OSTFault
 	Net        NetFault
+	Crashes    []Crash
+	OSTFails   []OSTFail
 }
 
 // IsZero reports whether the plan perturbs nothing.
@@ -94,7 +141,8 @@ func (p *Plan) IsZero() bool {
 		return true
 	}
 	return len(p.Stragglers) == 0 && !p.RoundNoise.active() &&
-		len(p.OSTs) == 0 && !p.netActive()
+		len(p.OSTs) == 0 && !p.netActive() &&
+		len(p.Crashes) == 0 && len(p.OSTFails) == 0
 }
 
 func (n RoundNoise) active() bool {
@@ -102,7 +150,8 @@ func (n RoundNoise) active() bool {
 }
 
 func (p *Plan) netActive() bool {
-	return p.Net.JitterProb > 0 || p.Net.SpikeProb > 0 || len(p.Net.NodeBWScale) > 0
+	return p.Net.JitterProb > 0 || p.Net.SpikeProb > 0 ||
+		len(p.Net.NodeBWScale) > 0 || p.Net.LossProb > 0
 }
 
 // --- sim.Perturber implementation -----------------------------------------
@@ -120,17 +169,26 @@ func (p *Plan) ComputeScale(proc int) float64 {
 	return s
 }
 
-// DeliveryDelay returns extra seconds added to a message's arrival time.
-// rng is the engine's dedicated perturbation generator; no draw happens
-// unless the plan carries delivery jitter, so healthy plans leave the
-// generator untouched.
-func (p *Plan) DeliveryDelay(src, dst int, rng *rand.Rand) float64 {
+// DeliveryDelay returns extra seconds added to a message's arrival time;
+// `at` is the message's unperturbed arrival. rng is the engine's dedicated
+// perturbation generator; no draw happens unless the plan carries delivery
+// jitter or an active loss window, so healthy plans leave the generator
+// untouched.
+func (p *Plan) DeliveryDelay(src, dst int, at float64, rng *rand.Rand) float64 {
 	var d float64
 	if p.Net.JitterProb > 0 && rng.Float64() < p.Net.JitterProb {
 		d += p.Net.JitterDelay * rng.Float64()
 	}
 	if p.Net.SpikeProb > 0 && rng.Float64() < p.Net.SpikeProb {
 		d += p.Net.SpikeDelay
+	}
+	if p.Net.LossProb > 0 && at >= p.Net.LossFrom &&
+		(p.Net.LossUntil <= p.Net.LossFrom || at < p.Net.LossUntil) {
+		k := 0
+		for k < maxRetransmits && rng.Float64() < p.Net.LossProb {
+			k++
+		}
+		d += float64(k) * p.Net.RTO
 	}
 	return d
 }
@@ -187,6 +245,65 @@ func (p *Plan) OSTScale(ost int) float64 {
 		}
 	}
 	return s
+}
+
+// --- fail-stop hooks --------------------------------------------------------
+
+// HasCrashes reports whether the plan carries any fail-stop crashes.
+func (p *Plan) HasCrashes() bool { return p != nil && len(p.Crashes) > 0 }
+
+// AggCrashed reports whether rank's aggregator role is dead at round
+// `round` of its call'th collective call (call is 1-based; a Crash with
+// Call 0 matches the first call). Dead means the crash point lies at or
+// before (call, round): crashes are permanent, so a rank that died in an
+// earlier call — or an earlier round of this one — stays dead. Pure
+// function of its arguments: no randomness, identical on every rank.
+func (p *Plan) AggCrashed(rank, call, round int) bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Crashes {
+		if c.Rank != rank {
+			continue
+		}
+		cc := c.Call
+		if cc == 0 {
+			cc = 1
+		}
+		if call > cc || (call == cc && round >= c.Round) {
+			return true
+		}
+	}
+	return false
+}
+
+// OSTErrorAt decides whether a request arriving at OST `ost` at virtual
+// time `at` fails, and whether that failure is permanent. rng is the file
+// system's dedicated generator; no draw happens unless a failure window
+// covers (ost, at), so plans without OST failures — and requests outside
+// every window — leave it untouched.
+func (p *Plan) OSTErrorAt(ost int, at float64, rng *rand.Rand) (failed, permanent bool) {
+	if p == nil {
+		return false, false
+	}
+	for _, f := range p.OSTFails {
+		if (f.OST != -1 && f.OST != ost) || f.Prob <= 0 {
+			continue
+		}
+		start := f.At
+		if f.Every > 0 && at > start {
+			k := int((at - f.At) / f.Every)
+			start = f.At + float64(k)*f.Every
+		}
+		if at < start || (f.For > 0 && at >= start+f.For) {
+			continue
+		}
+		if f.Prob >= 1 || rng.Float64() < f.Prob {
+			failed = true
+			permanent = permanent || f.Permanent
+		}
+	}
+	return failed, permanent
 }
 
 // OSTDownDelay returns how long a request arriving at virtual time `at`

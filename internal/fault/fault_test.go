@@ -20,6 +20,9 @@ func TestIsZero(t *testing.T) {
 		{"ost", &Plan{OSTs: []OSTFault{{OST: 0, Scale: 2}}}, false},
 		{"net-jitter", &Plan{Net: NetFault{JitterProb: 0.1, JitterDelay: 1e-5}}, false},
 		{"net-bw", &Plan{Net: NetFault{NodeBWScale: map[int]float64{0: 2}}}, false},
+		{"net-loss", &Plan{Net: NetFault{LossProb: 0.05, RTO: 5e-4}}, false},
+		{"crash", &Plan{Crashes: []Crash{{Rank: 0, Call: 1, Round: 1}}}, false},
+		{"ost-fail", &Plan{OSTFails: []OSTFail{{OST: 0, Prob: 0.5}}}, false},
 	}
 	for _, c := range cases {
 		if got := c.p.IsZero(); got != c.want {
@@ -108,7 +111,7 @@ func TestDeliveryDelayDrawDiscipline(t *testing.T) {
 	before := rng.Int63()
 	rng = rand.New(rand.NewSource(7))
 	zero := &Plan{}
-	if d := zero.DeliveryDelay(0, 1, rng); d != 0 {
+	if d := zero.DeliveryDelay(0, 1, 0, rng); d != 0 {
 		t.Errorf("zero plan delay = %v, want 0", d)
 	}
 	if got := rng.Int63(); got != before {
@@ -119,7 +122,7 @@ func TestDeliveryDelayDrawDiscipline(t *testing.T) {
 	p := &Plan{Net: NetFault{JitterProb: 1, JitterDelay: 1e-4, SpikeProb: 1, SpikeDelay: 1e-3}}
 	rng = rand.New(rand.NewSource(7))
 	for i := 0; i < 100; i++ {
-		d := p.DeliveryDelay(0, 1, rng)
+		d := p.DeliveryDelay(0, 1, 0, rng)
 		if d < 1e-3 || d > 1e-3+1e-4 {
 			t.Fatalf("delay %v outside [1e-3, 1.1e-3]", d)
 		}
@@ -129,7 +132,7 @@ func TestDeliveryDelayDrawDiscipline(t *testing.T) {
 	a, b := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
 	j := &Plan{Net: NetFault{JitterProb: 0.5, JitterDelay: 1e-4}}
 	for i := 0; i < 100; i++ {
-		if da, db := j.DeliveryDelay(0, 1, a), j.DeliveryDelay(0, 1, b); da != db {
+		if da, db := j.DeliveryDelay(0, 1, 0, a), j.DeliveryDelay(0, 1, 0, b); da != db {
 			t.Fatalf("draw %d: %v != %v", i, da, db)
 		}
 	}
@@ -166,7 +169,7 @@ func TestRoundStall(t *testing.T) {
 
 func TestScenarioCatalog(t *testing.T) {
 	names := Names()
-	if len(names) != 4 {
+	if len(names) != 7 {
 		t.Fatalf("catalog has %d scenarios: %v", len(names), names)
 	}
 	for _, n := range names {
@@ -205,6 +208,118 @@ func TestSeverityPlan(t *testing.T) {
 	}
 	if lo.RoundNoise.Rank != -1 {
 		t.Error("severity noise must afflict every rank")
+	}
+}
+
+func TestAggCrashed(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.AggCrashed(0, 1, 0) {
+		t.Error("nil plan reports a crash")
+	}
+	p := &Plan{Crashes: []Crash{{Rank: 3, Call: 2, Round: 1}}}
+	cases := []struct {
+		rank, call, round int
+		want              bool
+	}{
+		{0, 2, 1, false}, // other rank never crashes
+		{3, 1, 5, false}, // earlier call: still alive
+		{3, 2, 0, false}, // crash call, round before the crash point
+		{3, 2, 1, true},  // exact crash point
+		{3, 2, 7, true},  // later round of the crash call
+		{3, 3, 0, true},  // crashes are permanent across calls
+	}
+	for _, c := range cases {
+		if got := p.AggCrashed(c.rank, c.call, c.round); got != c.want {
+			t.Errorf("AggCrashed(%d, %d, %d) = %v, want %v", c.rank, c.call, c.round, got, c.want)
+		}
+	}
+	// Call 0 means "the first call".
+	first := &Plan{Crashes: []Crash{{Rank: 1, Call: 0, Round: 2}}}
+	if first.AggCrashed(1, 1, 1) || !first.AggCrashed(1, 1, 2) {
+		t.Error("Call 0 does not normalize to the first call")
+	}
+	if p.IsZero() || !p.HasCrashes() {
+		t.Error("crash plan misclassified")
+	}
+}
+
+func TestOSTErrorAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var nilPlan *Plan
+	if f, _ := nilPlan.OSTErrorAt(0, 1, rng); f {
+		t.Error("nil plan fails a request")
+	}
+
+	// Deterministic failure inside periodic windows [k*0.02, k*0.02+0.005).
+	p := &Plan{OSTFails: []OSTFail{{OST: 0, Prob: 1, At: 0, For: 5e-3, Every: 2e-2}}}
+	if f, perm := p.OSTErrorAt(0, 1e-3, rng); !f || perm {
+		t.Errorf("in-window request: failed=%v permanent=%v, want true,false", f, perm)
+	}
+	if f, _ := p.OSTErrorAt(0, 1e-2, rng); f {
+		t.Error("out-of-window request failed")
+	}
+	if f, _ := p.OSTErrorAt(0, 2.1e-2, rng); !f {
+		t.Error("second-period in-window request did not fail")
+	}
+	if f, _ := p.OSTErrorAt(1, 1e-3, rng); f {
+		t.Error("other OST failed")
+	}
+
+	// Outside every window, no draw is consumed even with Prob < 1.
+	flaky := &Plan{OSTFails: []OSTFail{{OST: 0, Prob: 0.5, At: 1, For: 1}}}
+	a := rand.New(rand.NewSource(9))
+	before := a.Int63()
+	a = rand.New(rand.NewSource(9))
+	flaky.OSTErrorAt(0, 0.5, a)
+	if got := a.Int63(); got != before {
+		t.Error("out-of-window check consumed a random draw")
+	}
+
+	// Permanent failures are flagged; open-ended window (For <= 0).
+	dead := &Plan{OSTFails: []OSTFail{{OST: 2, Prob: 1, At: 0.1, Permanent: true}}}
+	if f, perm := dead.OSTErrorAt(2, 50, rng); !f || !perm {
+		t.Errorf("dead OST: failed=%v permanent=%v, want true,true", f, perm)
+	}
+	if f, _ := dead.OSTErrorAt(2, 0.05, rng); f {
+		t.Error("request before the window failed")
+	}
+}
+
+func TestDeliveryDelayLoss(t *testing.T) {
+	// Certain loss: every copy up to the retransmit cap is dropped, so the
+	// delay is exactly maxRetransmits*RTO — bounded, never a deadlock.
+	p := &Plan{Net: NetFault{LossProb: 1, RTO: 1e-3}}
+	rng := rand.New(rand.NewSource(2))
+	if d := p.DeliveryDelay(0, 1, 0.5, rng); !close(d, float64(maxRetransmits)*1e-3) {
+		t.Errorf("certain-loss delay = %v, want %v", d, float64(maxRetransmits)*1e-3)
+	}
+
+	// Windowed loss: arrivals outside [From, Until) consume no draws.
+	w := &Plan{Net: NetFault{LossProb: 0.5, RTO: 1e-3, LossFrom: 1, LossUntil: 2}}
+	a := rand.New(rand.NewSource(4))
+	before := a.Int63()
+	a = rand.New(rand.NewSource(4))
+	if d := w.DeliveryDelay(0, 1, 0.5, a); d != 0 {
+		t.Errorf("pre-window delay = %v", d)
+	}
+	if d := w.DeliveryDelay(0, 1, 2.5, a); d != 0 {
+		t.Errorf("post-window delay = %v", d)
+	}
+	if got := a.Int63(); got != before {
+		t.Error("out-of-window messages consumed random draws")
+	}
+
+	// In-window delays are multiples of RTO and bit-identical across seeds.
+	x, y := rand.New(rand.NewSource(6)), rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		dx, dy := w.DeliveryDelay(0, 1, 1.5, x), w.DeliveryDelay(0, 1, 1.5, y)
+		if dx != dy {
+			t.Fatalf("draw %d: %v != %v", i, dx, dy)
+		}
+		k := dx / 1e-3
+		if k != float64(int(k)) || k < 0 || k > float64(maxRetransmits) {
+			t.Fatalf("delay %v is not a bounded RTO multiple", dx)
+		}
 	}
 }
 

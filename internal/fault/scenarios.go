@@ -16,6 +16,9 @@ const (
 	OneStraggler = "one-straggler"
 	HotOST       = "hot-ost"
 	JitteryNet   = "jittery-net"
+	OneAggCrash  = "one-agg-crash"
+	FlakyOST     = "flaky-ost"
+	LossyNet     = "lossy-net"
 )
 
 // scenarios maps each name to a constructor (fresh Plan per call: plans are
@@ -57,6 +60,39 @@ var scenarios = map[string]func() *Plan{
 				SpikeDelay:  1e-3,
 				NodeBWScale: map[int]float64{0: 2},
 			},
+		}
+	},
+
+	// one-agg-crash: rank 0's aggregator role fail-stops at the start of
+	// round 1 of the first collective call — the canonical failover case:
+	// the first round completes normally, then the lowest-rank aggregator
+	// goes silent mid-collective and the survivors must detect, re-elect,
+	// and absorb its remaining file domain.
+	OneAggCrash: func() *Plan {
+		return &Plan{
+			Name:    OneAggCrash,
+			Crashes: []Crash{{Rank: 0, Call: 1, Round: 1}},
+		}
+	},
+
+	// flaky-ost: OST 0 rejects ~35% of requests during a 5 ms window every
+	// 20 ms — a target riding an unstable controller. Failures are
+	// transient: the retry engine's capped exponential backoff (and, under
+	// repeated bursts, its circuit breaker) carries every request through.
+	FlakyOST: func() *Plan {
+		return &Plan{
+			Name:     FlakyOST,
+			OSTFails: []OSTFail{{OST: 0, Prob: 0.35, At: 0, For: 5e-3, Every: 2e-2}},
+		}
+	},
+
+	// lossy-net: every message is dropped with 5% probability and
+	// retransmitted on a 0.5 ms timer — a congested or error-prone fabric
+	// surfacing, through a reliable transport, as bursty delivery delay.
+	LossyNet: func() *Plan {
+		return &Plan{
+			Name: LossyNet,
+			Net:  NetFault{LossProb: 0.05, RTO: 5e-4},
 		}
 	},
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ldlm"
 	"repro/internal/mpi"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 )
 
@@ -66,7 +67,14 @@ type Config struct {
 	// multiplied by the per-OST scale, and requests arriving inside a
 	// transient unavailability window stall until it closes. Both effects
 	// are pure functions of (OST, virtual time), so determinism holds.
+	// Plans carrying OSTFails additionally make requests fail outright;
+	// those are absorbed by the retry engine (capped exponential backoff
+	// plus a per-OST circuit breaker) and surface as typed
+	// *recovery.OSTError only when permanent or budget-exhausted.
 	Faults *fault.Plan
+	// Retry overrides the retry engine's backoff schedule; zero fields take
+	// recovery's defaults. Only consulted when Faults injects OST errors.
+	Retry recovery.Backoff
 }
 
 // DefaultConfig approximates the paper's test file system: 72 OSTs behind
@@ -110,6 +118,15 @@ type FS struct {
 	stats      []OSTStat
 	locks      *ldlm.Manager // non-nil when UseExtentLocks
 	sinceTrim  int           // requests since the last ledger compaction
+
+	// Retry engine, armed only when cfg.Faults injects OST errors. The
+	// healthy path never touches any of it, so plans without OSTFails are
+	// bit-identical (and allocation-identical) to builds without the
+	// engine.
+	inj    bool
+	retry  recovery.Backoff
+	brk    []*recovery.Breaker // per OST
+	rstats recovery.RetryStats
 }
 
 // trimEvery is how many I/O requests pass between ledger compactions.
@@ -139,6 +156,7 @@ type OSTStat struct {
 	Bytes     int64 // virtual bytes served
 	Switches  int64 // client alternations (lock/seek penalties paid)
 	Tails     int64 // heavy-tail events
+	Errors    int64 // injected request failures (before retry)
 	BusySecs  float64
 	FaultSecs float64 // service time added by the fault plan
 }
@@ -187,6 +205,62 @@ func (fs *FS) Stats() []OSTStat {
 	return append([]OSTStat(nil), fs.stats...)
 }
 
+// serve books one chunk's service on its OST, starting at virtual time `at`,
+// and returns the completion time. The fast path — no injected OST errors —
+// is exactly the pre-recovery sequence: one svcTime call, one Acquire, no
+// extra draws, branches on one bool. Under injection, each attempt first
+// consults the OST's circuit breaker (an open breaker stalls the request
+// until its half-open probe window), then the plan decides whether the
+// attempt fails. A failed attempt books only the request overhead (the RPC
+// that came back with an error still occupied the target), feeds the
+// breaker, and — unless the failure is permanent or the attempt budget is
+// spent — backs off per the capped exponential schedule and goes again.
+// Exhaustion and permanence surface as a typed *recovery.OSTError with the
+// clock already advanced past every failed attempt: failures cost time even
+// when they do not cost correctness.
+func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt float64, mode ldlm.Mode) (float64, error) {
+	if !fs.inj {
+		svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
+		_, end := fs.osts[ost].Acquire(at, svc)
+		return end, nil
+	}
+	attempts := 0
+	for {
+		if h := fs.brk[ost].HoldOff(at); h > 0 {
+			at += h
+			fs.rstats.BackoffSecs += h
+		}
+		attempts++
+		fs.rstats.Attempts++
+		if attempts > 1 {
+			fs.rstats.Retries++
+		}
+		failed, perm := fs.cfg.Faults.OSTErrorAt(ost, at, fs.rng)
+		if !failed {
+			svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
+			_, end := fs.osts[ost].Acquire(at, svc)
+			fs.brk[ost].Success()
+			return end, nil
+		}
+		fs.rstats.Failures++
+		fs.stats[ost].Errors++
+		cost := fs.cfg.RequestOverhead * fs.noise()
+		fs.stats[ost].BusySecs += cost
+		_, end := fs.osts[ost].Acquire(at, cost)
+		at = end
+		opensBefore := fs.brk[ost].Opens
+		fs.brk[ost].Failure(at)
+		fs.rstats.BreakerOpens += fs.brk[ost].Opens - opensBefore
+		if perm || fs.retry.Exhausted(attempts) {
+			fs.rstats.Exhausted++
+			return at, &recovery.OSTError{OST: ost, Attempts: attempts, Permanent: perm}
+		}
+		d := fs.retry.Delay(attempts, fs.rng)
+		at += d
+		fs.rstats.BackoffSecs += d
+	}
+}
+
 // noise returns the multiplicative service-time factor for one request.
 func (fs *FS) noise() float64 {
 	if fs.cfg.Jitter == 0 {
@@ -219,8 +293,20 @@ func NewFS(cfg Config) *FS {
 		fs.osts[i] = sim.NewResource(fmt.Sprintf("ost%d", i))
 		fs.lastClient[i] = -1
 	}
+	if cfg.Faults != nil && len(cfg.Faults.OSTFails) > 0 {
+		fs.inj = true
+		fs.retry = cfg.Retry.Defaults()
+		fs.brk = make([]*recovery.Breaker, cfg.NumOSTs)
+		for i := range fs.brk {
+			fs.brk[i] = &recovery.Breaker{}
+		}
+	}
 	return fs
 }
+
+// RetryStats returns a copy of the retry engine's counters (all zero when
+// the plan injects no OST errors).
+func (fs *FS) RetryStats() recovery.RetryStats { return fs.rstats }
 
 // Config returns the file system's parameters.
 func (fs *FS) Config() Config { return fs.cfg }
@@ -303,10 +389,23 @@ func (f *File) chunks(off, n int64, fn func(o, l, unit int64)) {
 }
 
 // WriteAt writes data at the given offset, charging ClassIO time for the
-// slowest chunk's completion.
+// slowest chunk's completion. Unrecoverable injected failures panic; callers
+// that can degrade use TryWriteAt.
 func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
+	if err := f.TryWriteAt(r, off, data); err != nil {
+		panic(fmt.Sprintf("lustre: WriteAt rank %d off %d: %v", r.WorldRank(), off, err))
+	}
+}
+
+// TryWriteAt is WriteAt returning the typed error instead of panicking.
+// Transient injected failures are absorbed by the retry engine and cost only
+// virtual time; a *recovery.OSTError (permanent target or exhausted budget)
+// aborts the operation with NO bytes stored — the store is all-or-nothing,
+// so a caller's whole-operation retry is idempotent. Elapsed time up to and
+// including the failed attempts is charged either way.
+func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
 	if len(data) == 0 {
-		return
+		return nil
 	}
 	if off < 0 {
 		panic("lustre: negative offset")
@@ -319,19 +418,28 @@ func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
 	lat := cl.Config().Latency
 	nicBW := cl.Config().NICBandwidth
 	var done float64
+	var firstErr error
 	f.chunks(off, int64(len(data)), func(o, l, unit int64) {
+		if firstErr != nil {
+			return
+		}
 		virt := float64(l) * cfg.CostScale
 		_, txEnd := tx.Acquire(now, virt/nicBW)
 		ost := f.ostIndexFor(unit)
-		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
-		_, ostEnd := f.fs.osts[ost].Acquire(txEnd+lat, svc)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
+		if err != nil {
+			firstErr = err
+		}
 		if fin := ostEnd + lat; fin > done {
 			done = fin
 		}
 	})
-	f.obj.store(off, data)
+	if firstErr == nil {
+		f.obj.store(off, data)
+	}
 	r.ChargeIO(done - now)
 	f.fs.maybeTrim(r)
+	return firstErr
 }
 
 // WriteAtAsync books the same NIC/OST resources as WriteAt — identical
@@ -359,8 +467,12 @@ func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
 		virt := float64(l) * cfg.CostScale
 		_, txEnd := tx.Acquire(now, virt/nicBW)
 		ost := f.ostIndexFor(unit)
-		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
-		_, ostEnd := f.fs.osts[ost].Acquire(txEnd+lat, svc)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
+		if err != nil {
+			// The nonblocking path has no error plumbing; collectives gate
+			// to the blocking resilient path under failure plans.
+			panic(fmt.Sprintf("lustre: WriteAtAsync rank %d off %d: %v", r.WorldRank(), off, err))
+		}
 		if fin := ostEnd + lat; fin > done {
 			done = fin
 		}
@@ -395,8 +507,10 @@ func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
 	f.chunks(off, n, func(o, l, unit int64) {
 		virt := float64(l) * cfg.CostScale
 		ost := f.ostIndexFor(unit)
-		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
-		_, ostEnd := f.fs.osts[ost].Acquire(now+lat, svc)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
+		if err != nil {
+			panic(fmt.Sprintf("lustre: ReadAtAsync rank %d off %d: %v", r.WorldRank(), off, err))
+		}
 		_, rxEnd := rx.Acquire(ostEnd+lat, virt/nicBW)
 		if rxEnd > done {
 			done = rxEnd
@@ -411,9 +525,23 @@ func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
 
 // ReadAt reads n bytes from off; unwritten bytes read as zero. Time is
 // charged like WriteAt, with the data crossing the receive NIC.
+// Unrecoverable injected failures panic; callers that can degrade use
+// TryReadAt.
 func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
+	data, err := f.TryReadAt(r, off, n)
+	if err != nil {
+		panic(fmt.Sprintf("lustre: ReadAt rank %d off %d: %v", r.WorldRank(), off, err))
+	}
+	return data
+}
+
+// TryReadAt is ReadAt returning the typed error instead of panicking: nil
+// data with a *recovery.OSTError when a chunk's target is permanently dead
+// or the retry budget is exhausted. Elapsed time up to the failure is
+// charged either way.
+func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	if off < 0 {
 		panic("lustre: negative offset")
@@ -426,11 +554,21 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 	lat := cl.Config().Latency
 	nicBW := cl.Config().NICBandwidth
 	var done float64
+	var firstErr error
 	f.chunks(off, n, func(o, l, unit int64) {
+		if firstErr != nil {
+			return
+		}
 		virt := float64(l) * cfg.CostScale
 		ost := f.ostIndexFor(unit)
-		svc := f.fs.svcTime(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
-		_, ostEnd := f.fs.osts[ost].Acquire(now+lat, svc)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
+		if err != nil {
+			firstErr = err
+			if fin := ostEnd + lat; fin > done {
+				done = fin
+			}
+			return
+		}
 		_, rxEnd := rx.Acquire(ostEnd+lat, virt/nicBW)
 		if rxEnd > done {
 			done = rxEnd
@@ -438,7 +576,10 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 	})
 	r.ChargeIO(done - now)
 	f.fs.maybeTrim(r)
-	return f.obj.load(off, n)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f.obj.load(off, n), nil
 }
 
 func (o *fileObj) store(off int64, data []byte) {

@@ -92,6 +92,35 @@ func (c *Comm) recv(src, tag int) ([]byte, Status) {
 	return data, Status{Source: cr, Tag: tag}
 }
 
+// RecvUntil blocks until a message with the given tag arrives from comm
+// rank src or `timeout` virtual seconds elapse, whichever comes first. On
+// timeout it returns (nil, Status{}, false) with the clock advanced to
+// exactly the deadline — the failure-detection primitive the resilient
+// collective path builds on. Wildcards are not supported (detection is
+// always about a specific peer), and payload ownership transfers exactly as
+// in Recv.
+func (c *Comm) RecvUntil(src, tag int, timeout float64) ([]byte, Status, bool) {
+	t0 := c.r.begin()
+	defer c.r.end(t0)
+	r := c.r
+	if src == AnySource {
+		panic("mpi: RecvUntil with AnySource")
+	}
+	if src < 0 || src >= len(c.members) {
+		panic("mpi: RecvUntil from rank outside communicator")
+	}
+	m, ok := r.P.RecvUntil(c.members[src], c.encTag(tag), r.Now()+timeout)
+	if !ok {
+		return nil, Status{}, false
+	}
+	r.P.Advance(r.W.Cluster.RecvCost())
+	var data []byte
+	if m.Payload != nil {
+		data = m.Payload.([]byte)
+	}
+	return data, Status{Source: src, Tag: tag}, true
+}
+
 // Sendrecv sends sdata to dst and receives a message from src, both with
 // the same tag, without deadlocking (the send is eager).
 func (c *Comm) Sendrecv(dst int, sdata []byte, src, tag int) ([]byte, Status) {

@@ -232,6 +232,10 @@ func (f *File) dataTag(round int) int {
 // the statements of the original monolithic loop in the original order, so
 // blocking-mode results are bit-identical.
 func (f *File) WriteAtAll(logOff int64, data []byte) {
+	if f.recoveryOn() {
+		f.writeAtAllFT(logOff, data)
+		return
+	}
 	s := f.beginWrite(logOff, data)
 	for round := 0; round < s.p.ntimes; round++ {
 		s.syncRound(round)
@@ -450,6 +454,9 @@ func (c *streamCursor) take(req []clip, data []byte, n int64) []byte {
 // rank's view. All communicator members must call it. Like WriteAtAll, the
 // loop is assembled from the phase methods split.go pipelines.
 func (f *File) ReadAtAll(logOff, n int64) []byte {
+	if f.recoveryOn() {
+		return f.readAtAllFT(logOff, n)
+	}
 	s := f.beginRead(logOff, n)
 	for round := 0; round < s.p.ntimes; round++ {
 		s.syncRound(round)

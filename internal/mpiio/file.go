@@ -20,6 +20,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
+	"repro/internal/recovery"
 	"repro/internal/trace"
 )
 
@@ -50,6 +51,11 @@ type Hints struct {
 	// fault scenarios reach the protocol layer. Stalls draw from the
 	// rank's proc-local seeded RNG, so runs stay deterministic.
 	Fault *fault.Plan
+	// Recovery tunes the fail-stop recovery protocol (watchdog timeout and
+	// failover budget). Zero-valued fields take recovery.Policy defaults; it
+	// only matters when Fault carries crashes, which is what arms the
+	// resilient collective path (see recover.go).
+	Recovery recovery.Policy
 	// Trace, when non-nil, records a span per protocol round and phase
 	// ("round-sync", "round-exchange", "round-io") plus the split-collective
 	// overlap spans ("hidden", "exposed"). The recorder only observes
@@ -106,6 +112,18 @@ type File struct {
 	prof  Breakdown
 	prev  [mpi.NumClasses]float64
 	ovl   OverlapStats
+
+	// Fail-stop recovery state (see recover.go). deadWorld records world
+	// ranks whose aggregator role this rank has seen die — it persists
+	// across collective calls, so later calls fail the corpse over at round
+	// zero instead of paying the watchdog again. degraded latches once the
+	// failover budget is exhausted: the handle's collective machinery stays
+	// retired for its remaining lifetime (stale round tags must never be
+	// reused by a half-recovered protocol).
+	deadWorld map[int]bool
+	degraded  bool
+	rstats    recovery.FailoverStats
+	rlog      recovery.Log
 }
 
 // OverlapStats accounts the I/O tails of split-collective operations on
@@ -136,6 +154,14 @@ func (o *OverlapStats) Add(x OverlapStats) {
 // Overlap returns the rank's accumulated split-collective overlap stats.
 func (f *File) Overlap() OverlapStats { return f.ovl }
 
+// Recovery returns the rank's accumulated fail-stop recovery stats: zero on
+// a healthy run, detections/failovers/degradations plus their virtual-time
+// costs when the resilient path had work to do.
+func (f *File) Recovery() recovery.FailoverStats { return f.rstats }
+
+// RecoveryLog returns the rank's structured recovery event log.
+func (f *File) RecoveryLog() *recovery.Log { return &f.rlog }
+
 // traceRound emits one protocol-round span when tracing is enabled. end may
 // lie in the virtual future for async I/O spans.
 func (f *File) traceRound(kind string, start, end float64, round int) {
@@ -155,11 +181,12 @@ func (f *File) SetTranslator(t Translator) { f.xlate = t }
 func Open(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, hints Hints) *File {
 	r := rankOf(comm)
 	f := &File{
-		r:     r,
-		comm:  comm,
-		view:  datatype.WholeFile(),
-		hints: hints,
-		scale: fs.Config().CostScale,
+		r:         r,
+		comm:      comm,
+		view:      datatype.WholeFile(),
+		hints:     hints,
+		scale:     fs.Config().CostScale,
+		deadWorld: make(map[int]bool),
 	}
 	// Aggregator selection needs the node of every member; gathering it is
 	// part of open's collective cost.

@@ -61,6 +61,14 @@ func (f *File) tailReq(done float64) *nbio.Request {
 // may run on this file in between.
 func (f *File) WriteAllBegin(logOff int64, data []byte) *nbio.Request {
 	r := f.r
+	if f.recoveryOn() {
+		// Overlap pipelining assumes every aggregator serves every round;
+		// under a crash-carrying fault plan the call runs the blocking
+		// resilient protocol instead and returns an already-complete
+		// request, so Begin/End callers need no failure-mode awareness.
+		f.writeAtAllFT(logOff, data)
+		return nbio.Start(r, r.Now(), nil, nil, &wstate{})
+	}
 	s := f.beginWrite(logOff, data)
 	stage := [2][]byte{s.buf, perf.GetBuf(int(s.p.cb))}
 	ioreq := make([]*nbio.Request, 2)
@@ -97,6 +105,11 @@ func (f *File) WriteAllEnd(q *nbio.Request) { q.Wait() }
 // logOff. Complete it with ReadAllEnd to obtain the data.
 func (f *File) ReadAllBegin(logOff, n int64) *nbio.Request {
 	r := f.r
+	if f.recoveryOn() {
+		// Same gating as WriteAllBegin: blocking resilient read, completed
+		// request carrying the result for ReadAllEnd.
+		return nbio.Start(r, r.Now(), nil, nil, &rstate{out: f.readAtAllFT(logOff, n)})
+	}
 	s := f.beginRead(logOff, n)
 	stage := [2][]byte{s.buf, perf.GetBuf(int(s.p.cb))}
 	ioreq := make([]*nbio.Request, 2)

@@ -1,0 +1,307 @@
+// Package recovery holds the fail-stop fault-tolerance policy shared by the
+// lustre client (retry/backoff + per-OST circuit breakers) and the mpiio
+// collective layer (round deadlines, aggregator failover budgets). It is
+// pure policy: virtual-time arithmetic and small state machines with no
+// dependency on the simulator, so every piece is unit-testable in isolation
+// and every consumer applies it under its own deterministic RNG.
+//
+// Determinism contract (same as package fault): nothing here owns random
+// state. Backoff jitter draws from a *rand.Rand handed in by the caller, and
+// a Backoff with Jitter == 0 consumes no draws at all — so healthy runs,
+// which never retry, are bit-identical with or without the machinery
+// installed.
+package recovery
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// --- retry/backoff ----------------------------------------------------------
+
+// Backoff is a capped exponential retry schedule. Attempt k (1-based count
+// of *failed* attempts so far) waits Base*Factor^(k-1) seconds, capped at
+// Cap, plus a uniform jitter draw in [0, Jitter*delay). The zero value is
+// usable: Defaults() fills in the standard schedule.
+type Backoff struct {
+	Base        float64 // delay before the first retry, seconds
+	Cap         float64 // upper bound on any single delay, seconds
+	Factor      float64 // multiplicative growth per retry
+	Jitter      float64 // jitter fraction of the capped delay (0 = none)
+	MaxAttempts int     // total attempts including the first; <= 0 = default
+}
+
+// Defaults returns b with unset fields replaced by the standard schedule:
+// 100 us base, 5 ms cap, doubling, no jitter, 6 attempts. The defaults are
+// deliberately jitter-free so that scenario goldens stay exact; plans that
+// want decorrelated retries opt in explicitly.
+func (b Backoff) Defaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 1e-4
+	}
+	if b.Cap <= 0 {
+		b.Cap = 5e-3
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.MaxAttempts <= 0 {
+		b.MaxAttempts = 6
+	}
+	return b
+}
+
+// Delay returns the wait before retry number `retry` (1 = after the first
+// failure). rng is consulted only when Jitter > 0, so jitter-free schedules
+// consume no draws.
+func (b Backoff) Delay(retry int, rng *rand.Rand) float64 {
+	if retry < 1 {
+		retry = 1
+	}
+	d := b.Base
+	for i := 1; i < retry; i++ {
+		d *= b.Factor
+		if d >= b.Cap {
+			d = b.Cap
+			break
+		}
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	if b.Jitter > 0 {
+		d += d * b.Jitter * rng.Float64()
+	}
+	return d
+}
+
+// Exhausted reports whether `attempts` total attempts have used up the
+// budget.
+func (b Backoff) Exhausted(attempts int) bool { return attempts >= b.MaxAttempts }
+
+// --- circuit breaker --------------------------------------------------------
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState uint8
+
+const (
+	BreakerClosed   BreakerState = iota // normal operation
+	BreakerOpen                         // tripped: hold requests off until cooldown
+	BreakerHalfOpen                     // cooldown over: one probe decides
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker is a per-target circuit breaker in virtual time. Threshold
+// consecutive failures trip it open; while open, HoldOff tells the caller
+// how long to stall before the breaker turns half-open; the first attempt in
+// half-open state is the probe — its outcome closes the breaker or re-opens
+// it for another cooldown. Single-goroutine use only (the simulator
+// serializes procs), so there is no locking.
+type Breaker struct {
+	Threshold int     // consecutive failures that trip the breaker; <= 0 = 4
+	Cooldown  float64 // open duration before the half-open probe; <= 0 = 2 ms
+
+	state    BreakerState
+	fails    int
+	openedAt float64
+	Opens    uint64 // cumulative trips, for stats
+}
+
+func (k *Breaker) threshold() int {
+	if k.Threshold <= 0 {
+		return 4
+	}
+	return k.Threshold
+}
+
+func (k *Breaker) cooldown() float64 {
+	if k.Cooldown <= 0 {
+		return 2e-3
+	}
+	return k.Cooldown
+}
+
+// State returns the breaker's automaton state as of virtual time `at`
+// (an open breaker whose cooldown has elapsed reads as half-open).
+func (k *Breaker) State(at float64) BreakerState {
+	if k.state == BreakerOpen && at >= k.openedAt+k.cooldown() {
+		return BreakerHalfOpen
+	}
+	return k.state
+}
+
+// HoldOff returns how long a request arriving at `at` must stall before it
+// may be attempted (0 when the breaker is closed or ready for a probe). The
+// caller is expected to advance its clock by the returned amount and then
+// attempt; that attempt is the half-open probe.
+func (k *Breaker) HoldOff(at float64) float64 {
+	if k.state != BreakerOpen {
+		return 0
+	}
+	ready := k.openedAt + k.cooldown()
+	if at >= ready {
+		k.state = BreakerHalfOpen
+		return 0
+	}
+	k.state = BreakerHalfOpen // the stalled request becomes the probe
+	return ready - at
+}
+
+// Success records a served request: any state collapses back to closed.
+func (k *Breaker) Success() {
+	k.state = BreakerClosed
+	k.fails = 0
+}
+
+// Failure records a failed request at virtual time `at`. A half-open probe
+// failure re-opens immediately; in closed state the consecutive-failure
+// counter trips the breaker at Threshold.
+func (k *Breaker) Failure(at float64) {
+	if k.state == BreakerHalfOpen {
+		k.state = BreakerOpen
+		k.openedAt = at
+		k.Opens++
+		return
+	}
+	k.fails++
+	if k.fails >= k.threshold() {
+		k.state = BreakerOpen
+		k.openedAt = at
+		k.fails = 0
+		k.Opens++
+	}
+}
+
+// --- collective-layer policy ------------------------------------------------
+
+// Policy parameterizes the mpiio layer's failure detection and failover.
+type Policy struct {
+	// Timeout is the per-round watchdog deadline, virtual seconds: a
+	// subgroup member that hears nothing from its aggregator for this long
+	// declares it dead. It must dominate the aggregator's worst per-round
+	// latency — announcements are produced one per round, and the round
+	// includes the collective-buffer write, so a timeout below the round's
+	// I/O time reads ordinary disk latency as death and falsely suspects
+	// every healthy aggregator. The default (250 ms) sits ~5x above the
+	// slowest rounds in the shipped experiment geometries while staying
+	// well under whole-run times. <= 0 selects the default.
+	Timeout float64
+	// MaxFailovers bounds aggregator failovers per collective call; one
+	// more failure degrades the call to independent I/O. <= 0 selects the
+	// default of 2.
+	MaxFailovers int
+}
+
+// Defaults returns p with unset fields filled in.
+func (p Policy) Defaults() Policy {
+	if p.Timeout <= 0 {
+		p.Timeout = 2.5e-1
+	}
+	if p.MaxFailovers <= 0 {
+		p.MaxFailovers = 2
+	}
+	return p
+}
+
+// --- typed errors -----------------------------------------------------------
+
+// OSTError is the typed failure the lustre client surfaces when a request
+// against one OST cannot be served: either the retry budget was exhausted on
+// transient errors, or the plan marked the failure permanent.
+type OSTError struct {
+	OST       int  // the failing target
+	Attempts  int  // attempts consumed before giving up
+	Permanent bool // true: unrecoverable by retry, by injection decree
+}
+
+func (e *OSTError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("lustre: OST %d %s failure after %d attempt(s)", e.OST, kind, e.Attempts)
+}
+
+// --- recovery accounting ----------------------------------------------------
+
+// RetryStats counts the lustre retry engine's work. Counters are plain
+// uint64s mutated by one proc at a time under the simulator's cooperative
+// schedule.
+type RetryStats struct {
+	Attempts     uint64  // I/O attempts issued (first tries + retries)
+	Retries      uint64  // attempts beyond the first, per request
+	Failures     uint64  // attempts that came back failed
+	Exhausted    uint64  // requests abandoned after the full budget
+	BreakerOpens uint64  // circuit-breaker trips
+	BackoffSecs  float64 // virtual seconds spent in backoff + breaker holds
+}
+
+// Add accumulates o into s.
+func (s *RetryStats) Add(o RetryStats) {
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Failures += o.Failures
+	s.Exhausted += o.Exhausted
+	s.BreakerOpens += o.BreakerOpens
+	s.BackoffSecs += o.BackoffSecs
+}
+
+// FailoverStats counts the collective layer's recovery actions across one or
+// more collective calls.
+type FailoverStats struct {
+	Detections    uint64  // aggregator-death detections (per rank, per call)
+	Failovers     uint64  // aggregator domains re-assigned to survivors
+	Reelections   uint64  // subgroups that had to elect a fresh aggregator
+	Degradations  uint64  // calls degraded to independent I/O
+	DetectSecs    float64 // virtual seconds from round start to detection
+	RecoverSecs   float64 // virtual seconds replanning after detection
+	TimeToRecover float64 // max replanning span over ranks (the TTR metric)
+}
+
+// Merge accumulates o into s; TimeToRecover merges by max (it is a span, not
+// a sum).
+func (s *FailoverStats) Merge(o FailoverStats) {
+	s.Detections += o.Detections
+	s.Failovers += o.Failovers
+	s.Reelections += o.Reelections
+	s.Degradations += o.Degradations
+	s.DetectSecs += o.DetectSecs
+	s.RecoverSecs += o.RecoverSecs
+	if o.TimeToRecover > s.TimeToRecover {
+		s.TimeToRecover = o.TimeToRecover
+	}
+}
+
+// Recovered reports whether any recovery action fired.
+func (s *FailoverStats) Recovered() bool {
+	return s.Detections > 0 || s.Failovers > 0 || s.Reelections > 0 || s.Degradations > 0
+}
+
+// Event is one entry in the structured recovery log: what a rank did about
+// a failure and when. Kinds: "timeout", "failover", "reelect", "degrade".
+type Event struct {
+	At     float64 // virtual time the action completed
+	Rank   int     // acting rank (communicator rank)
+	Kind   string
+	Detail string
+}
+
+// Log is an append-only recovery log. The zero value is ready to use.
+type Log struct {
+	Events []Event
+}
+
+// Append records one event.
+func (l *Log) Append(at float64, rank int, kind, detail string) {
+	l.Events = append(l.Events, Event{At: at, Rank: rank, Kind: kind, Detail: detail})
+}

@@ -66,9 +66,11 @@ type Perturber interface {
 	// proc at Run start, so it must be a pure function of the proc id.
 	ComputeScale(proc int) float64
 	// DeliveryDelay returns extra seconds added to the arrival time of a
-	// message from src to dst. rng is the engine's dedicated perturbation
-	// generator; implementations that perturb nothing must not draw.
-	DeliveryDelay(src, dst int, rng *rand.Rand) float64
+	// message from src to dst whose unperturbed arrival is `at` (so loss
+	// windows and retransmission models can be pure functions of virtual
+	// time). rng is the engine's dedicated perturbation generator;
+	// implementations that perturb nothing must not draw.
+	DeliveryDelay(src, dst int, at float64, rng *rand.Rand) float64
 }
 
 // Engine owns the virtual clock and the proc scheduler.
@@ -76,6 +78,7 @@ type Engine struct {
 	cfg     Config
 	procs   []*Proc
 	ready   readyHeap // procs in stateReady, keyed by (readyAt, id)
+	dl      dlHeap    // armed RecvUntil deadlines, keyed by (at, id)
 	yieldCh chan struct{}
 	seq     uint64 // global message sequence for FIFO tie-breaks
 	panicV  any
@@ -179,6 +182,10 @@ type Proc struct {
 	pend       pendHeap  // deferred completions ordered by (at, seq)
 	pendSeq    uint64
 	firing     bool // fireDue reentrancy guard
+
+	deadline    float64 // valid while blocked in RecvUntil
+	hasDeadline bool
+	dlGen       uint64 // invalidates stale dlHeap entries
 }
 
 type recvSpec struct {
@@ -330,6 +337,10 @@ func (e *Engine) Run(n int, body func(p *Proc)) float64 {
 				if r := recover(); r != nil {
 					e.panicV = fmt.Sprintf("%v\n\nproc %d stack:\n%s", r, p.id, debug.Stack())
 				}
+				// A finished (or crashed) proc's deferred completions must
+				// never fire: cancel them here rather than leaving them live
+				// against a dead rank.
+				p.drainPending()
 				p.state = stateDone
 				e.yieldCh <- struct{}{}
 			}()
@@ -338,6 +349,12 @@ func (e *Engine) Run(n int, body func(p *Proc)) float64 {
 	}
 	for {
 		next := e.ready.peek()
+		// Fire a receive timeout when it is strictly the earliest event the
+		// engine could schedule (runnable procs win ties; see timeout.go).
+		if tp := e.peekTimeout(); tp != nil && (next == nil || tp.at < next.readyAt) {
+			e.fireTimeout()
+			continue
+		}
 		if next == nil {
 			if done == n {
 				break
@@ -479,7 +496,7 @@ func (p *Proc) Send(dst, tag int, payload any, arrival float64) {
 	if e.cfg.Perturber != nil {
 		// Delivery jitter only ever delays a message, so the Sync-ordering
 		// invariant (arrival >= sender clock) is preserved.
-		if d := e.cfg.Perturber.DeliveryDelay(p.id, dst, e.frng); d > 0 {
+		if d := e.cfg.Perturber.DeliveryDelay(p.id, dst, arrival, e.frng); d > 0 {
 			arrival += d
 			e.stats.Perturbed.Inc()
 		}
@@ -488,6 +505,19 @@ func (p *Proc) Send(dst, tag int, payload any, arrival float64) {
 	q := e.procs[dst]
 	q.mb.put(m)
 	if q.state == stateBlocked && q.hasPending && q.pending.matches(&m) {
+		if q.hasDeadline && m.Arrival > q.deadline {
+			// The waiter's watchdog expires before this message arrives:
+			// wake it at the deadline, empty-handed (RecvUntil rejects the
+			// late head via takeBefore).
+			q.hasDeadline = false
+			q.hasPending = false
+			q.state = stateReady
+			q.readyAt = q.deadline
+			e.stats.Timeouts.Inc()
+			e.ready.push(q)
+			return
+		}
+		q.hasDeadline = false
 		q.hasPending = false
 		q.state = stateReady
 		q.readyAt = q.now
@@ -662,6 +692,7 @@ type Stats struct {
 	WildcardPops    perf.Counter // receives served by the wildcard head scan
 	WildcardScanned perf.Counter // queue heads examined by wildcard scans
 	Perturbed       perf.Counter // messages delayed by the fault perturber
+	Timeouts        perf.Counter // RecvUntil watchdogs that fired empty-handed
 }
 
 // Events returns the total scheduler-visible event count (resumes plus

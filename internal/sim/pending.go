@@ -131,6 +131,24 @@ func (p *Proc) PendingOps() int {
 	return n
 }
 
+// drainPending cancels every live deferred completion and empties the heap.
+// The engine calls it when a proc's body returns (normally or by panic):
+// completions registered by a finished or crashed proc must never fire, and
+// must not linger as live entries against a dead rank. It returns the number
+// of completions canceled (regression tests assert on it indirectly via
+// PendingOps).
+func (p *Proc) drainPending() int {
+	n := 0
+	for _, pd := range p.pend {
+		if pd.state == pendWaiting {
+			pd.state = pendCanceled
+			n++
+		}
+	}
+	p.pend = p.pend[:0]
+	return n
+}
+
 // fireDue drains due completions. Called from every clock-advancing path;
 // the leading length check keeps the blocking hot paths free when no
 // nonblocking operation is in flight. Reentrancy (a callback that triggers

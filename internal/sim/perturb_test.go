@@ -22,7 +22,9 @@ func (tp testPerturber) ComputeScale(proc int) float64 {
 	return 1
 }
 
-func (tp testPerturber) DeliveryDelay(src, dst int, rng *rand.Rand) float64 { return tp.delay }
+func (tp testPerturber) DeliveryDelay(src, dst int, at float64, rng *rand.Rand) float64 {
+	return tp.delay
+}
 
 func TestPerturberComputeScale(t *testing.T) {
 	var fast, slow float64
@@ -103,7 +105,7 @@ func TestPerturberDeterminism(t *testing.T) {
 type rngPerturber struct{}
 
 func (rngPerturber) ComputeScale(proc int) float64 { return 1 }
-func (rngPerturber) DeliveryDelay(src, dst int, rng *rand.Rand) float64 {
+func (rngPerturber) DeliveryDelay(src, dst int, at float64, rng *rand.Rand) float64 {
 	return rng.Float64() * 1e-4
 }
 

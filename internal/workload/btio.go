@@ -5,6 +5,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/recovery"
 )
 
 // BTIO models NAS BT-IO full mode (paper §5.3): the BT solver's 3D solution
@@ -133,12 +134,17 @@ func (w BTIO) Write(r *mpi.Rank, env Env, name string) Result {
 	if w.Split {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
+	var rec recovery.FailoverStats
+	if env.Opts.Hints.Fault.HasCrashes() {
+		rec = GlobalRecovery(comm, f.Recovery())
+	}
 	return Result{
 		Elapsed:   elapsed,
 		VirtBytes: per * int64(comm.Size()) * int64(w.Steps) * scaleOf(env),
 		Breakdown: bd,
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
+		Recovery:  rec,
 	}
 }
 
@@ -170,11 +176,16 @@ func (w BTIO) Read(r *mpi.Rank, env Env, name string) Result {
 	if w.Split {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
+	var rec recovery.FailoverStats
+	if env.Opts.Hints.Fault.HasCrashes() {
+		rec = GlobalRecovery(comm, f.Recovery())
+	}
 	return Result{
 		Elapsed:   elapsed,
 		VirtBytes: per * int64(comm.Size()) * int64(w.Steps) * scaleOf(env),
 		Breakdown: bd,
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
+		Recovery:  rec,
 	}
 }

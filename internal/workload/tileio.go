@@ -7,6 +7,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/recovery"
 )
 
 // TileIO models the MPI-Tile-IO benchmark of the paper's §5.2: a dense 2D
@@ -97,12 +98,19 @@ func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 	if w.Split {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
+	// The aggregation collective runs only when the plan could have produced
+	// recovery work: a healthy run must not move a single extra message.
+	var rec recovery.FailoverStats
+	if env.Opts.Hints.Fault.HasCrashes() {
+		rec = GlobalRecovery(comm, f.Recovery())
+	}
 	return Result{
 		Elapsed:   elapsed,
 		VirtBytes: per * int64(steps) * int64(comm.Size()) * scaleOf(env),
 		Breakdown: bd,
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
+		Recovery:  rec,
 	}
 }
 
@@ -140,12 +148,17 @@ func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
 	if w.Split {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
+	var rec recovery.FailoverStats
+	if env.Opts.Hints.Fault.HasCrashes() {
+		rec = GlobalRecovery(comm, f.Recovery())
+	}
 	res := Result{
 		Elapsed:   elapsed,
 		VirtBytes: per * int64(steps) * int64(comm.Size()) * scaleOf(env),
 		Breakdown: bd,
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
+		Recovery:  rec,
 	}
 	_ = got
 	return res

@@ -13,6 +13,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/recovery"
 )
 
 // Env bundles what every workload run needs.
@@ -31,6 +32,10 @@ type Result struct {
 	// Overlap sums the split-collective overlap accounting across all ranks
 	// (zero for blocking runs).
 	Overlap mpiio.OverlapStats
+	// Recovery aggregates the fail-stop recovery record across all ranks:
+	// counters sum, TimeToRecover is the global maximum. Zero on healthy
+	// runs — the recovery machinery is inert without a crash-carrying plan.
+	Recovery recovery.FailoverStats
 }
 
 // Bandwidth returns the aggregate rate in bytes/second.
@@ -64,6 +69,27 @@ func measure(comm *mpi.Comm, fn func()) float64 {
 func GlobalOverlap(comm *mpi.Comm, o mpiio.OverlapStats) mpiio.OverlapStats {
 	v := comm.AllreduceFloat64([]float64{o.Hidden, o.Exposed}, mpi.OpSum)
 	return mpiio.OverlapStats{Hidden: v[0], Exposed: v[1]}
+}
+
+// GlobalRecovery aggregates per-rank recovery stats across the communicator
+// (identical result everywhere): counts and accumulated seconds sum; the
+// time-to-recover metric reduces by max, since it is the worst single
+// replanning span anywhere, not a total.
+func GlobalRecovery(comm *mpi.Comm, s recovery.FailoverStats) recovery.FailoverStats {
+	sums := comm.AllreduceFloat64([]float64{
+		float64(s.Detections), float64(s.Failovers), float64(s.Reelections),
+		float64(s.Degradations), s.DetectSecs, s.RecoverSecs,
+	}, mpi.OpSum)
+	ttr := comm.AllreduceFloat64([]float64{s.TimeToRecover}, mpi.OpMax)
+	return recovery.FailoverStats{
+		Detections:    uint64(sums[0]),
+		Failovers:     uint64(sums[1]),
+		Reelections:   uint64(sums[2]),
+		Degradations:  uint64(sums[3]),
+		DetectSecs:    sums[4],
+		RecoverSecs:   sums[5],
+		TimeToRecover: ttr[0],
+	}
 }
 
 // MeanBreakdown averages a breakdown across the communicator (identical

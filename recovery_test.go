@@ -1,0 +1,116 @@
+// End-to-end fail-stop recovery acceptance tests: writes run under
+// crash-carrying fault plans, then the data is read back and compared
+// byte-for-byte against the deterministic pattern — recovery must reproduce
+// exactly the file a healthy run would have written. The headline
+// comparison extends the paper's partitioning argument to hard failures:
+// ext2ph replans a dead aggregator across the whole communicator, ParColl
+// only across the crashed aggregator's subgroup, so ParColl's
+// time-to-recover is strictly lower under the same crash.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// failureScenarios are the catalog entries that inject hard failures (as
+// opposed to pure perturbations, which never need recovery).
+var failureScenarios = []string{fault.OneAggCrash, fault.FlakyOST, fault.LossyNet}
+
+// TestTileWriteUnderFailureReadsBack writes the tile workload under every
+// hard-failure scenario, both protocols, and requires byte-exact read-back.
+func TestTileWriteUnderFailureReadsBack(t *testing.T) {
+	p := experiments.BenchPreset()
+	for _, name := range failureScenarios {
+		plan, err := fault.Scenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, groups := range []int{1, scenarioGroups} {
+			pt := p.TileUnderFailure(scenarioProcs, groups, plan)
+			if !pt.Verified {
+				t.Errorf("%s/groups=%d: tile read-back does not match the pattern", name, groups)
+			}
+			if pt.Goodput <= 0 {
+				t.Errorf("%s/groups=%d: goodput = %g, want > 0", name, groups, pt.Goodput)
+			}
+		}
+	}
+}
+
+// TestBTWriteUnderFailureReadsBack is the BT-IO sibling: multiple collective
+// dumps on one handle, so an aggregator that died in dump k must be routed
+// around from round zero of dump k+1 without a second watchdog wait.
+func TestBTWriteUnderFailureReadsBack(t *testing.T) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneAggCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const btProcs = 16 // BT-IO needs a square process count
+	for _, groups := range []int{1, scenarioGroups} {
+		pt := p.BTUnderFailure(btProcs, groups, plan)
+		if !pt.Verified {
+			t.Errorf("bt %s/groups=%d: dump read-back does not match the pattern",
+				fault.OneAggCrash, groups)
+		}
+	}
+}
+
+// TestParCollRecoversFasterThanExt2ph is the acceptance criterion for the
+// failure model: under the one-aggregator-crash scenario both protocols must
+// complete with correct data and perform at least one failover, and
+// ParColl's global time-to-recover (the worst single replanning span
+// anywhere, detection excluded) must be strictly lower than ext2ph's —
+// partitioning confines detection and domain re-partitioning to one
+// subgroup instead of the whole job.
+func TestParCollRecoversFasterThanExt2ph(t *testing.T) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneAggCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := p.TileUnderFailure(scenarioProcs, 1, plan)
+	par := p.TileUnderFailure(scenarioProcs, scenarioGroups, plan)
+	for _, pt := range []experiments.FailurePoint{ext, par} {
+		if !pt.Verified {
+			t.Fatalf("groups=%d: recovery lost data", pt.Groups)
+		}
+		if pt.Recovery.Failovers == 0 {
+			t.Fatalf("groups=%d: crash produced no failover (stats: %+v)", pt.Groups, pt.Recovery)
+		}
+		if pt.Recovery.Degradations != 0 {
+			t.Fatalf("groups=%d: single crash must not exhaust the failover budget (stats: %+v)",
+				pt.Groups, pt.Recovery)
+		}
+	}
+	if par.Recovery.TimeToRecover >= ext.Recovery.TimeToRecover {
+		t.Errorf("time-to-recover: ParColl %.6fs, ext2ph %.6fs — partitioning must recover strictly faster",
+			par.Recovery.TimeToRecover, ext.Recovery.TimeToRecover)
+	}
+	// Detection is likewise confined: every live rank of the affected
+	// communicator pays one watchdog timeout, and ParColl's affected
+	// communicator is one subgroup rather than the world.
+	if par.Recovery.Detections >= ext.Recovery.Detections {
+		t.Errorf("detections: ParColl %d, ext2ph %d — only the crashed subgroup should detect",
+			par.Recovery.Detections, ext.Recovery.Detections)
+	}
+}
+
+// TestRecoveryRunTwiceIdentical pins the determinism of the failure path:
+// detection, failover, and re-partitioned I/O draw no entropy beyond the
+// seeded plan, so two runs agree bit-for-bit on timing and telemetry.
+func TestRecoveryRunTwiceIdentical(t *testing.T) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneAggCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.TileUnderFailure(scenarioProcs, scenarioGroups, plan)
+	b := p.TileUnderFailure(scenarioProcs, scenarioGroups, plan)
+	if a != b {
+		t.Errorf("failure runs differ:\n  first:  %+v\n  second: %+v", a, b)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet faults fuzz recovery
+.PHONY: all build test bench race vet faults fuzz recovery obs
 
 all: build test
 
@@ -18,7 +18,7 @@ vet:
 # scheduling); run it — and the layers the fault injector and the
 # nonblocking progress engine touch — under the race detector separately.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/...
+	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/...
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
 # perturber hook tests, and the scenario determinism goldens + straggler
@@ -27,6 +27,18 @@ faults: vet
 	$(GO) test ./internal/fault/... -count=1
 	$(GO) test ./internal/sim/ -run 'TestPerturber|TestResourceTrimWatermarkBoundary|TestTrimAtMinClockInRun' -count=1
 	$(GO) test . -run 'TestFaultScenarios|TestHealthyScenario|TestGoldenFaultScenario|TestStragglerSweep' -count=1 -v
+
+# Observability gate: vet the obs layer and the shared CLI package, run
+# their unit tests plus the root instrumentation-identity suite (every
+# scenario instrumented ≡ bare, byte-identical Perfetto exports), then
+# export a real trace with collwall and schema-check it end to end
+# (DESIGN.md §11, EXPERIMENTS.md "Reading a Perfetto dump").
+obs:
+	$(GO) vet ./internal/obs/... ./internal/cli/...
+	$(GO) test ./internal/obs/... ./internal/cli/... ./internal/trace/... -count=1
+	$(GO) test . -run 'TestInstrumentedRunsMatchBare|TestObservedRunDeterminism|TestObservedMetricsPopulated|TestCriticalPathConsistency' -count=1 -v
+	$(GO) run ./cmd/collwall -procs 32 -maxprocs 32 -minprocs 32 -groups 4 -trace-out /tmp/parcoll-trace.json -metrics > /dev/null
+	$(GO) run ./examples/validatetrace /tmp/parcoll-trace.json
 
 # Fuzz smoke: a short exploration of each native fuzz target beyond its
 # checked-in seed corpus (the corpus itself already runs under `make test`).

@@ -3,31 +3,34 @@
 // appended to a shared file with collective I/O. Each process's cells
 // scatter across the whole solution, so ParColl must switch to intermediate
 // file views (the paper's Figure 4(c) pattern). Reproduces Figure 10.
+// -procs caps the (square) process counts swept.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
-	maxProcs := flag.Int("maxprocs", 576, "largest (square) process count")
 	verify := flag.Bool("verify", false, "verify file contents of a ParColl run")
+	c := cli.Register(576)
+	c.RegisterScenario("")
 	flag.Parse()
 
 	p := experiments.PaperPreset()
+	c.Apply(&p)
 	var procs []int
 	for _, n := range []int{16, 64, 144, 256, 324, 576} {
 		k := 1
 		for k*k < n {
 			k++
 		}
-		if n <= *maxProcs && k*k == n && p.BT.N%int64(k) == 0 {
+		if n <= c.Procs && k*k == n && p.BT.N%int64(k) == 0 {
 			procs = append(procs, n)
 		}
 	}
@@ -40,18 +43,21 @@ func main() {
 		}
 		return gs
 	})
-	t := stats.NewTable("procs", "baseline", "ParColl(best)", "groups", "speedup")
-	for _, pt := range points {
-		t.AddRow(pt.Procs, stats.MBps(pt.BaselineBW), stats.MBps(pt.ParCollBW),
-			pt.BestGroups, fmt.Sprintf("%.1fx", pt.ParCollBW/pt.BaselineBW))
+	if c.JSON {
+		cli.EmitJSON("btio-scale", points)
+	} else {
+		t := stats.NewTable("procs", "baseline", "ParColl(best)", "groups", "speedup")
+		for _, pt := range points {
+			t.AddRow(pt.Procs, stats.MBps(pt.BaselineBW), stats.MBps(pt.ParCollBW),
+				pt.BestGroups, fmt.Sprintf("%.1fx", pt.ParCollBW/pt.BaselineBW))
+		}
+		fmt.Printf("NAS BT-IO full mode (%d^3 cells, %d dumps; Fig 10)\n\n", p.BT.N, p.BT.Steps)
+		fmt.Println(t)
 	}
-	fmt.Printf("NAS BT-IO full mode (%d^3 cells, %d dumps; Fig 10)\n\n", p.BT.N, p.BT.Steps)
-	fmt.Println(t)
 	if *verify {
 		n := procs[0]
 		if err := experiments.VerifyBT(p, n, core.Options{NumGroups: 4}); err != nil {
-			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
-			os.Exit(1)
+			cli.Fatalf("VERIFY FAILED: %v", err)
 		}
 		fmt.Printf("verify: %d-proc BT-IO file byte-exact\n", n)
 	}

@@ -3,16 +3,21 @@
 // two-phase protocol across process counts and prints the time breakdown
 // into synchronization, point-to-point exchange, and file I/O — the data
 // behind Figures 1 and 2 (the "collective wall").
+//
+// Observability: every mode accepts -trace-out and -metrics. Both run one
+// instrumented tile write at the mode's -procs/-groups (under -scenario's
+// plan when one is named), export it as a Perfetto/Chrome trace_event JSON
+// file, and report the metrics snapshot plus the critical-path analysis —
+// which rank and phase bounded completion.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
@@ -21,55 +26,55 @@ import (
 	"repro/internal/trace"
 )
 
-// jsonOut is set by -json; when true every mode emits a machine-readable
-// JSON document on stdout instead of the human tables.
-var jsonOut bool
-
 func main() {
 	maxProcs := flag.Int("maxprocs", 512, "largest process count to profile")
 	minProcs := flag.Int("minprocs", 16, "smallest process count to profile")
 	gantt := flag.Int("gantt", 0, "render a per-rank timeline of one run with this many ranks (s=sync e=exchange i=io)")
-	scenario := flag.String("scenario", "", "run baseline vs ParColl under a named fault scenario ('all' runs the catalog: "+strings.Join(fault.Names(), ", ")+")")
 	failures := flag.String("failures", "", "run the fail-stop recovery comparison under a named scenario ('all' runs the catalog) with byte-level read-back verification")
 	sweep := flag.Bool("sweep", false, "sweep straggler severity for ext2ph vs ParColl (the collective-wall demonstration)")
 	overlap := flag.Bool("overlap", false, "sweep compute/IO ratio for blocking vs split collectives (healthy and one-straggler)")
 	groups := flag.Int("groups", 8, "ParColl subgroup count for -scenario, -sweep and -overlap")
-	nprocs := flag.Int("procs", 64, "process count for -scenario, -sweep and -overlap")
 	severities := flag.String("severities", "0,1,2,4,8", "comma-separated severity levels for -sweep")
 	ratios := flag.String("ratios", "0,0.25,0.5,1,2", "comma-separated compute/IO ratios for -overlap")
 	steps := flag.Int("steps", 6, "collective dumps per run for -overlap")
-	flag.BoolVar(&jsonOut, "json", false, "emit JSON instead of tables")
+	c := cli.Register(64)
+	c.RegisterScenario("run baseline vs ParColl under a named fault scenario ('all' runs the catalog: " + strings.Join(fault.Names(), ", ") + ")")
+	c.RegisterObs()
 	flag.Parse()
 
+	// The observability surface rides along with whatever mode ran.
+	defer maybeObserve(c, *groups)
+
 	if *gantt > 0 {
-		renderGantt(*gantt)
+		renderGantt(c, *gantt)
 		return
 	}
 	if *overlap {
-		runOverlap(*nprocs, *groups, *steps, parseFloats("ratio", *ratios))
+		runOverlap(c, *groups, *steps, cli.ParseFloats("ratio", *ratios))
 		return
 	}
 	if *sweep {
-		runSweep(*nprocs, *groups, parseFloats("severity", *severities))
+		runSweep(c, *groups, cli.ParseFloats("severity", *severities))
 		return
 	}
 	if *failures != "" {
-		runFailures(*failures, *nprocs, *groups)
+		runFailures(c, *failures, *groups)
 		return
 	}
-	if *scenario != "" {
-		runScenarios(*scenario, *nprocs, *groups)
+	if c.Scenario != "" {
+		runScenarios(c, *groups)
 		return
 	}
 
 	p := experiments.PaperPreset()
+	p.Seed = c.Seed
 	var procs []int
 	for n := *minProcs; n <= *maxProcs; n *= 2 {
 		procs = append(procs, n)
 	}
 	points := p.CollectiveWall(procs)
-	if jsonOut {
-		emitJSON("collective-wall", points)
+	if c.JSON {
+		cli.EmitJSON("collective-wall", points)
 		return
 	}
 
@@ -88,26 +93,48 @@ func main() {
 	}
 }
 
-// emitJSON prints {"experiment": name, "points": points} with stable
-// formatting, so scripts can consume any collwall mode.
-func emitJSON(name string, points any) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"experiment": name, "points": points}); err != nil {
-		panic(err)
+// maybeObserve runs one instrumented tile write when -trace-out or -metrics
+// asked for it: the trace recorder and metrics registry thread through every
+// layer, the Perfetto export is schema-validated before it is written, and
+// the critical-path report names the bounding rank and phase.
+func maybeObserve(c *cli.Common, groups int) {
+	if c.TraceOut == "" && !c.Metrics {
+		return
 	}
-}
-
-func parseFloats(what, s string) []float64 {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil || v < 0 {
-			panic(fmt.Sprintf("collwall: bad %s %q", what, f))
+	p := experiments.BenchPreset()
+	p.Seed = c.Seed
+	var plan *fault.Plan
+	if c.Scenario != "" && c.Scenario != "all" {
+		plan = c.Plan()
+	}
+	o := experiments.ObservedTileWrite(p, c.Procs, groups, plan)
+	if c.TraceOut != "" {
+		data, err := o.Perfetto()
+		if err != nil {
+			cli.Fatalf("collwall: trace export: %v", err)
 		}
-		out = append(out, v)
+		if err := cli.ValidateTraceEvents(data); err != nil {
+			cli.Fatalf("collwall: trace export failed validation: %v", err)
+		}
+		if err := os.WriteFile(c.TraceOut, data, 0o644); err != nil {
+			cli.Fatalf("collwall: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d spans, load in ui.perfetto.dev or chrome://tracing\n",
+			c.TraceOut, o.Trace.Len())
 	}
-	return out
+	if c.Metrics {
+		if c.JSON {
+			cli.EmitJSON("observability", map[string]any{
+				"metrics":       o.Snapshot,
+				"critical_path": o.Path,
+			})
+			return
+		}
+		fmt.Printf("\nInstrumented tile write (%d procs, %d groups): %.6fs, %.2f GB/s\n",
+			c.Procs, groups, o.Result.Elapsed, o.Result.Bandwidth()/1e9)
+		fmt.Print(o.Snapshot.String())
+		fmt.Print(o.Path.String())
+	}
 }
 
 // runOverlap is the split-collective demonstration: the same multi-step tile
@@ -116,16 +143,18 @@ func parseFloats(what, s string) []float64 {
 // retire the two-phase rounds' I/O tails while the application computes, so
 // as the ratio grows the hidden fraction rises and the split variants pull
 // ahead of their blocking twins.
-func runOverlap(nprocs, groups, steps int, ratios []float64) {
+func runOverlap(c *cli.Common, groups, steps int, ratios []float64) {
+	nprocs := c.Procs
 	p := experiments.BenchPreset()
+	p.Seed = c.Seed
 	plan, err := fault.Scenario(fault.OneStraggler)
 	if err != nil {
 		panic(err)
 	}
 	pts := p.OverlapSweep(nprocs, groups, steps, ratios, nil)
 	pts = append(pts, p.OverlapSweep(nprocs, groups, steps, ratios, plan)...)
-	if jsonOut {
-		emitJSON("overlap-sweep", pts)
+	if c.JSON {
+		cli.EmitJSON("overlap-sweep", pts)
 		return
 	}
 	t := stats.NewTable("scenario", "ratio", "block-ext2ph(s)", "split-ext2ph(s)",
@@ -150,11 +179,13 @@ func runOverlap(nprocs, groups, steps int, ratios []float64) {
 // over every rank at each globally synchronized round; ParColl pays only
 // the maximum within each subgroup, so its elapsed time degrades strictly
 // slower.
-func runSweep(nprocs, groups int, severities []float64) {
+func runSweep(c *cli.Common, groups int, severities []float64) {
+	nprocs := c.Procs
 	p := experiments.BenchPreset()
+	p.Seed = c.Seed
 	pts := p.StragglerSweep(nprocs, groups, severities)
-	if jsonOut {
-		emitJSON("straggler-sweep", pts)
+	if c.JSON {
+		cli.EmitJSON("straggler-sweep", pts)
 		return
 	}
 	t := stats.NewTable("severity", "ext2ph(s)", fmt.Sprintf("parcoll-%d(s)", groups), "gap(s)", "ext2ph-degr(s)", "parcoll-degr(s)")
@@ -174,8 +205,10 @@ func runSweep(nprocs, groups int, severities []float64) {
 
 // runScenarios profiles baseline vs ParColl tile writes under one named
 // fault scenario, or the whole catalog.
-func runScenarios(name string, nprocs, groups int) {
+func runScenarios(c *cli.Common, groups int) {
+	name, nprocs := c.Scenario, c.Procs
 	p := experiments.BenchPreset()
+	p.Seed = c.Seed
 	var pts []experiments.ScenarioPoint
 	if name == "all" {
 		pts = p.ScenarioSuite(nprocs, groups)
@@ -186,8 +219,8 @@ func runScenarios(name string, nprocs, groups int) {
 		}
 		pts = append(pts, p.TileUnderFault(nprocs, 1, plan), p.TileUnderFault(nprocs, groups, plan))
 	}
-	if jsonOut {
-		emitJSON("fault-scenarios", pts)
+	if c.JSON {
+		cli.EmitJSON("fault-scenarios", pts)
 		return
 	}
 	t := stats.NewTable("scenario", "groups", "elapsed(s)", "sync(s)", "io(s)", "perturbed-msgs")
@@ -204,8 +237,10 @@ func runScenarios(name string, nprocs, groups int) {
 // the unpartitioned baseline and ParColl. Partitioning confines failure
 // detection and domain re-partitioning to the crashed aggregator's subgroup,
 // so ParColl's time-to-recover comes out strictly lower.
-func runFailures(name string, nprocs, groups int) {
+func runFailures(c *cli.Common, name string, groups int) {
+	nprocs := c.Procs
 	p := experiments.BenchPreset()
+	p.Seed = c.Seed
 	var pts []experiments.FailurePoint
 	if name == "all" {
 		pts = p.RecoverySuite(nprocs, groups)
@@ -216,8 +251,8 @@ func runFailures(name string, nprocs, groups int) {
 		}
 		pts = append(pts, p.TileUnderFailure(nprocs, 1, plan), p.TileUnderFailure(nprocs, groups, plan))
 	}
-	if jsonOut {
-		emitJSON("failure-recovery", pts)
+	if c.JSON {
+		cli.EmitJSON("failure-recovery", pts)
 		return
 	}
 	t := stats.NewTable("scenario", "groups", "elapsed(s)", "detect", "failover", "reelect",
@@ -234,8 +269,9 @@ func runFailures(name string, nprocs, groups int) {
 // renderGantt traces one baseline tile-IO collective write and draws the
 // per-rank timeline, making the interleaved sync/exchange/io rounds — and
 // the waiting that builds the wall — directly visible.
-func renderGantt(nprocs int) {
+func renderGantt(c *cli.Common, nprocs int) {
 	p := experiments.PaperPreset()
+	p.Seed = c.Seed
 	rec := trace.New()
 	env := experiments.EnvFor(p, p.TileScale, core.Options{})
 	mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {

@@ -16,10 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
@@ -31,28 +29,40 @@ import (
 func main() {
 	param := flag.String("param", "latency", "parameter to sweep: latency, tailprob, jitter, ostbw, osts, switch")
 	values := flag.String("values", "", "comma-separated values (defaults depend on param)")
-	procs := flag.Int("procs", 128, "simulated processes")
 	groups := flag.Int("groups", 16, "ParColl subgroup count")
+	c := cli.Register(128)
+	c.RegisterScenario("")
 	flag.Parse()
 
-	vals, err := parseValues(*param, *values)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	vals := parseValues(*param, *values)
 
+	type row struct {
+		Param      string  `json:"param"`
+		Value      float64 `json:"value"`
+		BaselineBW float64 `json:"baseline_bw"`
+		SyncShare  float64 `json:"sync_share"`
+		ParCollBW  float64 `json:"parcoll_bw"`
+		Groups     int     `json:"groups"`
+	}
+	var rows []row
 	t := stats.NewTable(*param, "baseline", "sync-share", fmt.Sprintf("ParColl-%d", *groups), "speedup")
 	var xs, speedups []float64
 	for _, v := range vals {
 		p := applyParam(experiments.PaperPreset(), *param, v)
-		base, share := runTile(p, *procs, 1)
-		pc, _ := runTile(p, *procs, *groups)
+		c.Apply(&p)
+		base, share := runTile(p, c.Procs, 1)
+		pc, _ := runTile(p, c.Procs, *groups)
+		rows = append(rows, row{*param, v, base, share, pc, *groups})
 		t.AddRow(fmt.Sprintf("%g", v), stats.MBps(base), fmt.Sprintf("%.0f%%", share*100),
 			stats.MBps(pc), fmt.Sprintf("%.2fx", pc/base))
 		xs = append(xs, v)
 		speedups = append(speedups, pc/base)
 	}
-	fmt.Printf("sensitivity of the collective wall to %s (%d procs, tile workload)\n\n", *param, *procs)
+	if c.JSON {
+		cli.EmitJSON("sensitivity", rows)
+		return
+	}
+	fmt.Printf("sensitivity of the collective wall to %s (%d procs, tile workload)\n\n", *param, c.Procs)
 	fmt.Println(t)
 	fmt.Println(viz.TrendChart([]viz.Series{
 		{Name: "ParColl speedup", X: xs, Y: speedups, Marker: 'x'},
@@ -63,7 +73,7 @@ func main() {
 // share for one configuration.
 func runTile(p experiments.Preset, nprocs, groups int) (bw, syncShare float64) {
 	env := experiments.EnvFor(p, p.TileScale, core.Options{NumGroups: groups})
-	mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+	mpi.RunPlan(nprocs, p.Cluster, p.Seed, p.Fault, func(r *mpi.Rank) {
 		res := p.Tile.Write(r, env, "tile")
 		m := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
 		if r.WorldRank() == 0 {
@@ -94,7 +104,7 @@ func applyParam(p experiments.Preset, param string, v float64) experiments.Prese
 	return p
 }
 
-func parseValues(param, s string) ([]float64, error) {
+func parseValues(param, s string) []float64 {
 	if s == "" {
 		defaults := map[string][]float64{
 			"latency":  {1e-6, 5e-6, 2e-5, 1e-4},
@@ -104,21 +114,11 @@ func parseValues(param, s string) ([]float64, error) {
 			"osts":     {18, 36, 72, 144},
 			"switch":   {0, 1.5e-3, 5e-3},
 		}
-		if d, ok := defaults[param]; ok {
-			return d, nil
+		d, ok := defaults[param]
+		if !ok {
+			cli.Fatalf("unknown param %q", param)
 		}
-		return nil, fmt.Errorf("unknown param %q", param)
+		return d
 	}
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q", f)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no values")
-	}
-	return out, nil
+	return cli.ParseFloats("value", s)
 }

@@ -8,34 +8,39 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
-	procs := flag.Int("procs", 256, "number of simulated processes")
 	groups := flag.Int("groups", 64, "ParColl subgroup count")
 	aggs := flag.Int("aggs", 64, "aggregator count for the hinted series")
 	verify := flag.Bool("verify", false, "verify checkpoint contents of a ParColl run")
+	c := cli.Register(256)
+	c.RegisterScenario("")
 	flag.Parse()
 
 	p := experiments.PaperPreset()
-	fmt.Printf("Flash I/O checkpoint: %d procs, %d vars, %s virtual per proc\n\n",
-		*procs, p.Flash.NVars,
-		stats.Bytes(p.Flash.PerProcBytes()*int64(p.Flash.NVars)*int64(p.FlashScale)))
-	points := p.FlashSeries(*procs, *groups, *aggs)
-	t := stats.NewTable("series", "bandwidth")
-	for _, pt := range points {
-		t.AddRow(pt.Label, stats.MBps(pt.BW))
+	c.Apply(&p)
+	points := p.FlashSeries(c.Procs, *groups, *aggs)
+	if c.JSON {
+		cli.EmitJSON("flash-series", points)
+	} else {
+		fmt.Printf("Flash I/O checkpoint: %d procs, %d vars, %s virtual per proc\n\n",
+			c.Procs, p.Flash.NVars,
+			stats.Bytes(p.Flash.PerProcBytes()*int64(p.Flash.NVars)*int64(p.FlashScale)))
+		t := stats.NewTable("series", "bandwidth")
+		for _, pt := range points {
+			t.AddRow(pt.Label, stats.MBps(pt.BW))
+		}
+		fmt.Println(t)
 	}
-	fmt.Println(t)
 	if *verify {
-		if err := experiments.VerifyFlash(p, min(*procs, 64), core.Options{NumGroups: *groups}); err != nil {
-			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
-			os.Exit(1)
+		if err := experiments.VerifyFlash(p, min(c.Procs, 64), core.Options{NumGroups: *groups}); err != nil {
+			cli.Fatalf("VERIFY FAILED: %v", err)
 		}
 		fmt.Println("verify: checkpoint byte-exact")
 	}

@@ -7,9 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
@@ -19,38 +19,39 @@ import (
 )
 
 func main() {
-	procs := flag.Int("procs", 128, "number of simulated processes")
 	groups := flag.String("groups", "1,2,4,8,16", "comma list of subgroup counts to sweep")
 	verify := flag.Bool("verify", false, "verify file contents after each run")
 	ostStats := flag.Bool("oststats", false, "print per-OST service statistics for the last configuration")
+	c := cli.Register(128)
+	c.RegisterScenario("")
 	flag.Parse()
 
 	p := experiments.PaperPreset()
-	gs, err := parseInts(*groups)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	c.Apply(&p)
+	gs := cli.ParseInts("group count", *groups)
 
-	fmt.Printf("IOR collective write: %d procs, %s virtual per proc in %s units\n\n",
-		*procs, stats.Bytes(p.IORBlock*int64(p.IORScale)), stats.Bytes(p.IORTransfer*int64(p.IORScale)))
-	t := stats.NewTable("config", "bandwidth")
-	points := p.IORGroups([]int{*procs}, func(int) []int { return gs })
-	for _, pt := range points {
-		label := fmt.Sprintf("ParColl-%d", pt.Groups)
-		if pt.Groups == 1 {
-			label = "baseline"
+	points := p.IORGroups([]int{c.Procs}, func(int) []int { return gs })
+	if c.JSON {
+		cli.EmitJSON("ior-groups", points)
+	} else {
+		fmt.Printf("IOR collective write: %d procs, %s virtual per proc in %s units\n\n",
+			c.Procs, stats.Bytes(p.IORBlock*int64(p.IORScale)), stats.Bytes(p.IORTransfer*int64(p.IORScale)))
+		t := stats.NewTable("config", "bandwidth")
+		for _, pt := range points {
+			label := fmt.Sprintf("ParColl-%d", pt.Groups)
+			if pt.Groups == 1 {
+				label = "baseline"
+			}
+			t.AddRow(label, stats.MBps(pt.BW))
 		}
-		t.AddRow(label, stats.MBps(pt.BW))
+		fmt.Println(t)
 	}
-	fmt.Println(t)
 	if *ostStats {
-		printOSTStats(p, *procs, gs[len(gs)-1])
+		printOSTStats(p, c.Procs, gs[len(gs)-1])
 	}
 	if *verify {
-		if err := verifyRun(p, *procs, gs[len(gs)-1]); err != nil {
-			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
-			os.Exit(1)
+		if err := verifyRun(p, c.Procs, gs[len(gs)-1]); err != nil {
+			cli.Fatalf("VERIFY FAILED: %v", err)
 		}
 		fmt.Println("verify: file contents byte-exact")
 	}
@@ -66,7 +67,7 @@ func verifyRun(p experiments.Preset, nprocs, groups int) error {
 func printOSTStats(p experiments.Preset, nprocs, groups int) {
 	env := experiments.EnvFor(p, p.IORScale, core.Options{NumGroups: groups})
 	w := workload.IOR{Block: p.IORBlock, Transfer: p.IORTransfer}
-	mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+	mpi.RunPlan(nprocs, p.Cluster, p.Seed, p.Fault, func(r *mpi.Rank) {
 		w.Write(r, env, "ior-stats")
 	})
 	st := env.FS.Stats()
@@ -97,33 +98,4 @@ func min(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, f := range splitComma(s) {
-		var v int
-		if _, err := fmt.Sscanf(f, "%d", &v); err != nil || v < 1 {
-			return nil, fmt.Errorf("bad group count %q", f)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no group counts given")
-	}
-	return out, nil
-}
-
-func splitComma(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			if i > start {
-				out = append(out, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	return out
 }

@@ -4,29 +4,34 @@
 //
 // Usage:
 //
-//	paperrepro [-fig all|1|2|6|7|8|9|10|11] [-preset paper|bench] [-maxprocs N]
+//	paperrepro [-fig all|1|2|6|7|8|9|10|11] [-preset paper|bench] [-procs N]
+//
+// -procs caps the simulated process counts of every figure.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/viz"
 )
 
+var c *cli.Common
+
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: all,1,2,6,7,8,9,10,11")
 	presetName := flag.String("preset", "paper", "parameter preset: paper or bench")
-	maxProcs := flag.Int("maxprocs", 512, "cap on simulated process counts")
 	osts := flag.Int("osts", 0, "override number of OSTs")
 	ostBW := flag.Float64("ostbw", 0, "override per-OST bandwidth, bytes/s")
 	latency := flag.Float64("latency", 0, "override network latency, seconds")
 	jitter := flag.Float64("jitter", -1, "override OST service jitter fraction")
 	tailProb := flag.Float64("tailprob", -1, "override OST heavy-tail probability")
+	c = cli.Register(512)
+	c.RegisterScenario("")
 	flag.Parse()
 
 	var p experiments.Preset
@@ -36,9 +41,9 @@ func main() {
 	case "bench":
 		p = experiments.BenchPreset()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *presetName)
-		os.Exit(2)
+		cli.Fatalf("unknown preset %q", *presetName)
 	}
+	c.Apply(&p)
 	if *osts > 0 {
 		p.Lustre.NumOSTs = *osts
 	}
@@ -54,26 +59,28 @@ func main() {
 	if *tailProb >= 0 {
 		p.Lustre.TailProb = *tailProb
 	}
-	fmt.Printf("ParColl reproduction — preset %s, up to %d procs\n\n", p.Name, *maxProcs)
+	if !c.JSON {
+		fmt.Printf("ParColl reproduction — preset %s, up to %d procs\n\n", p.Name, c.Procs)
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	if want("1") || want("2") {
-		fig12(p, *maxProcs)
+		fig12(p, c.Procs)
 	}
 	if want("6") {
-		fig6(p, *maxProcs)
+		fig6(p, c.Procs)
 	}
 	if want("7") || want("8") {
-		fig78(p, *maxProcs)
+		fig78(p, c.Procs)
 	}
 	if want("9") {
-		fig9(p, *maxProcs)
+		fig9(p, c.Procs)
 	}
 	if want("10") {
-		fig10(p, *maxProcs)
+		fig10(p, c.Procs)
 	}
 	if want("11") {
-		fig11(p, *maxProcs)
+		fig11(p, c.Procs)
 	}
 }
 
@@ -90,13 +97,19 @@ func capped(procs []int, maxProcs int) []int {
 func timed(name string, fn func()) {
 	t0 := time.Now()
 	fn()
-	fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
+	if !c.JSON {
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
 }
 
 func fig12(p experiments.Preset, maxProcs int) {
 	timed("fig1+2", func() {
 		procs := capped([]int{16, 32, 64, 128, 256, 512, 1024}, maxProcs)
 		points := p.CollectiveWall(procs)
+		if c.JSON {
+			cli.EmitJSON("fig1+2-collective-wall", points)
+			return
+		}
 		t := stats.NewTable("procs", "sync(s)", "exchange(s)", "io(s)", "sync-share")
 		for _, pt := range points {
 			t.AddRow(pt.Procs, pt.Breakdown.Sync, pt.Breakdown.Exchange, pt.Breakdown.IO,
@@ -130,6 +143,10 @@ func fig6(p experiments.Preset, maxProcs int) {
 	timed("fig6", func() {
 		procs := capped([]int{128, 512}, maxProcs)
 		points := p.IORGroups(procs, func(n int) []int { return groupsUpTo(n, 8) })
+		if c.JSON {
+			cli.EmitJSON("fig6-ior", points)
+			return
+		}
 		t := stats.NewTable("procs", "groups", "bandwidth")
 		for _, pt := range points {
 			label := fmt.Sprintf("ParColl-%d", pt.Groups)
@@ -164,6 +181,10 @@ func fig78(p experiments.Preset, maxProcs int) {
 		}
 		groups := groupsUpTo(n, 1)
 		points := p.TileGroupSweep(n, groups)
+		if c.JSON {
+			cli.EmitJSON("fig7+8-tile-groups", points)
+			return
+		}
 		t := stats.NewTable("groups", "write", "read", "sync(s)", "sync-share")
 		for _, pt := range points {
 			t.AddRow(pt.Groups, stats.MBps(pt.WriteBW), stats.MBps(pt.ReadBW),
@@ -193,6 +214,10 @@ func fig9(p experiments.Preset, maxProcs int) {
 			}
 			return gs
 		})
+		if c.JSON {
+			cli.EmitJSON("fig9-tile-scalability", points)
+			return
+		}
 		t := stats.NewTable("procs", "Cray(base)", "ParColl(best)", "best-groups", "speedup")
 		for _, pt := range points {
 			t.AddRow(pt.Procs, stats.MBps(pt.BaselineBW), stats.MBps(pt.ParCollBW),
@@ -237,6 +262,10 @@ func fig10(p experiments.Preset, maxProcs int) {
 			}
 			return gs
 		})
+		if c.JSON {
+			cli.EmitJSON("fig10-btio", points)
+			return
+		}
 		t := stats.NewTable("procs", "Cray(base)", "ParColl(best)", "best-groups", "speedup")
 		for _, pt := range points {
 			t.AddRow(pt.Procs, stats.MBps(pt.BaselineBW), stats.MBps(pt.ParCollBW),
@@ -265,6 +294,10 @@ func fig11(p experiments.Preset, maxProcs int) {
 			n = maxProcs
 		}
 		points := p.FlashSeries(n, 64, 64)
+		if c.JSON {
+			cli.EmitJSON("fig11-flash", points)
+			return
+		}
 		t := stats.NewTable("series", "bandwidth")
 		for _, pt := range points {
 			t.AddRow(pt.Label, stats.MBps(pt.BW))

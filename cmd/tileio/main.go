@@ -7,38 +7,44 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
-	procs := flag.Int("procs", 64, "number of simulated processes")
 	sweep := flag.String("sweep", "groups", "sweep mode: groups (Figs 7/8) or procs (Fig 9)")
 	verify := flag.Bool("verify", false, "verify tile contents after a ParColl run")
+	c := cli.Register(64)
+	c.RegisterScenario("")
 	flag.Parse()
 
 	p := experiments.PaperPreset()
+	c.Apply(&p)
 	switch *sweep {
 	case "groups":
 		var groups []int
-		for g := 1; g <= *procs; g *= 2 {
+		for g := 1; g <= c.Procs; g *= 2 {
 			groups = append(groups, g)
 		}
-		points := p.TileGroupSweep(*procs, groups)
+		points := p.TileGroupSweep(c.Procs, groups)
+		if c.JSON {
+			cli.EmitJSON("tile-group-sweep", points)
+			break
+		}
 		t := stats.NewTable("groups", "write", "read", "sync(s)", "sync-share")
 		for _, pt := range points {
 			t.AddRow(pt.Groups, stats.MBps(pt.WriteBW), stats.MBps(pt.ReadBW),
 				pt.Sync, fmt.Sprintf("%.0f%%", pt.SyncShare*100))
 		}
 		fmt.Printf("MPI-Tile-IO vs subgroups (%d procs, %s virtual per tile)\n\n",
-			*procs, stats.Bytes(p.Tile.TileBytes()*int64(p.TileScale)))
+			c.Procs, stats.Bytes(p.Tile.TileBytes()*int64(p.TileScale)))
 		fmt.Println(t)
 	case "procs":
 		var ps []int
-		for n := 16; n <= *procs; n *= 2 {
+		for n := 16; n <= c.Procs; n *= 2 {
 			ps = append(ps, n)
 		}
 		points := p.TileScalability(ps, func(n int) []int {
@@ -50,6 +56,10 @@ func main() {
 			}
 			return gs
 		})
+		if c.JSON {
+			cli.EmitJSON("tile-scalability", points)
+			break
+		}
 		t := stats.NewTable("procs", "baseline", "ParColl(best)", "groups", "speedup")
 		for _, pt := range points {
 			t.AddRow(pt.Procs, stats.MBps(pt.BaselineBW), stats.MBps(pt.ParCollBW),
@@ -58,13 +68,11 @@ func main() {
 		fmt.Println("MPI-Tile-IO write scalability (Fig 9)")
 		fmt.Println(t)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		cli.Fatalf("unknown sweep %q", *sweep)
 	}
 	if *verify {
-		if err := experiments.VerifyTile(p, *procs, core.Options{NumGroups: 4}); err != nil {
-			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
-			os.Exit(1)
+		if err := experiments.VerifyTile(p, c.Procs, core.Options{NumGroups: 4}); err != nil {
+			cli.Fatalf("VERIFY FAILED: %v", err)
 		}
 		fmt.Println("verify: tile contents byte-exact")
 	}

@@ -1,0 +1,33 @@
+// Validatetrace is the JSON-schema sanity check behind `make obs`: it reads
+// one or more trace files produced by -trace-out and verifies each is a
+// loadable Chrome/Perfetto trace_event document — a non-empty JSON array in
+// which every event carries a name and a known phase code. It exits nonzero
+// on the first invalid file, so the Makefile can gate on it.
+//
+// Run with: go run ./examples/validatetrace run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf("usage: validatetrace <trace.json> [more...]")
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		if err := cli.ValidateTraceEvents(data); err != nil {
+			cli.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: valid trace_event array (%d bytes)\n", path, len(data))
+	}
+}

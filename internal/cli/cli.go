@@ -1,0 +1,149 @@
+// Package cli centralizes the flags and output conventions shared by the
+// cmd tools. Every tool registers the same core flags (-json, -seed, -procs,
+// -scenario) through Common, resolves its fault scenario the same way, and
+// emits machine-readable results through one JSON helper — so scripts can
+// drive any tool interchangeably.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// Common holds the flag values shared by every cmd tool. Zero value is
+// usable; Register wires the fields to the default flag set.
+type Common struct {
+	JSON     bool   // -json: machine-readable output
+	Seed     int64  // -seed: simulation seed
+	Procs    int    // -procs: simulated process count
+	Scenario string // -scenario: named fault scenario applied to every run
+	TraceOut string // -trace-out: Perfetto trace_event JSON output path
+	Metrics  bool   // -metrics: print the metrics snapshot + critical path
+}
+
+// Register installs -json, -seed and -procs on the default flag set and
+// returns the Common that will receive their values at flag.Parse.
+func Register(defaultProcs int) *Common {
+	c := &Common{}
+	flag.BoolVar(&c.JSON, "json", false, "emit JSON instead of tables")
+	flag.Int64Var(&c.Seed, "seed", 1, "simulation seed")
+	flag.IntVar(&c.Procs, "procs", defaultProcs, "number of simulated processes")
+	return c
+}
+
+// RegisterScenario installs -scenario. An empty usage gets the standard
+// "apply a named fault scenario to every run" text; tools that give the flag
+// extra semantics (collwall's catalog mode) pass their own.
+func (c *Common) RegisterScenario(usage string) {
+	if usage == "" {
+		usage = "apply a named fault scenario to every run (" + strings.Join(fault.Names(), ", ") + ")"
+	}
+	flag.StringVar(&c.Scenario, "scenario", "", usage)
+}
+
+// RegisterObs installs the observability flags -trace-out and -metrics.
+func (c *Common) RegisterObs() {
+	flag.StringVar(&c.TraceOut, "trace-out", "",
+		"write a Perfetto/Chrome trace_event JSON trace of an instrumented run to this file")
+	flag.BoolVar(&c.Metrics, "metrics", false,
+		"print the metrics snapshot and critical-path report of an instrumented run")
+}
+
+// Plan resolves the -scenario flag to a fault plan: nil when the flag is
+// unset, otherwise the catalog plan. Unknown names are fatal with the
+// catalog listed.
+func (c *Common) Plan() *fault.Plan {
+	if c.Scenario == "" {
+		return nil
+	}
+	plan, err := fault.Scenario(c.Scenario)
+	if err != nil {
+		Fatalf("%v", err)
+	}
+	return plan
+}
+
+// Apply copies the shared flag values onto a preset: the seed, and the
+// scenario's fault plan (threaded through every runner of the preset).
+func (c *Common) Apply(p *experiments.Preset) {
+	p.Seed = c.Seed
+	p.Fault = c.Plan()
+}
+
+// EmitJSON prints {"experiment": name, "points": points} with stable
+// two-space indentation, the wire format every tool's -json mode shares.
+func EmitJSON(name string, points any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"experiment": name, "points": points}); err != nil {
+		panic(err)
+	}
+}
+
+// Fatalf prints to stderr and exits nonzero.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// ParseInts parses a comma-separated list of positive ints; `what` names the
+// flag in the error message.
+func ParseInts(what, s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			Fatalf("bad %s %q", what, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ParseFloats parses a comma-separated list of non-negative floats.
+func ParseFloats(what, s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 {
+			Fatalf("bad %s %q", what, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// validPhases is the set of trace_event phase codes the exporter emits.
+var validPhases = map[string]bool{"X": true, "C": true, "M": true, "B": true, "E": true, "I": true, "i": true}
+
+// ValidateTraceEvents sanity-checks a Perfetto/Chrome trace_event document:
+// it must be a non-empty JSON array whose every element carries a non-empty
+// "name" and a known "ph" code. This is the schema check `make obs` and the
+// -trace-out path run before declaring a trace loadable.
+func ValidateTraceEvents(data []byte) error {
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace is not a JSON array of objects: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace array is empty")
+	}
+	for i, e := range events {
+		name, _ := e["name"].(string)
+		ph, _ := e["ph"].(string)
+		if name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		if !validPhases[ph] {
+			return fmt.Errorf("event %d (%q) has unknown phase %q", i, name, ph)
+		}
+	}
+	return nil
+}

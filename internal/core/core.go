@@ -79,6 +79,10 @@ type Options struct {
 	// Hints passes through the MPI-IO hints (collective buffer size,
 	// aggregator count or list, alltoallv algorithm).
 	Hints mpiio.Hints
+	// Run passes through per-run state that is not a hint: fault plan,
+	// recovery policy, trace recorder, metrics registry. It reaches the
+	// subgroup files ParColl opens internally.
+	Run mpiio.RunOptions
 	// ForceIntermediate always uses the intermediate-view path, even when
 	// direct FA partitioning would succeed (ablation).
 	ForceIntermediate bool
@@ -497,7 +501,7 @@ func (f *File) ensurePlan() {
 		subHints.CBNodes = 0
 	}
 
-	subFile := mpiio.Open(subComm, f.fs, f.name, f.stripe, subHints)
+	subFile := mpiio.OpenWith(subComm, f.fs, f.name, f.stripe, subHints, f.opts.Run)
 
 	if mode == ModeIntermediate {
 		if !f.opts.MaterializeIntermediate {

@@ -55,6 +55,13 @@ type Preset struct {
 	// round and request counts match the paper's).
 	StripeCount int
 	Seed        int64
+
+	// Fault, when non-nil, applies a fault plan to every runner of this
+	// preset: the cmd tools' -scenario flag sets it so any figure can be
+	// re-measured under a named fault scenario. Runners that take an
+	// explicit plan (TileUnderFailure, RecoverySuite, ...) ignore it in
+	// favor of their own.
+	Fault *fault.Plan
 }
 
 // PaperPreset runs the paper's workload geometry shrunk 4096x (tile/IOR)
@@ -108,9 +115,18 @@ func EnvFor(p Preset, scale float64, opts core.Options) workload.Env {
 	return p.env(scale, opts)
 }
 
-// env builds a fresh file system environment for one run.
+// env builds a fresh file system environment for one run, under the
+// preset's fault plan (nil = healthy).
 func (p Preset) env(scale float64, opts core.Options) workload.Env {
-	return p.envPlan(scale, opts, nil)
+	return p.envPlan(scale, opts, p.Fault)
+}
+
+// run executes body on nprocs ranks under the preset's fault plan. All
+// catalog runners go through here, so setting Preset.Fault perturbs every
+// figure consistently.
+func (p Preset) run(nprocs int, body func(r *mpi.Rank)) float64 {
+	end, _ := mpi.RunPlan(nprocs, p.Cluster, p.Seed, p.Fault, body)
+	return end
 }
 
 // envPlan is env with a fault plan threaded through every layer that
@@ -122,7 +138,7 @@ func (p Preset) envPlan(scale float64, opts core.Options, plan *fault.Plan) work
 	lcfg.CostScale = scale
 	if !plan.IsZero() {
 		lcfg.Faults = plan
-		opts.Hints.Fault = plan
+		opts.Run.Fault = plan
 	}
 	stripeSize := int64(4<<20) / int64(scale)
 	if stripeSize < 256 {
@@ -171,7 +187,7 @@ func (p Preset) CollectiveWall(procs []int) []WallPoint {
 func (p Preset) CollectiveWallStats(n int) (WallPoint, sim.Stats) {
 	env := p.env(p.TileScale, core.Options{})
 	var bd mpiio.Breakdown
-	_, st := mpi.RunWithStats(n, p.Cluster, p.Seed, func(r *mpi.Rank) {
+	_, st := mpi.RunPlan(n, p.Cluster, p.Seed, p.Fault, func(r *mpi.Rank) {
 		res := p.Tile.Write(r, env, "tile")
 		m := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
 		if r.WorldRank() == 0 {
@@ -200,7 +216,7 @@ func (p Preset) TileGroupSweep(nprocs int, groups []int) []GroupPoint {
 		env := p.env(p.TileScale, core.Options{NumGroups: g})
 		var pt GroupPoint
 		pt.Groups = g
-		mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+		p.run(nprocs, func(r *mpi.Rank) {
 			comm := mpi.WorldComm(r)
 			wres := p.Tile.Write(r, env, "tile")
 			rres := p.Tile.Read(r, env, "tile")
@@ -236,7 +252,7 @@ func (p Preset) IORGroups(procs []int, groupsFor func(nprocs int) []int) []IORPo
 			env := p.env(p.IORScale, core.Options{NumGroups: g})
 			w := workload.IOR{Block: p.IORBlock, Transfer: p.IORTransfer}
 			var bw float64
-			mpi.Run(n, p.Cluster, p.Seed, func(r *mpi.Rank) {
+			p.run(n, func(r *mpi.Rank) {
 				res := w.Write(r, env, "ior")
 				if r.WorldRank() == 0 {
 					bw = res.Bandwidth()
@@ -266,7 +282,7 @@ func (p Preset) TileScalability(procs []int, candidates func(nprocs int) []int) 
 		for _, g := range append([]int{1}, candidates(n)...) {
 			env := p.env(p.TileScale, core.Options{NumGroups: g})
 			var bw float64
-			mpi.Run(n, p.Cluster, p.Seed, func(r *mpi.Rank) {
+			p.run(n, func(r *mpi.Rank) {
 				res := p.Tile.Write(r, env, "tile")
 				if r.WorldRank() == 0 {
 					bw = res.Bandwidth()
@@ -304,7 +320,7 @@ func (p Preset) BTIOScale(procs []int, candidates func(nprocs int) []int) []BTPo
 			// 10 (see DESIGN.md on the layout interpretation).
 			env := p.env(p.BTScale, core.Options{NumGroups: g, MaterializeIntermediate: g > 1})
 			var bw float64
-			mpi.Run(n, p.Cluster, p.Seed, func(r *mpi.Rank) {
+			p.run(n, func(r *mpi.Rank) {
 				res := p.BT.Write(r, env, "bt")
 				if r.WorldRank() == 0 {
 					bw = res.Bandwidth()
@@ -335,7 +351,7 @@ func (p Preset) FlashSeries(nprocs, ngroups, hintAggs int) []FlashPoint {
 	runOne := func(label string, opts core.Options, indep bool) FlashPoint {
 		env := p.env(p.FlashScale, opts)
 		var bw float64
-		mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+		p.run(nprocs, func(r *mpi.Rank) {
 			var res workload.Result
 			if indep {
 				res = p.Flash.WriteCheckpointIndependent(r, env, "flash")

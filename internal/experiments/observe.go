@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/lustre"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Observed bundles one fully instrumented run: the workload result, the raw
+// span recorder (for Perfetto export), the final metrics snapshot with the
+// engine's and storage layer's counters folded in, and the critical-path
+// report over the recorded spans.
+type Observed struct {
+	Result   workload.Result
+	Trace    *trace.Recorder
+	Registry *obs.Registry
+	Snapshot obs.Snapshot
+	Path     obs.Report
+}
+
+// Perfetto renders the observed run as a Chrome trace_event JSON array.
+func (o Observed) Perfetto() ([]byte, error) {
+	return obs.Perfetto(o.Trace, o.Registry)
+}
+
+// ObservedTileWrite runs one instrumented tile-IO collective write: a trace
+// recorder and metrics registry are threaded through every layer (mpi
+// collectives, the lustre service loop, the mpiio round protocol), the
+// engine's scheduler counters and per-OST totals are captured after the run,
+// and the span set is reduced to a critical path. plan == nil runs healthy;
+// the instrumentation is observe-only, so virtual-time results are
+// bit-identical to an uninstrumented run of the same configuration (pinned
+// by the root obs tests).
+func ObservedTileWrite(p Preset, nprocs, groups int, plan *fault.Plan) Observed {
+	p.Fault = plan
+	rec := trace.New()
+	reg := obs.New()
+	opts := core.Options{NumGroups: groups, Run: mpiio.RunOptions{Trace: rec, Obs: reg}}
+	env := p.env(p.TileScale, opts)
+	env.FS.SetObs(reg)
+	var res workload.Result
+	end, st := mpi.RunPlan(nprocs, p.Cluster, p.Seed, p.Fault, func(r *mpi.Rank) {
+		r.SetTracer(rec)
+		r.SetObs(reg)
+		out := p.Tile.Write(r, env, "tile")
+		if r.WorldRank() == 0 {
+			res = out
+		}
+	})
+	CaptureSim(reg, st)
+	CaptureLustre(reg, env.FS, end)
+	return Observed{
+		Result:   res,
+		Trace:    rec,
+		Registry: reg,
+		Snapshot: reg.Snapshot(),
+		Path:     obs.CriticalPath(rec.EventsShared()),
+	}
+}
+
+// CaptureSim folds the engine's scheduler counters into the registry under
+// the "sim." prefix.
+func CaptureSim(reg *obs.Registry, st sim.Stats) {
+	reg.Counter("sim.resumes").Add(st.Resumes.Value())
+	reg.Counter("sim.advances").Add(st.Advances.Value())
+	reg.Counter("sim.sends").Add(st.Sends.Value())
+	reg.Counter("sim.recvs").Add(st.Recvs.Value())
+	reg.Counter("sim.mailbox.exact_pops").Add(st.ExactPops.Value())
+	reg.Counter("sim.mailbox.wildcard_pops").Add(st.WildcardPops.Value())
+	reg.Counter("sim.mailbox.wildcard_scanned").Add(st.WildcardScanned.Value())
+	reg.Counter("sim.perturbed").Add(st.Perturbed.Value())
+	reg.Counter("sim.timeouts").Add(st.Timeouts.Value())
+	reg.Gauge("sim.ready.max_depth").Set(float64(st.MaxReadyDepth))
+}
+
+// CaptureLustre folds the file system's per-OST totals and retry-engine
+// counters into the registry under the "lustre." prefix. elapsed (the run's
+// virtual finish time) turns per-OST busy time into a utilization gauge.
+func CaptureLustre(reg *obs.Registry, fs *lustre.FS, elapsed float64) {
+	var reqs, bytes, switches, tails, errs int64
+	var busyMax, busyTot float64
+	for _, st := range fs.Stats() {
+		reqs += st.Requests
+		bytes += st.Bytes
+		switches += st.Switches
+		tails += st.Tails
+		errs += st.Errors
+		busyTot += st.BusySecs
+		if st.BusySecs > busyMax {
+			busyMax = st.BusySecs
+		}
+	}
+	reg.Counter("lustre.ost.requests").Add(uint64(reqs))
+	reg.Counter("lustre.ost.bytes").Add(uint64(bytes))
+	reg.Counter("lustre.ost.switches").Add(uint64(switches))
+	reg.Counter("lustre.ost.tails").Add(uint64(tails))
+	reg.Counter("lustre.ost.errors").Add(uint64(errs))
+	reg.Gauge("lustre.ost.busy.total_secs").Set(busyTot)
+	reg.Gauge("lustre.ost.busy.max_secs").Set(busyMax)
+	if elapsed > 0 {
+		reg.Gauge("lustre.ost.utilization.max").Set(busyMax / elapsed)
+	}
+	rs := fs.RetryStats()
+	reg.Counter("lustre.retry.attempts").Add(rs.Attempts)
+	reg.Counter("lustre.retry.failures").Add(rs.Failures)
+	reg.Counter("lustre.retry.exhausted").Add(rs.Exhausted)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ldlm"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 )
@@ -127,6 +128,29 @@ type FS struct {
 	retry  recovery.Backoff
 	brk    []*recovery.Breaker // per OST
 	rstats recovery.RetryStats
+
+	// Pre-resolved obs instruments (nil unless SetObs armed them). The
+	// healthy fast path pays one nil check per request.
+	obsSvc     *obs.Histogram // per-request OST service time
+	obsWait    *obs.Histogram // per-request OST queue wait (Acquire start - arrival)
+	obsRetries *obs.Counter
+	obsOpens   *obs.Counter
+}
+
+// SetObs attaches a metrics registry: every served request observes its
+// service time and queue wait, and the retry engine counts retries and
+// breaker opens as they happen. Pass nil to detach. The instruments only
+// read values the simulation already computed — no clock advances, no RNG
+// draws — so an instrumented run is bit-identical to a bare one.
+func (fs *FS) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		fs.obsSvc, fs.obsWait, fs.obsRetries, fs.obsOpens = nil, nil, nil, nil
+		return
+	}
+	fs.obsSvc = reg.Histogram("lustre.ost.service.secs", nil)
+	fs.obsWait = reg.Histogram("lustre.ost.queue_wait.secs", nil)
+	fs.obsRetries = reg.Counter("lustre.retry.retries")
+	fs.obsOpens = reg.Counter("lustre.retry.breaker_opens")
 }
 
 // trimEvery is how many I/O requests pass between ledger compactions.
@@ -197,6 +221,9 @@ func (fs *FS) svcTime(obj string, ost int, rank int, at float64, off, ln int64, 
 		st.Tails++
 	}
 	st.BusySecs += svc
+	if fs.obsSvc != nil {
+		fs.obsSvc.Observe(svc)
+	}
 	return svc
 }
 
@@ -221,7 +248,10 @@ func (fs *FS) Stats() []OSTStat {
 func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt float64, mode ldlm.Mode) (float64, error) {
 	if !fs.inj {
 		svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
-		_, end := fs.osts[ost].Acquire(at, svc)
+		start, end := fs.osts[ost].Acquire(at, svc)
+		if fs.obsWait != nil {
+			fs.obsWait.Observe(start - at)
+		}
 		return end, nil
 	}
 	attempts := 0
@@ -234,11 +264,17 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		fs.rstats.Attempts++
 		if attempts > 1 {
 			fs.rstats.Retries++
+			if fs.obsRetries != nil {
+				fs.obsRetries.Inc()
+			}
 		}
 		failed, perm := fs.cfg.Faults.OSTErrorAt(ost, at, fs.rng)
 		if !failed {
 			svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
-			_, end := fs.osts[ost].Acquire(at, svc)
+			start, end := fs.osts[ost].Acquire(at, svc)
+			if fs.obsWait != nil {
+				fs.obsWait.Observe(start - at)
+			}
 			fs.brk[ost].Success()
 			return end, nil
 		}
@@ -250,7 +286,12 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		at = end
 		opensBefore := fs.brk[ost].Opens
 		fs.brk[ost].Failure(at)
-		fs.rstats.BreakerOpens += fs.brk[ost].Opens - opensBefore
+		if opened := fs.brk[ost].Opens - opensBefore; opened > 0 {
+			fs.rstats.BreakerOpens += opened
+			if fs.obsOpens != nil {
+				fs.obsOpens.Add(uint64(opened))
+			}
+		}
 		if perm || fs.retry.Exhausted(attempts) {
 			fs.rstats.Exhausted++
 			return at, &recovery.OSTError{OST: ost, Attempts: attempts, Permanent: perm}

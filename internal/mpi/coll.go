@@ -34,6 +34,7 @@ func (c *Comm) nextCollTag() int {
 // Barrier blocks until all members reach it. Cost model: the dissemination
 // algorithm's ceil(log2 P) rounds plus waiting for the slowest member.
 func (c *Comm) Barrier() {
+	c.r.noteColl("barrier", 0)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	c.syncExchange(c.nextCollTag(), nil, func(int64) float64 {
@@ -47,6 +48,7 @@ func (c *Comm) Barrier() {
 // Ownership: the returned slice may be shared by several ranks (the tree
 // relays one buffer without copying); treat it as read-only.
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.r.noteColl("bcast", int64(len(data)))
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	return c.bcastT(root, data, c.nextCollTag())
@@ -79,6 +81,7 @@ func (c *Comm) bcastT(root int, data []byte, tag int) []byte {
 // (nil for non-roots). Blocks may have different sizes (gatherv semantics).
 // Ownership of data transfers to the collective (see Send).
 func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.r.noteColl("gather", int64(len(data)))
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	tag := c.nextCollTag()
@@ -100,6 +103,9 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // Non-root callers pass nil (scatterv semantics: blocks may differ in size).
 // Ownership of every block transfers to the collective (see Send).
 func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
+	if c.r.reg != nil {
+		c.r.noteColl("scatter", sumLens(blocks))
+	}
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	tag := c.nextCollTag()
@@ -128,6 +134,7 @@ func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
 // shared by every rank rather than copied; treat them as read-only. The
 // outer slice is private to the caller.
 func (c *Comm) Allgather(data []byte) [][]byte {
+	c.r.noteColl("allgather", int64(len(data)))
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	shared := c.syncExchange(c.nextCollTag(), data, func(total int64) float64 {
@@ -160,6 +167,7 @@ func (c *Comm) allgatherT(data []byte, tag int) [][]byte {
 
 // AllgatherInt64s is Allgather for int64 vectors.
 func (c *Comm) AllgatherInt64s(vals []int64) [][]int64 {
+	c.r.noteColl("allgather", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	shared := c.syncExchange(c.nextCollTag(), encInt64s(vals), func(total int64) float64 {
@@ -188,6 +196,9 @@ func (c *Comm) AllgatherInt64s(vals []int64) [][]int64 {
 // ceil(log2 P) rounds moving about half the blocks each round — the right
 // algorithm for the small control messages collective I/O exchanges.
 func (c *Comm) Alltoall(blocks [][]byte) [][]byte {
+	if c.r.reg != nil {
+		c.r.noteColl("alltoall", sumLens(blocks))
+	}
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	return c.alltoallBruckT(blocks, c.nextCollTag())
@@ -238,6 +249,7 @@ func (c *Comm) AlltoallInts(vals []int) []int {
 // AlltoallIntsInto is AlltoallInts writing the result into dst (length
 // Size()); the per-round loops of two-phase I/O reuse one result slice.
 func (c *Comm) AlltoallIntsInto(dst, vals []int) {
+	c.r.noteColl("alltoall", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	c.alltoallIntsR(dst, vals, c.nextCollTag())
@@ -299,6 +311,9 @@ const (
 // Alltoallv delivers send[i] to member i (nil/empty means nothing) and
 // returns received blocks indexed by source; absent blocks are nil.
 func (c *Comm) Alltoallv(send [][]byte, algo AlltoallvAlgo) [][]byte {
+	if c.r.reg != nil {
+		c.r.noteColl("alltoallv", sumLens(send))
+	}
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	tag := c.nextCollTag()
@@ -379,6 +394,7 @@ func combineInt64(a, b []int64, op Op) {
 // ReduceInt64 combines vals elementwise at root (binomial tree). Only root
 // receives the result; others get nil.
 func (c *Comm) ReduceInt64(root int, vals []int64, op Op) []int64 {
+	c.r.noteColl("reduce", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	return c.reduceInt64T(root, vals, op, c.nextCollTag())
@@ -417,6 +433,7 @@ func (c *Comm) allreduceCost(vecBytes int64) func(int64) float64 {
 // the result everywhere. Cost model: reduce to rank 0 plus broadcast (two
 // binomial trees).
 func (c *Comm) AllreduceInt64(vals []int64, op Op) []int64 {
+	c.r.noteColl("allreduce", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	all := c.syncExchange(c.nextCollTag(), encInt64s(vals), c.allreduceCost(int64(len(vals))*8))
@@ -429,6 +446,7 @@ func (c *Comm) AllreduceInt64(vals []int64, op Op) []int64 {
 
 // AllreduceFloat64 is AllreduceInt64 for float64 vectors.
 func (c *Comm) AllreduceFloat64(vals []float64, op Op) []float64 {
+	c.r.noteColl("allreduce", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	all := c.syncExchange(c.nextCollTag(), encFloat64s(vals), c.allreduceCost(int64(len(vals))*8))
@@ -456,6 +474,7 @@ func (c *Comm) SortedMembers() []int {
 // ScanInt64 computes the inclusive prefix reduction: member i receives the
 // combination of members 0..i (binomial-chain cost model via rendezvous).
 func (c *Comm) ScanInt64(vals []int64, op Op) []int64 {
+	c.r.noteColl("scan", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	all := c.syncExchange(c.nextCollTag(), encInt64s(vals), c.allreduceCost(int64(len(vals))*8))
@@ -469,6 +488,7 @@ func (c *Comm) ScanInt64(vals []int64, op Op) []int64 {
 // ExscanInt64 computes the exclusive prefix reduction: member i receives
 // the combination of members 0..i-1; member 0 receives zeros.
 func (c *Comm) ExscanInt64(vals []int64, op Op) []int64 {
+	c.r.noteColl("exscan", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	all := c.syncExchange(c.nextCollTag(), encInt64s(vals), c.allreduceCost(int64(len(vals))*8))
@@ -486,6 +506,7 @@ func (c *Comm) ExscanInt64(vals []int64, op Op) []int64 {
 // ReduceScatterInt64 reduces a vector of Size()*blockLen elements across
 // all members and scatters block i to member i.
 func (c *Comm) ReduceScatterInt64(vals []int64, blockLen int, op Op) []int64 {
+	c.r.noteColl("reduce_scatter", int64(len(vals))*8)
 	t0 := c.r.begin()
 	defer c.r.end(t0)
 	p := c.Size()
@@ -499,4 +520,14 @@ func (c *Comm) ReduceScatterInt64(vals []int64, blockLen int, op Op) []int64 {
 		combineInt64Bytes(out, b[8*c.me*blockLen:], op)
 	}
 	return out
+}
+
+// sumLens totals the payload bytes of a block vector (metrics only; callers
+// guard on the registry being armed so bare runs skip the loop).
+func sumLens(blocks [][]byte) int64 {
+	var n int64
+	for _, b := range blocks {
+		n += int64(len(b))
+	}
+	return n
 }

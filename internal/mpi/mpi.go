@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -40,6 +41,7 @@ type Rank struct {
 	class  Class
 	depth  int // public-op nesting depth; only depth 0 records time
 	tracer *trace.Recorder
+	reg    *obs.Registry
 }
 
 // SetTracer attaches an event recorder: every top-level operation emits a
@@ -47,6 +49,27 @@ type Rank struct {
 // nil to detach. Share one recorder across the ranks of a run (the engine
 // serializes access).
 func (r *Rank) SetTracer(rec *trace.Recorder) { r.tracer = rec }
+
+// SetObs attaches a metrics registry: every top-level collective counts its
+// calls and payload bytes under "mpi.coll.<op>.{calls,bytes}". Pass nil to
+// detach. Like SetTracer, the registry only observes — it never advances
+// clocks or draws randomness — so an instrumented run is bit-identical in
+// virtual time to a bare one. Share one registry across the ranks of a run
+// (the engine serializes access).
+func (r *Rank) SetObs(reg *obs.Registry) { r.reg = reg }
+
+// noteColl counts one top-level collective call. Nested collectives (a
+// Bcast inside an Allreduce) are not double-counted: only depth-0 entries
+// record, mirroring how begin/end attribute time.
+func (r *Rank) noteColl(op string, bytes int64) {
+	if r.reg == nil || r.depth != 0 {
+		return
+	}
+	r.reg.Counter("mpi.coll." + op + ".calls").Inc()
+	if bytes > 0 {
+		r.reg.Counter("mpi.coll." + op + ".bytes").Add(uint64(bytes))
+	}
+}
 
 // Run executes body on nprocs ranks over a cluster built from ccfg and
 // returns the maximum virtual finish time in seconds. The run is

@@ -199,10 +199,10 @@ func (f *File) buildPlan(segs []datatype.Segment) *plan {
 // The draw comes from the rank's proc-local seeded RNG, so runs under a
 // plan are bit-identical to each other.
 func (f *File) roundStall() {
-	if f.hints.Fault == nil {
+	if f.run.Fault == nil {
 		return
 	}
-	if d := f.hints.Fault.RoundStall(f.r.WorldRank(), f.r.P.Rand()); d > 0 {
+	if d := f.run.Fault.RoundStall(f.r.WorldRank(), f.r.P.Rand()); d > 0 {
 		f.r.Compute(d)
 	}
 }

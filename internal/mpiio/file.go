@@ -20,12 +20,16 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/trace"
 )
 
 // Hints configures collective I/O, mirroring the MPI-IO hints the paper
 // discusses (cb_nodes, cb_buffer_size, and the explicit aggregator list).
+// Hints carries only knobs with an MPI_Info string equivalent; per-run state
+// that is not a hint — fault plans, recovery policy, tracing, metrics — lives
+// in RunOptions and is passed separately at open (see OpenWith).
 type Hints struct {
 	// CBNodes caps the number of I/O aggregators chosen from the default
 	// one-per-node list. Zero means one aggregator per node.
@@ -45,11 +49,20 @@ type Hints struct {
 	// non-contiguous I/O (ReadAtSieved/WriteAtSieved). Zero means the
 	// ROMIO default of 4 MiB.
 	IndBufferSize int64
+}
+
+// RunOptions carries per-run state that is not an MPI_Info hint: fault
+// injection, recovery tuning, and observability sinks. It is passed at open
+// (OpenWith) alongside the Hints; a zero RunOptions is a plain, unobserved,
+// healthy run. Everything here is observe-only or deterministic by
+// construction, so two runs differing only in RunOptions' sinks (Trace, Obs)
+// are bit-identical in virtual time.
+type RunOptions struct {
 	// Fault, when non-nil, injects the plan's per-round compute noise into
-	// the collective round loops (see fault.RoundNoise). It is not an
-	// MPI_Info string hint; the experiment harness threads it through so
-	// fault scenarios reach the protocol layer. Stalls draw from the
-	// rank's proc-local seeded RNG, so runs stay deterministic.
+	// the collective round loops (see fault.RoundNoise). The experiment
+	// harness threads it through so fault scenarios reach the protocol
+	// layer. Stalls draw from the rank's proc-local seeded RNG, so runs
+	// stay deterministic.
 	Fault *fault.Plan
 	// Recovery tunes the fail-stop recovery protocol (watchdog timeout and
 	// failover budget). Zero-valued fields take recovery.Policy defaults; it
@@ -62,6 +75,10 @@ type Hints struct {
 	// virtual clocks — never advances them and draws no randomness — so a
 	// traced run is bit-identical to an untraced one.
 	Trace *trace.Recorder
+	// Obs, when non-nil, receives protocol-level metrics: per-round phase
+	// duration histograms, hidden/exposed overlap, and recovery event
+	// counters. Like Trace it only reads virtual clocks.
+	Obs *obs.Registry
 }
 
 func (h Hints) cb() int64 {
@@ -105,6 +122,7 @@ type File struct {
 	lf    *lustre.File
 	view  datatype.View
 	hints Hints
+	run   RunOptions
 	aggs  []int // comm ranks acting as I/O aggregators, ascending
 	scale float64
 	seq   int // collective-call sequence, advances in lockstep
@@ -112,6 +130,12 @@ type File struct {
 	prof  Breakdown
 	prev  [mpi.NumClasses]float64
 	ovl   OverlapStats
+
+	// Pre-resolved obs instruments (nil when run.Obs is nil), so the round
+	// loop pays a nil check instead of a map lookup per observation.
+	obsRound   map[string]*obs.Histogram
+	obsHidden  *obs.Histogram
+	obsExposed *obs.Histogram
 
 	// Fail-stop recovery state (see recover.go). deadWorld records world
 	// ranks whose aggregator role this rank has seen die — it persists
@@ -162,31 +186,61 @@ func (f *File) Recovery() recovery.FailoverStats { return f.rstats }
 // RecoveryLog returns the rank's structured recovery event log.
 func (f *File) RecoveryLog() *recovery.Log { return &f.rlog }
 
-// traceRound emits one protocol-round span when tracing is enabled. end may
-// lie in the virtual future for async I/O spans.
+// traceRound emits one protocol-round span when tracing is enabled and feeds
+// the phase-duration histogram when metrics are armed. end may lie in the
+// virtual future for async I/O spans.
 func (f *File) traceRound(kind string, start, end float64, round int) {
-	if f.hints.Trace == nil {
-		return
+	if f.run.Trace != nil {
+		f.run.Trace.Add(f.r.WorldRank(), kind, start, end, "round "+strconv.Itoa(round))
 	}
-	f.hints.Trace.Add(f.r.WorldRank(), kind, start, end, "round "+strconv.Itoa(round))
+	if h := f.obsRound[kind]; h != nil {
+		h.Observe(end - start)
+	}
+}
+
+// noteRecovery counts one recovery event ("detections", "reelections",
+// "failovers", "degradations") in the metrics registry. Recovery events are
+// rare, so the name concatenation is off the hot path by construction.
+func (f *File) noteRecovery(event string) {
+	if f.run.Obs != nil {
+		f.run.Obs.Counter("mpiio.recovery." + event).Inc()
+	}
 }
 
 // SetTranslator installs a logical-to-physical translator used by the
 // aggregators' file I/O step (nil means identity).
 func (f *File) SetTranslator(t Translator) { f.xlate = t }
 
-// Open collectively opens (creating if needed) name on fs over comm. Every
-// member must call it. The aggregator list is derived from the hints and
-// the node topology, identically on every rank.
+// Open collectively opens (creating if needed) name on fs over comm with a
+// zero RunOptions (no faults, default recovery policy, no tracing or
+// metrics). Every member must call it. The aggregator list is derived from
+// the hints and the node topology, identically on every rank.
 func Open(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, hints Hints) *File {
+	return OpenWith(comm, fs, name, stripe, hints, RunOptions{})
+}
+
+// OpenWith is Open with explicit per-run state: fault plan, recovery policy,
+// and observability sinks. Hints stays pure MPI_Info configuration; run
+// carries everything else (see RunOptions).
+func OpenWith(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, hints Hints, run RunOptions) *File {
 	r := rankOf(comm)
 	f := &File{
 		r:         r,
 		comm:      comm,
 		view:      datatype.WholeFile(),
 		hints:     hints,
+		run:       run,
 		scale:     fs.Config().CostScale,
 		deadWorld: make(map[int]bool),
+	}
+	if run.Obs != nil {
+		f.obsRound = map[string]*obs.Histogram{
+			"round-sync":     run.Obs.Histogram("mpiio.round.sync.secs", nil),
+			"round-exchange": run.Obs.Histogram("mpiio.round.exchange.secs", nil),
+			"round-io":       run.Obs.Histogram("mpiio.round.io.secs", nil),
+		}
+		f.obsHidden = run.Obs.Histogram("mpiio.overlap.hidden.secs", nil)
+		f.obsExposed = run.Obs.Histogram("mpiio.overlap.exposed.secs", nil)
 	}
 	// Aggregator selection needs the node of every member; gathering it is
 	// part of open's collective cost.

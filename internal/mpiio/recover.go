@@ -59,14 +59,14 @@ import (
 // annex owners collect it from them.
 
 // recoveryOn reports whether this call must run the resilient round loop.
-func (f *File) recoveryOn() bool { return f.hints.Fault.HasCrashes() }
+func (f *File) recoveryOn() bool { return f.run.Fault.HasCrashes() }
 
 // aggCrashedNow asks the plan whether THIS rank's aggregator role is dead at
 // the given round of the current call. Only ever consulted for the rank
 // itself — other ranks' deaths are detected by timeout, never read from the
 // plan.
 func (f *File) aggCrashedNow(round int) bool {
-	return f.hints.Fault.AggCrashed(f.r.WorldRank(), f.seq, round)
+	return f.run.Fault.AggCrashed(f.r.WorldRank(), f.seq, round)
 }
 
 // Recovery-path tags, above the independent data tags (dataTag tops out at
@@ -158,7 +158,7 @@ func (f *File) writeAtAllFT(logOff int64, data []byte) {
 	nag := len(f.aggs)
 	ft := &ftState{
 		s:        s,
-		pol:      f.hints.Recovery.Defaults(),
+		pol:      f.run.Recovery.Defaults(),
 		segs:     f.view.Map(logOff, int64(len(data))),
 		deadAgg:  make([]bool, nag),
 		aggSt:    make([]int64, nag),
@@ -192,6 +192,7 @@ func (f *File) writeAtAllFT(logOff int64, data []byte) {
 	if ft.degraded {
 		f.degraded = true
 		f.rstats.Degradations++
+		f.noteRecovery("degradations")
 		f.rlog.Append(f.r.Now(), f.comm.Rank(), "degrade",
 			"failover budget exhausted; independent rewrite of all local data")
 		f.degradeWrite(ft.segs, ft.pre, data)
@@ -275,6 +276,7 @@ func (ft *ftState) run(data []byte) {
 			if !ok {
 				ft.deadAgg[a] = true
 				f.rstats.Detections++
+				f.noteRecovery("detections")
 				f.rstats.DetectSecs += ft.pol.Timeout
 				f.rlog.Append(r.Now(), me, "timeout",
 					fmt.Sprintf("aggregator %d (comm rank %d) silent in round %d", a, cr, round))
@@ -440,6 +442,7 @@ func (ft *ftState) failover(newly []int, round int) {
 			return
 		}
 		f.rstats.Reelections++
+		f.noteRecovery("reelections")
 		f.rlog.Append(r.Now(), me, "reelect",
 			fmt.Sprintf("no aggregator survives; comm rank %d elected", owners[0]))
 	}
@@ -460,6 +463,7 @@ func (ft *ftState) failover(newly []int, round int) {
 			lo, hi = ft.s.p.fdLo[a], ft.s.p.fdHi[a]
 		}
 		f.rstats.Failovers++
+		f.noteRecovery("failovers")
 		if lo >= hi {
 			f.rlog.Append(r.Now(), me, "failover",
 				fmt.Sprintf("aggregator %d had no unwritten remainder", a))

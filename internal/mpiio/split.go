@@ -35,12 +35,20 @@ func (f *File) track(q *nbio.Request) *nbio.Request {
 	q.OnComplete(func(q *nbio.Request) {
 		f.ovl.Hidden += q.Hidden()
 		f.ovl.Exposed += q.Exposed()
-		if tr := f.hints.Trace; tr != nil {
+		if tr := f.run.Trace; tr != nil {
 			if h := q.Hidden(); h > 0 {
 				tr.Add(f.r.WorldRank(), "hidden", q.Issued(), q.Issued()+h, "")
 			}
 			if e := q.Exposed(); e > 0 {
 				tr.Add(f.r.WorldRank(), "exposed", q.At()-e, q.At(), "")
+			}
+		}
+		if f.obsHidden != nil {
+			if h := q.Hidden(); h > 0 {
+				f.obsHidden.Observe(h)
+			}
+			if e := q.Exposed(); e > 0 {
+				f.obsExposed.Observe(e)
 			}
 		}
 	})

@@ -132,7 +132,7 @@ func TestSplitTraceObservesWithoutPerturbing(t *testing.T) {
 	runOnce := func(rec *trace.Recorder) float64 {
 		fs := lustre.NewFS(lustre.DefaultConfig())
 		return mpi.Run(n, cluster.DefaultConfig(), 1, func(r *mpi.Rank) {
-			f := Open(mpi.WorldComm(r), fs, "tr", testStripe(), Hints{CBBufferSize: 1024, Trace: rec})
+			f := OpenWith(mpi.WorldComm(r), fs, "tr", testStripe(), Hints{CBBufferSize: 1024}, RunOptions{Trace: rec})
 			f.SetView(interleavedView(r.WorldRank(), n, blocks, bs))
 			q := f.WriteAllBegin(0, pattern(r.WorldRank(), blocks*bs))
 			r.Compute(1e-3)

@@ -361,6 +361,9 @@ func (e *Engine) Run(n int, body func(p *Proc)) float64 {
 			}
 			panic("sim: deadlock\n" + e.describeStates())
 		}
+		if d := uint64(len(e.ready)); d > e.stats.MaxReadyDepth {
+			e.stats.MaxReadyDepth = d
+		}
 		e.ready.pop()
 		next.state = stateRunning
 		if next.readyAt > next.now {
@@ -443,6 +446,7 @@ func (p *Proc) Advance(d float64) {
 		panic(fmt.Sprintf("sim: proc %d Advance(%g) negative", p.id, d))
 	}
 	p.now += d * p.slow
+	p.engine.stats.Advances.Inc()
 	p.fireDue()
 }
 
@@ -450,6 +454,7 @@ func (p *Proc) Advance(d float64) {
 func (p *Proc) AdvanceTo(t float64) {
 	if t > p.now {
 		p.now = t
+		p.engine.stats.Advances.Inc()
 	}
 	p.fireDue()
 }
@@ -693,6 +698,8 @@ type Stats struct {
 	WildcardScanned perf.Counter // queue heads examined by wildcard scans
 	Perturbed       perf.Counter // messages delayed by the fault perturber
 	Timeouts        perf.Counter // RecvUntil watchdogs that fired empty-handed
+	Advances        perf.Counter // clock advances (Advance + forward AdvanceTo)
+	MaxReadyDepth   uint64       // high-water mark of the ready queue
 }
 
 // Events returns the total scheduler-visible event count (resumes plus

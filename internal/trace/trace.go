@@ -56,8 +56,18 @@ func (r *Recorder) Span(rank int, kind string, start float64) func(end float64, 
 	}
 }
 
-// Events returns the recorded events in insertion order (shared slice).
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a copy of the recorded events in insertion order. Mutating
+// the returned slice cannot corrupt the recorder; callers on a hot path that
+// promise not to mutate or retain the slice can use EventsShared.
+func (r *Recorder) Events() []Event { return append([]Event(nil), r.events...) }
+
+// EventsShared returns the recorder's backing slice without copying. The
+// caller must treat it as read-only and must not retain it across Add calls
+// (an append may reallocate or, worse, alias new events into a stale copy).
+func (r *Recorder) EventsShared() []Event { return r.events }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
 
 // ByKind sums durations per kind across all ranks.
 func (r *Recorder) ByKind() map[string]float64 {

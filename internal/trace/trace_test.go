@@ -92,6 +92,28 @@ func TestGantt(t *testing.T) {
 	}
 }
 
+func TestEventsReturnsCopy(t *testing.T) {
+	r := New()
+	r.Add(0, "sync", 0, 1, "")
+	r.Add(1, "io", 1, 2, "keep")
+	ev := r.Events()
+	ev[0] = Event{Rank: 99, Kind: "corrupt", Start: -1, End: -1, Note: "x"}
+	ev = append(ev[:1], Event{Rank: 98, Kind: "worse"})
+	_ = ev
+	got := r.Events()
+	if got[0] != (Event{Rank: 0, Kind: "sync", Start: 0, End: 1}) ||
+		got[1] != (Event{Rank: 1, Kind: "io", Start: 1, End: 2, Note: "keep"}) {
+		t.Fatalf("mutating Events() result corrupted the recorder: %+v", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	// EventsShared exposes the backing array by contract.
+	if sh := r.EventsShared(); len(sh) != 2 || sh[0].Kind != "sync" {
+		t.Fatalf("EventsShared = %+v", sh)
+	}
+}
+
 // Property: ByKind totals always equal the sum of per-rank summaries.
 func TestSummaryConsistencyProperty(t *testing.T) {
 	f := func(raw []uint8) bool {

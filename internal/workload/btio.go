@@ -135,7 +135,7 @@ func (w BTIO) Write(r *mpi.Rank, env Env, name string) Result {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
 	var rec recovery.FailoverStats
-	if env.Opts.Hints.Fault.HasCrashes() {
+	if env.Opts.Run.Fault.HasCrashes() {
 		rec = GlobalRecovery(comm, f.Recovery())
 	}
 	return Result{
@@ -145,6 +145,7 @@ func (w BTIO) Write(r *mpi.Rank, env Env, name string) Result {
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
 		Recovery:  rec,
+		Metrics:   snapshotMetrics(env),
 	}
 }
 
@@ -177,7 +178,7 @@ func (w BTIO) Read(r *mpi.Rank, env Env, name string) Result {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
 	var rec recovery.FailoverStats
-	if env.Opts.Hints.Fault.HasCrashes() {
+	if env.Opts.Run.Fault.HasCrashes() {
 		rec = GlobalRecovery(comm, f.Recovery())
 	}
 	return Result{
@@ -187,5 +188,6 @@ func (w BTIO) Read(r *mpi.Rank, env Env, name string) Result {
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
 		Recovery:  rec,
+		Metrics:   snapshotMetrics(env),
 	}
 }

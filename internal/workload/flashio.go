@@ -78,6 +78,7 @@ func (w FlashIO) WriteCheckpoint(r *mpi.Rank, env Env, name string) Result {
 		VirtBytes: w.CheckpointBytes(comm.Size()) * scaleOf(env),
 		Breakdown: cf.Breakdown(),
 		Plan:      cf.LastPlan(),
+		Metrics:   snapshotMetrics(env),
 	}
 }
 
@@ -96,7 +97,7 @@ func (a indepFile) ReadAtAll(off, n int64) []byte  { return a.f.ReadAt(off, n) }
 // series collapse to ~60 MB/s.
 func (w FlashIO) WriteCheckpointIndependent(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
-	mf := mpiio.Open(comm, env.FS, name, env.Stripe, env.Opts.Hints)
+	mf := mpiio.OpenWith(comm, env.FS, name, env.Stripe, env.Opts.Hints, env.Opts.Run)
 	me := r.WorldRank()
 	per := w.PerProcBytes()
 	bb := w.BlockBytes()
@@ -114,6 +115,7 @@ func (w FlashIO) WriteCheckpointIndependent(r *mpi.Rank, env Env, name string) R
 		Elapsed:   elapsed,
 		VirtBytes: w.CheckpointBytes(comm.Size()) * scaleOf(env),
 		Breakdown: mf.Breakdown(),
+		Metrics:   snapshotMetrics(env),
 	}
 }
 

@@ -39,6 +39,7 @@ func (w IOR) Write(r *mpi.Rank, env Env, name string) Result {
 		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
 		Breakdown: f.Breakdown(),
 		Plan:      f.LastPlan(),
+		Metrics:   snapshotMetrics(env),
 	}
 }
 
@@ -62,6 +63,7 @@ func (w IOR) Read(r *mpi.Rank, env Env, name string) Result {
 		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
 		Breakdown: f.Breakdown(),
 		Plan:      f.LastPlan(),
+		Metrics:   snapshotMetrics(env),
 	}
 }
 
@@ -101,6 +103,7 @@ func (w IOR) WriteFPP(r *mpi.Rank, env Env, prefix string) Result {
 	return Result{
 		Elapsed:   elapsed,
 		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
+		Metrics:   snapshotMetrics(env),
 	}
 }
 

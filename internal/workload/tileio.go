@@ -101,7 +101,7 @@ func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 	// The aggregation collective runs only when the plan could have produced
 	// recovery work: a healthy run must not move a single extra message.
 	var rec recovery.FailoverStats
-	if env.Opts.Hints.Fault.HasCrashes() {
+	if env.Opts.Run.Fault.HasCrashes() {
 		rec = GlobalRecovery(comm, f.Recovery())
 	}
 	return Result{
@@ -111,6 +111,7 @@ func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
 		Recovery:  rec,
+		Metrics:   snapshotMetrics(env),
 	}
 }
 
@@ -149,7 +150,7 @@ func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
 		ovl = GlobalOverlap(comm, f.Overlap())
 	}
 	var rec recovery.FailoverStats
-	if env.Opts.Hints.Fault.HasCrashes() {
+	if env.Opts.Run.Fault.HasCrashes() {
 		rec = GlobalRecovery(comm, f.Recovery())
 	}
 	res := Result{
@@ -159,6 +160,7 @@ func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
 		Plan:      f.LastPlan(),
 		Overlap:   ovl,
 		Recovery:  rec,
+		Metrics:   snapshotMetrics(env),
 	}
 	_ = got
 	return res

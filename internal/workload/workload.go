@@ -13,6 +13,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 )
 
@@ -36,6 +37,18 @@ type Result struct {
 	// counters sum, TimeToRecover is the global maximum. Zero on healthy
 	// runs — the recovery machinery is inert without a crash-carrying plan.
 	Recovery recovery.FailoverStats
+	// Metrics is a snapshot of the run's metrics registry, taken as the
+	// workload finishes. Nil unless the run armed Opts.Run.Obs.
+	Metrics *obs.Snapshot
+}
+
+// snapshotMetrics captures the armed registry (nil otherwise) for a Result.
+func snapshotMetrics(env Env) *obs.Snapshot {
+	if env.Opts.Run.Obs == nil {
+		return nil
+	}
+	s := env.Opts.Run.Obs.Snapshot()
+	return &s
 }
 
 // Bandwidth returns the aggregate rate in bytes/second.

@@ -1,0 +1,157 @@
+// Observability acceptance tests. The obs layer is observe-only: it reads
+// virtual clocks and counters but never advances time, draws randomness, or
+// reorders events — so a fully instrumented run must be bit-identical in
+// virtual time to a bare run of the same configuration. These tests pin that
+// invariant across the whole fault-scenario catalog, pin the determinism of
+// the Perfetto export (same run -> same bytes), and sanity-check the
+// critical-path report against the run it came from.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// TestInstrumentedRunsMatchBare runs every catalog scenario at baseline and
+// ParColl geometry twice — once bare, once with the trace recorder and
+// metrics registry threaded through every layer — and asserts the elapsed
+// virtual times are bit-identical. Any instrumentation that consumed an RNG
+// draw, advanced a clock, or perturbed scheduling order would shift these.
+func TestInstrumentedRunsMatchBare(t *testing.T) {
+	p := experiments.BenchPreset()
+	for _, name := range fault.Names() {
+		plan, err := fault.Scenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, groups := range []int{1, scenarioGroups} {
+			bare := p.TileUnderFault(scenarioProcs, groups, plan)
+			obs := experiments.ObservedTileWrite(p, scenarioProcs, groups, plan)
+			if obs.Result.Elapsed != bare.Elapsed {
+				t.Errorf("%s/groups=%d: instrumented elapsed %x != bare %x",
+					name, groups, obs.Result.Elapsed, bare.Elapsed)
+			}
+			if obs.Result.VirtBytes <= 0 {
+				t.Errorf("%s/groups=%d: instrumented run moved no bytes", name, groups)
+			}
+		}
+	}
+}
+
+// TestObservedRunDeterminism pins run-to-run identity of the full observed
+// bundle: two instrumented runs of the same configuration must agree on the
+// metrics snapshot and produce byte-identical Perfetto exports.
+func TestObservedRunDeterminism(t *testing.T) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneStraggler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := experiments.ObservedTileWrite(p, scenarioProcs, scenarioGroups, plan)
+	b := experiments.ObservedTileWrite(p, scenarioProcs, scenarioGroups, plan)
+	if !a.Snapshot.Equal(b.Snapshot) {
+		t.Errorf("metrics snapshots differ between identical runs:\n--- first\n%s\n--- second\n%s",
+			a.Snapshot.String(), b.Snapshot.String())
+	}
+	ja, err := a.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("Perfetto exports differ between identical runs: %d vs %d bytes", len(ja), len(jb))
+	}
+	if len(ja) == 0 {
+		t.Error("Perfetto export is empty")
+	}
+}
+
+// TestObservedMetricsPopulated asserts the instruments the registry promises
+// actually fire during a tile write: MPI collective counters, lustre service
+// histograms, mpiio round-phase histograms, and the engine's scheduler
+// counters must all be present and nonzero in the snapshot.
+func TestObservedMetricsPopulated(t *testing.T) {
+	p := experiments.BenchPreset()
+	o := experiments.ObservedTileWrite(p, scenarioProcs, scenarioGroups, nil)
+	snap := o.Snapshot
+	counters := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"mpi.coll.barrier.calls",
+		"mpi.coll.allreduce.calls",
+		"sim.resumes",
+		"sim.sends",
+		"lustre.ost.requests",
+		"lustre.ost.bytes",
+	} {
+		if counters[name] == 0 {
+			t.Errorf("counter %q absent or zero in snapshot", name)
+		}
+	}
+	hists := make(map[string]uint64)
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.Count
+	}
+	for _, name := range []string{
+		"lustre.ost.service.secs",
+		"mpiio.round.sync.secs",
+		"mpiio.round.exchange.secs",
+		"mpiio.round.io.secs",
+	} {
+		if hists[name] == 0 {
+			t.Errorf("histogram %q absent or empty in snapshot", name)
+		}
+	}
+}
+
+// TestCriticalPathConsistency sanity-checks the critical-path report of an
+// instrumented run: the path must span the run's full recorded interval,
+// its steps must be contiguous in time, and the bounding phase must be one
+// of the recorded span kinds.
+func TestCriticalPathConsistency(t *testing.T) {
+	p := experiments.BenchPreset()
+	plan, err := fault.Scenario(fault.OneStraggler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.ObservedTileWrite(p, scenarioProcs, scenarioGroups, plan)
+	rep := o.Path
+	if len(rep.Steps) == 0 {
+		t.Fatal("critical path has no steps")
+	}
+	if rep.Span <= 0 {
+		t.Fatalf("critical path span %g must be positive", rep.Span)
+	}
+	var sum float64
+	for i, s := range rep.Steps {
+		if s.End < s.Start {
+			t.Errorf("step %d runs backwards: [%g, %g]", i, s.Start, s.End)
+		}
+		if i > 0 && rep.Steps[i-1].End != s.Start {
+			t.Errorf("steps %d-%d not contiguous: %g != %g", i-1, i, rep.Steps[i-1].End, s.Start)
+		}
+		sum += s.End - s.Start
+	}
+	if diff := sum - rep.Span; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("step durations sum to %g, span is %g", sum, rep.Span)
+	}
+	if rep.BoundingKind == "" || rep.BoundingRank < 0 {
+		t.Errorf("bounding contributor not identified: rank=%d kind=%q", rep.BoundingRank, rep.BoundingKind)
+	}
+	// A one-straggler run is bounded by waiting on the slow rank: the top
+	// contributor must hold a large share of the span.
+	if len(rep.Contribs) == 0 {
+		t.Fatal("no contributors")
+	}
+	if top := rep.Contribs[0]; top.Seconds <= 0 || top.Seconds > rep.Span {
+		t.Errorf("top contributor %+v out of range (span %g)", top, rep.Span)
+	}
+}

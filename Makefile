@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race vet faults fuzz recovery obs
+.PHONY: all build test bench bench-large race vet faults fuzz recovery obs paperrepro verify
 
 all: build test
 
@@ -15,10 +15,14 @@ vet:
 	$(GO) vet ./...
 
 # The sim engine is the concurrency-sensitive core (cooperative goroutine
-# scheduling); run it — and the layers the fault injector and the
-# nonblocking progress engine touch — under the race detector separately.
+# scheduling, and the partitioned parallel mode runs domains on real OS
+# threads); run it — and the layers the fault injector and the nonblocking
+# progress engine touch — under the race detector separately, then the root
+# parallel-identity suite, which drives every layer through the parallel
+# engine at 2 and 4 workers (DESIGN.md §12).
 race:
 	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/...
+	$(GO) test -race -run 'TestParallel' -count=1 .
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
 # perturber hook tests, and the scenario determinism goldens + straggler
@@ -63,3 +67,20 @@ recovery: vet
 bench: vet race
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_4.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
+
+# Large-scale tier: the 1024/4096-proc Fig1 points under the partitioned
+# parallel engine (GOMAXPROCS workers), plus the 256-proc serial-vs-parallel
+# strong-scaling probe. Set BENCH_LARGE_STRETCH=1 for the 16384-proc stretch
+# point. See DESIGN.md §12 and EXPERIMENTS.md "Strong scaling".
+bench-large:
+	BENCH_LARGE_JSON=BENCH_6.json $(GO) test -run '^TestEmitBenchLargeJSON$$' -count=1 -v -timeout 60m .
+
+# Regenerate the checked-in full-scale transcript. -timings=false drops the
+# wall-clock lines so the file is a pure function of the simulation — any
+# diff after running this target is a real virtual-time change.
+paperrepro:
+	$(GO) run ./cmd/paperrepro -procs 1024 -timings=false > paperrepro_output.txt
+
+# The full verification sweep: tier-1 build+test, vet, and a transcript
+# regeneration so paperrepro_output.txt can't drift from the code.
+verify: all vet paperrepro

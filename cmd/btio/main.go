@@ -44,7 +44,7 @@ func main() {
 		return gs
 	})
 	if c.JSON {
-		cli.EmitJSON("btio-scale", points)
+		c.EmitJSON("btio-scale", points)
 	} else {
 		t := stats.NewTable("procs", "baseline", "ParColl(best)", "groups", "speedup")
 		for _, pt := range points {

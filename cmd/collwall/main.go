@@ -68,13 +68,14 @@ func main() {
 
 	p := experiments.PaperPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	var procs []int
 	for n := *minProcs; n <= *maxProcs; n *= 2 {
 		procs = append(procs, n)
 	}
 	points := p.CollectiveWall(procs)
 	if c.JSON {
-		cli.EmitJSON("collective-wall", points)
+		c.EmitJSON("collective-wall", points)
 		return
 	}
 
@@ -103,6 +104,7 @@ func maybeObserve(c *cli.Common, groups int) {
 	}
 	p := experiments.BenchPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	var plan *fault.Plan
 	if c.Scenario != "" && c.Scenario != "all" {
 		plan = c.Plan()
@@ -124,7 +126,7 @@ func maybeObserve(c *cli.Common, groups int) {
 	}
 	if c.Metrics {
 		if c.JSON {
-			cli.EmitJSON("observability", map[string]any{
+			c.EmitJSON("observability", map[string]any{
 				"metrics":       o.Snapshot,
 				"critical_path": o.Path,
 			})
@@ -147,6 +149,7 @@ func runOverlap(c *cli.Common, groups, steps int, ratios []float64) {
 	nprocs := c.Procs
 	p := experiments.BenchPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	plan, err := fault.Scenario(fault.OneStraggler)
 	if err != nil {
 		panic(err)
@@ -154,7 +157,7 @@ func runOverlap(c *cli.Common, groups, steps int, ratios []float64) {
 	pts := p.OverlapSweep(nprocs, groups, steps, ratios, nil)
 	pts = append(pts, p.OverlapSweep(nprocs, groups, steps, ratios, plan)...)
 	if c.JSON {
-		cli.EmitJSON("overlap-sweep", pts)
+		c.EmitJSON("overlap-sweep", pts)
 		return
 	}
 	t := stats.NewTable("scenario", "ratio", "block-ext2ph(s)", "split-ext2ph(s)",
@@ -183,9 +186,10 @@ func runSweep(c *cli.Common, groups int, severities []float64) {
 	nprocs := c.Procs
 	p := experiments.BenchPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	pts := p.StragglerSweep(nprocs, groups, severities)
 	if c.JSON {
-		cli.EmitJSON("straggler-sweep", pts)
+		c.EmitJSON("straggler-sweep", pts)
 		return
 	}
 	t := stats.NewTable("severity", "ext2ph(s)", fmt.Sprintf("parcoll-%d(s)", groups), "gap(s)", "ext2ph-degr(s)", "parcoll-degr(s)")
@@ -209,6 +213,7 @@ func runScenarios(c *cli.Common, groups int) {
 	name, nprocs := c.Scenario, c.Procs
 	p := experiments.BenchPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	var pts []experiments.ScenarioPoint
 	if name == "all" {
 		pts = p.ScenarioSuite(nprocs, groups)
@@ -220,7 +225,7 @@ func runScenarios(c *cli.Common, groups int) {
 		pts = append(pts, p.TileUnderFault(nprocs, 1, plan), p.TileUnderFault(nprocs, groups, plan))
 	}
 	if c.JSON {
-		cli.EmitJSON("fault-scenarios", pts)
+		c.EmitJSON("fault-scenarios", pts)
 		return
 	}
 	t := stats.NewTable("scenario", "groups", "elapsed(s)", "sync(s)", "io(s)", "perturbed-msgs")
@@ -241,6 +246,7 @@ func runFailures(c *cli.Common, name string, groups int) {
 	nprocs := c.Procs
 	p := experiments.BenchPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	var pts []experiments.FailurePoint
 	if name == "all" {
 		pts = p.RecoverySuite(nprocs, groups)
@@ -252,7 +258,7 @@ func runFailures(c *cli.Common, name string, groups int) {
 		pts = append(pts, p.TileUnderFailure(nprocs, 1, plan), p.TileUnderFailure(nprocs, groups, plan))
 	}
 	if c.JSON {
-		cli.EmitJSON("failure-recovery", pts)
+		c.EmitJSON("failure-recovery", pts)
 		return
 	}
 	t := stats.NewTable("scenario", "groups", "elapsed(s)", "detect", "failover", "reelect",
@@ -272,9 +278,10 @@ func runFailures(c *cli.Common, name string, groups int) {
 func renderGantt(c *cli.Common, nprocs int) {
 	p := experiments.PaperPreset()
 	p.Seed = c.Seed
+	p.Workers = c.Workers
 	rec := trace.New()
 	env := experiments.EnvFor(p, p.TileScale, core.Options{})
-	mpi.Run(nprocs, p.Cluster, p.Seed, func(r *mpi.Rank) {
+	mpi.RunPlanWorkers(nprocs, p.Cluster, p.Seed, nil, p.Workers, func(r *mpi.Rank) {
 		r.SetTracer(rec)
 		p.Tile.Write(r, env, "tile")
 	})

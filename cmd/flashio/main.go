@@ -27,7 +27,7 @@ func main() {
 	c.Apply(&p)
 	points := p.FlashSeries(c.Procs, *groups, *aggs)
 	if c.JSON {
-		cli.EmitJSON("flash-series", points)
+		c.EmitJSON("flash-series", points)
 	} else {
 		fmt.Printf("Flash I/O checkpoint: %d procs, %d vars, %s virtual per proc\n\n",
 			c.Procs, p.Flash.NVars,

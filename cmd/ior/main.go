@@ -32,7 +32,7 @@ func main() {
 
 	points := p.IORGroups([]int{c.Procs}, func(int) []int { return gs })
 	if c.JSON {
-		cli.EmitJSON("ior-groups", points)
+		c.EmitJSON("ior-groups", points)
 	} else {
 		fmt.Printf("IOR collective write: %d procs, %s virtual per proc in %s units\n\n",
 			c.Procs, stats.Bytes(p.IORBlock*int64(p.IORScale)), stats.Bytes(p.IORTransfer*int64(p.IORScale)))
@@ -67,7 +67,7 @@ func verifyRun(p experiments.Preset, nprocs, groups int) error {
 func printOSTStats(p experiments.Preset, nprocs, groups int) {
 	env := experiments.EnvFor(p, p.IORScale, core.Options{NumGroups: groups})
 	w := workload.IOR{Block: p.IORBlock, Transfer: p.IORTransfer}
-	mpi.RunPlan(nprocs, p.Cluster, p.Seed, p.Fault, func(r *mpi.Rank) {
+	mpi.RunPlanWorkers(nprocs, p.Cluster, p.Seed, p.Fault, p.Workers, func(r *mpi.Rank) {
 		w.Write(r, env, "ior-stats")
 	})
 	st := env.FS.Stats()

@@ -22,8 +22,15 @@ import (
 
 var c *cli.Common
 
+// timings controls the "[figN took X.Xs]" lines. `make paperrepro` turns it
+// off so the checked-in transcript (paperrepro_output.txt) is a pure function
+// of the simulation and regenerating it can't produce wall-clock noise diffs.
+var timings bool
+
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: all,1,2,6,7,8,9,10,11")
+	flag.BoolVar(&timings, "timings", true,
+		"print wall-clock duration after each figure (disable for a deterministic transcript)")
 	presetName := flag.String("preset", "paper", "parameter preset: paper or bench")
 	osts := flag.Int("osts", 0, "override number of OSTs")
 	ostBW := flag.Float64("ostbw", 0, "override per-OST bandwidth, bytes/s")
@@ -97,7 +104,7 @@ func capped(procs []int, maxProcs int) []int {
 func timed(name string, fn func()) {
 	t0 := time.Now()
 	fn()
-	if !c.JSON {
+	if !c.JSON && timings {
 		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
 	}
 }
@@ -107,7 +114,7 @@ func fig12(p experiments.Preset, maxProcs int) {
 		procs := capped([]int{16, 32, 64, 128, 256, 512, 1024}, maxProcs)
 		points := p.CollectiveWall(procs)
 		if c.JSON {
-			cli.EmitJSON("fig1+2-collective-wall", points)
+			c.EmitJSON("fig1+2-collective-wall", points)
 			return
 		}
 		t := stats.NewTable("procs", "sync(s)", "exchange(s)", "io(s)", "sync-share")
@@ -144,7 +151,7 @@ func fig6(p experiments.Preset, maxProcs int) {
 		procs := capped([]int{128, 512}, maxProcs)
 		points := p.IORGroups(procs, func(n int) []int { return groupsUpTo(n, 8) })
 		if c.JSON {
-			cli.EmitJSON("fig6-ior", points)
+			c.EmitJSON("fig6-ior", points)
 			return
 		}
 		t := stats.NewTable("procs", "groups", "bandwidth")
@@ -182,7 +189,7 @@ func fig78(p experiments.Preset, maxProcs int) {
 		groups := groupsUpTo(n, 1)
 		points := p.TileGroupSweep(n, groups)
 		if c.JSON {
-			cli.EmitJSON("fig7+8-tile-groups", points)
+			c.EmitJSON("fig7+8-tile-groups", points)
 			return
 		}
 		t := stats.NewTable("groups", "write", "read", "sync(s)", "sync-share")
@@ -215,7 +222,7 @@ func fig9(p experiments.Preset, maxProcs int) {
 			return gs
 		})
 		if c.JSON {
-			cli.EmitJSON("fig9-tile-scalability", points)
+			c.EmitJSON("fig9-tile-scalability", points)
 			return
 		}
 		t := stats.NewTable("procs", "Cray(base)", "ParColl(best)", "best-groups", "speedup")
@@ -263,7 +270,7 @@ func fig10(p experiments.Preset, maxProcs int) {
 			return gs
 		})
 		if c.JSON {
-			cli.EmitJSON("fig10-btio", points)
+			c.EmitJSON("fig10-btio", points)
 			return
 		}
 		t := stats.NewTable("procs", "Cray(base)", "ParColl(best)", "best-groups", "speedup")
@@ -295,7 +302,7 @@ func fig11(p experiments.Preset, maxProcs int) {
 		}
 		points := p.FlashSeries(n, 64, 64)
 		if c.JSON {
-			cli.EmitJSON("fig11-flash", points)
+			c.EmitJSON("fig11-flash", points)
 			return
 		}
 		t := stats.NewTable("series", "bandwidth")

@@ -31,7 +31,7 @@ func main() {
 		}
 		points := p.TileGroupSweep(c.Procs, groups)
 		if c.JSON {
-			cli.EmitJSON("tile-group-sweep", points)
+			c.EmitJSON("tile-group-sweep", points)
 			break
 		}
 		t := stats.NewTable("groups", "write", "read", "sync(s)", "sync-share")
@@ -57,7 +57,7 @@ func main() {
 			return gs
 		})
 		if c.JSON {
-			cli.EmitJSON("tile-scalability", points)
+			c.EmitJSON("tile-scalability", points)
 			break
 		}
 		t := stats.NewTable("procs", "baseline", "ParColl(best)", "groups", "speedup")

@@ -33,13 +33,11 @@ func TestFig1RunTwiceIdentical(t *testing.T) {
 	}
 }
 
-// TestGoldenVirtualTimeMetrics pins the simulated metrics to bit-exact
-// hex-float golden values (captured from the original implementation).
-// A change here means the simulation's virtual-time behaviour moved —
-// deliberate model changes must update the goldens and say why; pure
-// performance work must leave them untouched.
-func TestGoldenVirtualTimeMetrics(t *testing.T) {
-	p := experiments.BenchPreset()
+// goldenMetrics computes the pinned figure metrics under one preset. The
+// preset's engine choice (Workers) must not matter: the serial golden test
+// and the parallel-engine tests both compare its output against
+// goldenWant.
+func goldenMetrics(p experiments.Preset) map[string]string {
 	got := make(map[string]string)
 	for _, n := range []int{16, 32, 64} {
 		pts := p.CollectiveWall([]int{n})
@@ -54,16 +52,28 @@ func TestGoldenVirtualTimeMetrics(t *testing.T) {
 	}
 	ior := p.IORGroups([]int{64}, func(int) []int { return []int{8} })
 	got["fig6/groups=8"] = fmt.Sprintf("BW=%x", ior[0].BW)
+	return got
+}
 
-	want := map[string]string{
+// goldenWant are the bit-exact hex-float golden values (captured from the
+// original implementation).
+var goldenWant = map[string]string{
 		"fig1/procs=16": "sync=0x1.45cec2a04607cp-05 exch=0x1.9f291cfc318a2p-10 io=0x1.9862d41837c06p-05 other=0x1.2741be9e3558ap-06 share=0x1.74da491cba4cfp-02",
 		"fig1/procs=32": "sync=0x1.509a2c87cceeep-05 exch=0x1.841fb4d12d7fbp-09 io=0x1.9c2172baaaefp-05 other=0x1.4d30eda4e7a59p-06 share=0x1.6ed7d409ded58p-02",
 		"fig1/procs=64": "sync=0x1.63e9487928e0ap-05 exch=0x1.841fb4d12d7f5p-09 io=0x1.a68c260b0a957p-05 other=0x1.5fa469d194fa5p-06 share=0x1.74725da5c14dcp-02",
 		"fig7/groups=1": "writeBW=0x1.923130a372c17p+31 readBW=0x1.d81cae2666af7p+30 sync=0x1.63e9487928e0ap-05",
 		"fig7/groups=8": "writeBW=0x1.9e2cb7465c2a8p+31 readBW=0x1.4145bdf0281b8p+31 sync=0x1.41d74f087c9f3p-05",
-		"fig6/groups=8": "BW=0x1.63122dc8f9919p+30",
-	}
-	for k, w := range want {
+	"fig6/groups=8": "BW=0x1.63122dc8f9919p+30",
+}
+
+// TestGoldenVirtualTimeMetrics pins the simulated metrics to bit-exact
+// hex-float golden values (captured from the original implementation).
+// A change here means the simulation's virtual-time behaviour moved —
+// deliberate model changes must update the goldens and say why; pure
+// performance work must leave them untouched.
+func TestGoldenVirtualTimeMetrics(t *testing.T) {
+	got := goldenMetrics(experiments.BenchPreset())
+	for k, w := range goldenWant {
 		if got[k] != w {
 			t.Errorf("%s:\n  got:  %s\n  want: %s", k, got[k], w)
 		}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -26,15 +27,18 @@ type Common struct {
 	Scenario string // -scenario: named fault scenario applied to every run
 	TraceOut string // -trace-out: Perfetto trace_event JSON output path
 	Metrics  bool   // -metrics: print the metrics snapshot + critical path
+	Workers  int    // -workers: engine domain workers (1 = serial scheduler)
 }
 
-// Register installs -json, -seed and -procs on the default flag set and
-// returns the Common that will receive their values at flag.Parse.
+// Register installs -json, -seed, -procs and -workers on the default flag
+// set and returns the Common that will receive their values at flag.Parse.
 func Register(defaultProcs int) *Common {
 	c := &Common{}
 	flag.BoolVar(&c.JSON, "json", false, "emit JSON instead of tables")
 	flag.Int64Var(&c.Seed, "seed", 1, "simulation seed")
 	flag.IntVar(&c.Procs, "procs", defaultProcs, "number of simulated processes")
+	flag.IntVar(&c.Workers, "workers", runtime.GOMAXPROCS(0),
+		"simulation engine workers: 1 runs the serial scheduler, >1 the parallel one (results are bit-identical either way)")
 	return c
 }
 
@@ -70,19 +74,34 @@ func (c *Common) Plan() *fault.Plan {
 	return plan
 }
 
-// Apply copies the shared flag values onto a preset: the seed, and the
-// scenario's fault plan (threaded through every runner of the preset).
+// Apply copies the shared flag values onto a preset: the seed, the
+// scenario's fault plan (threaded through every runner of the preset), and
+// the engine worker count.
 func (c *Common) Apply(p *experiments.Preset) {
 	p.Seed = c.Seed
 	p.Fault = c.Plan()
+	p.Workers = c.Workers
 }
 
-// EmitJSON prints {"experiment": name, "points": points} with stable
-// two-space indentation, the wire format every tool's -json mode shares.
+// EmitJSON prints {"experiment": name, "workers": n, "points": points} with
+// stable two-space indentation — the wire format every tool's -json mode
+// shares. The worker count is part of the envelope so scripts comparing runs
+// can see which engine produced them (the points themselves are
+// bit-identical for every worker count).
+func (c *Common) EmitJSON(name string, points any) {
+	emitJSON(map[string]any{"experiment": name, "workers": c.Workers, "points": points})
+}
+
+// EmitJSON is the envelope writer behind Common.EmitJSON, for call sites
+// with no Common in scope (no worker field is emitted).
 func EmitJSON(name string, points any) {
+	emitJSON(map[string]any{"experiment": name, "points": points})
+}
+
+func emitJSON(doc map[string]any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"experiment": name, "points": points}); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		panic(err)
 	}
 }

@@ -62,6 +62,13 @@ type Preset struct {
 	// explicit plan (TileUnderFailure, RecoverySuite, ...) ignore it in
 	// favor of their own.
 	Fault *fault.Plan
+
+	// Workers selects the simulation engine for every runner of this
+	// preset: <= 1 the serial scheduler, > 1 the conservative parallel one
+	// with that many domain workers (DESIGN.md §12). Results are
+	// bit-identical either way; only wall-clock time changes. The cmd
+	// tools' -workers flag sets it.
+	Workers int
 }
 
 // PaperPreset runs the paper's workload geometry shrunk 4096x (tile/IOR)
@@ -125,7 +132,7 @@ func (p Preset) env(scale float64, opts core.Options) workload.Env {
 // catalog runners go through here, so setting Preset.Fault perturbs every
 // figure consistently.
 func (p Preset) run(nprocs int, body func(r *mpi.Rank)) float64 {
-	end, _ := mpi.RunPlan(nprocs, p.Cluster, p.Seed, p.Fault, body)
+	end, _ := mpi.RunPlanWorkers(nprocs, p.Cluster, p.Seed, p.Fault, p.Workers, body)
 	return end
 }
 
@@ -146,6 +153,9 @@ func (p Preset) envPlan(scale float64, opts core.Options, plan *fault.Plan) work
 	}
 	if opts.Hints.CBBufferSize == 0 {
 		opts.Hints.CBBufferSize = stripeSize // cb_buffer = 4 MB virtual
+	}
+	if opts.Workers == 0 {
+		opts.Workers = p.Workers
 	}
 	return workload.Env{
 		FS:     lustre.NewFS(lcfg),
@@ -187,7 +197,7 @@ func (p Preset) CollectiveWall(procs []int) []WallPoint {
 func (p Preset) CollectiveWallStats(n int) (WallPoint, sim.Stats) {
 	env := p.env(p.TileScale, core.Options{})
 	var bd mpiio.Breakdown
-	_, st := mpi.RunPlan(n, p.Cluster, p.Seed, p.Fault, func(r *mpi.Rank) {
+	_, st := mpi.RunPlanWorkers(n, p.Cluster, p.Seed, p.Fault, p.Workers, func(r *mpi.Rank) {
 		res := p.Tile.Write(r, env, "tile")
 		m := workload.MeanBreakdown(mpi.WorldComm(r), res.Breakdown)
 		if r.WorldRank() == 0 {

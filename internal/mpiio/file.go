@@ -190,6 +190,10 @@ func (f *File) RecoveryLog() *recovery.Log { return &f.rlog }
 // the phase-duration histogram when metrics are armed. end may lie in the
 // virtual future for async I/O spans.
 func (f *File) traceRound(kind string, start, end float64, round int) {
+	if f.run.Trace == nil && f.obsRound[kind] == nil {
+		return
+	}
+	f.r.P.Ordered() // sinks are engine-shared; record in serial order
 	if f.run.Trace != nil {
 		f.run.Trace.Add(f.r.WorldRank(), kind, start, end, "round "+strconv.Itoa(round))
 	}
@@ -203,6 +207,7 @@ func (f *File) traceRound(kind string, start, end float64, round int) {
 // rare, so the name concatenation is off the hot path by construction.
 func (f *File) noteRecovery(event string) {
 	if f.run.Obs != nil {
+		f.r.P.Ordered() // registry is engine-shared; count in serial order
 		f.run.Obs.Counter("mpiio.recovery." + event).Inc()
 	}
 }
@@ -234,6 +239,7 @@ func OpenWith(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeIn
 		deadWorld: make(map[int]bool),
 	}
 	if run.Obs != nil {
+		r.P.Ordered() // registry is engine-shared; create series in serial order
 		f.obsRound = map[string]*obs.Histogram{
 			"round-sync":     run.Obs.Histogram("mpiio.round.sync.secs", nil),
 			"round-exchange": run.Obs.Histogram("mpiio.round.exchange.secs", nil),

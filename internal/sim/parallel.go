@@ -1,0 +1,706 @@
+package sim
+
+// Conservative parallel scheduler (DESIGN.md §12).
+//
+// The serial engine runs slices — maximal stretches of one proc's execution
+// between scheduler events — in the strict order of their (readyAt, id) keys.
+// Because every cross-proc message arrives strictly after its sender's clock
+// (NIC latency is positive), a slice's *effects on shared engine state* are
+// confined to keys above its own, which makes the schedule a textbook
+// conservative-PDES partition: procs are split into domains, each domain's
+// ready heap runs on its own worker goroutine, and a slice may execute its
+// pure local compute freely but must pass a *gate* before its first
+// interaction with shared state (Send, Sync, a receive, or an explicit
+// Ordered fence). The gate admits a slice keyed k only when no domain can
+// still produce an event the serial engine would schedule before k — at
+// which point the slice is, by construction, the globally next slice, and it
+// holds exclusive access to all shared state until it ends:
+//
+//   - once a gate at key k passes, every candidate event anywhere is ≥ k,
+//     and new events are only created by running slices at keys above their
+//     own gates, so nothing below k can ever appear again (monotonicity);
+//   - therefore at most one slice is ever past its gate and unfinished, and
+//     global sequence numbers, perturbation draws, resource bookings and
+//     observability appends all happen in exactly the serial order.
+//
+// Determinism is thus not approximate: virtual times, Stats counts and every
+// shared side effect are bit-identical to the serial engine's, for any
+// domain mapping. The mapping only affects how much pre-gate compute
+// overlaps — domains aligned with the machine topology (procs sharing a
+// node share a domain) overlap best because their slices rarely wait on
+// each other's NIC ledger updates.
+//
+// Tie rules mirror the serial scheduler exactly: slices order by
+// (time, proc id); an armed RecvUntil deadline fires only when *strictly*
+// earliest in time (a same-time runnable slice wins) and first among
+// deadlines by (time, proc id).
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+)
+
+// sliceKey is the serial scheduler's ordering key for one slice.
+type sliceKey struct {
+	t float64
+	i int
+}
+
+func keyLess(a, b sliceKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.i < b.i
+}
+
+// key returns the running slice's key. visT is pinned to readyAt when the
+// slice starts, so the key is stable even as the proc's clock advances.
+func (p *Proc) key() sliceKey { return sliceKey{p.visT, p.id} }
+
+// domain is one partition of the procs: a private ready heap, deadline heap
+// and stats block, driven by one worker goroutine.
+type domain struct {
+	id      int
+	par     *parEngine
+	ready   readyHeap
+	dl      dlHeap
+	stats   Stats
+	yieldCh chan struct{}
+
+	// running is the slice currently executing (or parked mid-gate) on this
+	// domain's worker; stack holds pre-gate slices that handed the worker
+	// back because a serially-earlier slice landed in this domain. Stack
+	// keys strictly decrease toward the top, so running is always the
+	// domain's earliest in-flight slice.
+	running  *Proc
+	stack    []*Proc
+	gateWait *Proc // set by a slice yielding the worker mid-gate
+}
+
+// parEngine is the shared scheduler state. One mutex guards every heap,
+// frontier read and shared-state interaction; it is released while slices
+// execute, which is where the parallelism comes from.
+type parEngine struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	eng      *Engine
+	doms     []*domain
+	n        int
+	done     int
+	finished bool
+	panicV   any
+}
+
+// peekDl prunes stale entries and returns the domain's earliest armed
+// deadline, or nil. Caller holds par.mu.
+func (d *domain) peekDl() *dlEntry {
+	for len(d.dl) > 0 {
+		if d.dl[0].stale() {
+			d.dl.pop()
+			continue
+		}
+		return &d.dl[0]
+	}
+	return nil
+}
+
+// blocksKey reports whether domain d could still produce an event the serial
+// scheduler would run strictly before key k. Running, stacked and ready
+// slices compare by (time, id); armed deadlines compare by time only — a
+// deadline that ties a runnable slice fires after it (timeout.go's tie
+// rule), so it never blocks a same-time slice. Caller holds par.mu.
+func (d *domain) blocksKey(k sliceKey, self *Proc) bool {
+	if d.running != nil && d.running != self && keyLess(d.running.key(), k) {
+		return true
+	}
+	for _, s := range d.stack {
+		if s != self && keyLess(s.key(), k) {
+			return true
+		}
+	}
+	if top := d.ready.peek(); top != nil && keyLess(sliceKey{top.readyAt, top.id}, k) {
+		return true
+	}
+	if e := d.peekDl(); e != nil && e.at < k.t {
+		return true
+	}
+	return false
+}
+
+// ensureGateLocked blocks until every event the serial engine would schedule
+// before this slice has completed, then marks the slice gated. From that
+// point to the end of the slice, the slice holds exclusive access to all
+// engine-shared state (see the package comment's monotonicity argument).
+// The gate is monotone within a slice, so it is checked once and cached.
+// Caller holds par.mu; it is held again on return.
+func (p *Proc) ensureGateLocked() {
+	if p.gated {
+		return
+	}
+	d := p.dom
+	par := d.par
+	k := p.key()
+	for {
+		if par.panicV != nil {
+			p.abortLocked() // never returns
+		}
+		own, blocked := false, false
+		for _, d2 := range par.doms {
+			if !d2.blocksKey(k, p) {
+				continue
+			}
+			if d2 == d {
+				own = true
+			} else {
+				blocked = true
+			}
+		}
+		if own {
+			// A serially-earlier slice (or deadline) landed in our own
+			// domain: hand the worker back so it can run; the worker
+			// resumes us once our key is the domain's earliest again.
+			d.gateWait = p
+			par.mu.Unlock()
+			d.yieldCh <- struct{}{}
+			<-p.resume
+			par.mu.Lock()
+			continue
+		}
+		if !blocked {
+			break
+		}
+		par.cond.Wait()
+	}
+	p.gated = true
+}
+
+// abortLocked is taken when a sibling proc panicked: release the worker and
+// park forever, mirroring the serial engine's abandonment of the remaining
+// proc goroutines when Run re-panics. Caller holds par.mu; never returns.
+func (p *Proc) abortLocked() {
+	d := p.dom
+	d.par.mu.Unlock()
+	d.yieldCh <- struct{}{}
+	select {}
+}
+
+// Ordered is a determinism fence for parallel runs: it blocks until every
+// serially-earlier slice has completed, so whatever the caller does next
+// touches engine-shared structures (trace recorders, metric registries,
+// collective rendezvous tables) in exactly the serial engine's order. Under
+// the serial engine — and once the current slice has already interacted —
+// it costs one branch.
+func (p *Proc) Ordered() {
+	if p.dom == nil || p.gated {
+		return
+	}
+	par := p.dom.par
+	par.mu.Lock()
+	p.ensureGateLocked()
+	par.mu.Unlock()
+}
+
+// syncSlowLocked decides Sync's scheduling exactly like the serial fast-path
+// test against the global ready heap: slow iff some other runnable slice's
+// key precedes (p.now, p.id). Running-but-pre-gate slices stand in for their
+// serial heap entries at their slice keys; armed deadlines are not runnable
+// (the serial Sync test also only consults the ready heap). Caller holds
+// par.mu and must be gated, so the view is the serial engine's moment.
+func (par *parEngine) syncSlowLocked(p *Proc) bool {
+	k := sliceKey{p.now, p.id}
+	for _, d := range par.doms {
+		if d.running != nil && d.running != p && keyLess(d.running.key(), k) {
+			return true
+		}
+		for _, s := range d.stack {
+			if keyLess(s.key(), k) {
+				return true
+			}
+		}
+		if top := d.ready.peek(); top != nil && keyLess(sliceKey{top.readyAt, top.id}, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// parSync implements Proc.Sync on the parallel scheduler.
+func (p *Proc) parSync() {
+	par := p.dom.par
+	par.mu.Lock()
+	p.ensureGateLocked()
+	if !par.syncSlowLocked(p) {
+		par.mu.Unlock()
+		return // already first in virtual-time order
+	}
+	p.state = stateReady
+	p.readyAt = p.now
+	p.blockedOn = blockSync
+	p.dom.ready.push(p)
+	par.cond.Broadcast()
+	par.mu.Unlock()
+	p.yield()
+	// The worker resumed us as a fresh slice, which only means we are first
+	// within our own domain. Sync's contract is global — callers book shared
+	// resources right after it returns — so re-gate before returning.
+	par.mu.Lock()
+	p.ensureGateLocked()
+	par.mu.Unlock()
+}
+
+// parSend implements Proc.Send on the parallel scheduler. The gate makes the
+// global sequence counter, the perturbation draws and the wake decision
+// happen in serial order; the deposit stamp reproduces the serial deposit
+// order for wildcard receivers (see mailbox.takeVis).
+func (p *Proc) parSend(dst, tag int, payload any, arrival float64) {
+	e := p.engine
+	par := p.dom.par
+	par.mu.Lock()
+	p.ensureGateLocked()
+	e.seq++
+	p.dom.stats.Sends.Inc()
+	if e.cfg.Perturber != nil {
+		if d := e.cfg.Perturber.DeliveryDelay(p.id, dst, arrival, e.frng); d > 0 {
+			arrival += d
+			p.dom.stats.Perturbed.Inc()
+		}
+	}
+	p.sseq++
+	m := Message{
+		Src: p.id, Tag: tag, Payload: payload, Arrival: arrival, seq: e.seq,
+		stampT: p.visT, stampI: int32(p.id), sseq: p.sseq,
+	}
+	q := e.procs[dst]
+	q.mb.put(m)
+	if q.state == stateBlocked && q.hasPending && q.pending.matches(&m) {
+		if q.hasDeadline && m.Arrival > q.deadline {
+			// The waiter's watchdog expires before this message arrives:
+			// wake it at the deadline, empty-handed.
+			q.hasDeadline = false
+			q.hasPending = false
+			q.state = stateReady
+			q.readyAt = q.deadline
+			p.dom.stats.Timeouts.Inc()
+			q.dom.ready.push(q)
+		} else {
+			q.hasDeadline = false
+			q.hasPending = false
+			q.state = stateReady
+			q.readyAt = q.now
+			if m.Arrival > q.readyAt {
+				q.readyAt = m.Arrival
+			}
+			q.dom.ready.push(q)
+		}
+	}
+	par.cond.Broadcast()
+	par.mu.Unlock()
+}
+
+// parRecv implements Proc.Recv on the parallel scheduler.
+func (p *Proc) parRecv(src, tag int) Message {
+	spec := recvSpec{src: src, tag: tag}
+	par := p.dom.par
+	for {
+		par.mu.Lock()
+		p.ensureGateLocked()
+		if m, ok := p.mb.takeVis(spec, p.visT, p.id, &p.dom.stats); ok {
+			par.mu.Unlock()
+			if m.Arrival > p.now {
+				p.now = m.Arrival
+			}
+			p.fireDue()
+			p.dom.stats.Recvs.Inc()
+			return m
+		}
+		p.pending = spec
+		p.hasPending = true
+		p.state = stateBlocked
+		p.blockedOn = blockRecv
+		par.cond.Broadcast()
+		par.mu.Unlock()
+		p.yield()
+	}
+}
+
+// parTryRecv implements Proc.TryRecv on the parallel scheduler.
+func (p *Proc) parTryRecv(src, tag int) (Message, bool) {
+	par := p.dom.par
+	par.mu.Lock()
+	p.ensureGateLocked()
+	m, ok := p.mb.takeVis(recvSpec{src: src, tag: tag}, p.visT, p.id, &p.dom.stats)
+	par.mu.Unlock()
+	if !ok {
+		return Message{}, false
+	}
+	if m.Arrival > p.now {
+		p.now = m.Arrival
+	}
+	p.fireDue()
+	p.dom.stats.Recvs.Inc()
+	return m, true
+}
+
+// parRecvUntil implements Proc.RecvUntil on the parallel scheduler,
+// mirroring the serial loop in timeout.go with the deadline armed on the
+// owning domain's heap.
+func (p *Proc) parRecvUntil(spec recvSpec, deadline float64) (Message, bool) {
+	par := p.dom.par
+	for {
+		par.mu.Lock()
+		p.ensureGateLocked()
+		if m, ok := p.mb.takeBefore(spec, deadline, &p.dom.stats); ok {
+			par.mu.Unlock()
+			if m.Arrival > p.now {
+				p.now = m.Arrival
+			}
+			p.fireDue()
+			p.dom.stats.Recvs.Inc()
+			return m, true
+		}
+		if p.now >= deadline {
+			par.mu.Unlock()
+			p.fireDue()
+			return Message{}, false
+		}
+		p.pending = spec
+		p.hasPending = true
+		p.state = stateBlocked
+		p.blockedOn = blockRecv
+		p.deadline = deadline
+		p.hasDeadline = true
+		p.dlGen++
+		p.dom.dl.push(dlEntry{p: p, at: deadline, gen: p.dlGen})
+		par.cond.Broadcast()
+		par.mu.Unlock()
+		p.yield()
+		// hasDeadline was cleared, under par.mu, by whichever path woke us
+		// (matching send, expiry wake, or the domain's timeout firing).
+	}
+}
+
+// nextLocked picks the next slice this domain's worker should execute: the
+// ready top while it precedes both the earliest armed deadline (serial rule:
+// a deadline strictly earlier than every runnable fires first) and the most
+// recently parked gated slice's key; else that gated slice once nothing in
+// this domain precedes it. Returns nil when the domain must wait (deadline
+// pending global confirmation, or nothing to do). Caller holds par.mu.
+func (d *domain) nextLocked() *Proc {
+	var lim sliceKey
+	hasLim := false
+	if n := len(d.stack); n > 0 {
+		lim = d.stack[n-1].key()
+		hasLim = true
+	}
+	top := d.ready.peek()
+	dl := d.peekDl()
+	if top != nil && (dl == nil || dl.at >= top.readyAt) &&
+		(!hasLim || keyLess(sliceKey{top.readyAt, top.id}, lim)) {
+		return d.ready.pop()
+	}
+	if hasLim &&
+		(top == nil || !keyLess(sliceKey{top.readyAt, top.id}, lim)) &&
+		(dl == nil || dl.at >= lim.t) {
+		n := len(d.stack)
+		p := d.stack[n-1]
+		d.stack[n-1] = nil
+		d.stack = d.stack[:n-1]
+		return p
+	}
+	return nil
+}
+
+// fireableLocked reports whether d's earliest armed deadline is the globally
+// earliest engine event, per the serial tie rules: every running, stacked
+// and ready slice anywhere must lie strictly later in time (same-time
+// runnables win), and among armed deadlines ours must be first by
+// (time, proc id). Caller holds par.mu.
+func (d *domain) fireableLocked() *dlEntry {
+	ent := d.peekDl()
+	if ent == nil {
+		return nil
+	}
+	for _, d2 := range d.par.doms {
+		if d2.running != nil && d2.running.visT <= ent.at {
+			return nil
+		}
+		for _, s := range d2.stack {
+			if s.visT <= ent.at {
+				return nil
+			}
+		}
+		if top := d2.ready.peek(); top != nil && top.readyAt <= ent.at {
+			return nil
+		}
+		if d2 == d {
+			continue
+		}
+		if e2 := d2.peekDl(); e2 != nil &&
+			(e2.at < ent.at || (e2.at == ent.at && e2.p.id < ent.p.id)) {
+			return nil
+		}
+	}
+	return ent
+}
+
+// fireTimeoutLocked wakes this domain's earliest armed waiter empty-handed
+// at its deadline (the parallel analogue of Engine.fireTimeout). Caller
+// holds par.mu and has checked fireableLocked.
+func (d *domain) fireTimeoutLocked() {
+	ent := d.dl.pop()
+	p := ent.p
+	p.hasDeadline = false
+	p.hasPending = false
+	p.state = stateReady
+	p.readyAt = ent.at
+	d.stats.Timeouts.Inc()
+	d.ready.push(p)
+}
+
+// idleLocked reports whether no domain has any work left — running, parked,
+// ready or armed. With procs still unfinished this is the parallel
+// scheduler's deadlock condition. Caller holds par.mu.
+func (par *parEngine) idleLocked() bool {
+	for _, d := range par.doms {
+		if d.running != nil || d.gateWait != nil || len(d.stack) > 0 || len(d.ready) > 0 {
+			return false
+		}
+		if d.peekDl() != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// worker drives one domain: start ready slices, resume gated ones, fire
+// confirmed timeouts, park when the domain can only wait on the others.
+func (par *parEngine) worker(d *domain) {
+	par.mu.Lock()
+	for {
+		if par.panicV != nil || par.finished {
+			break
+		}
+		if p := d.nextLocked(); p != nil {
+			d.running = p
+			if p.state == stateReady {
+				// Fresh slice (vs resumed mid-gate from the stack): pin the
+				// slice key, reset the gate, count the resume.
+				p.state = stateRunning
+				p.visT = p.readyAt
+				p.gated = false
+				if p.readyAt > p.now {
+					p.now = p.readyAt
+				}
+				d.stats.Resumes.Inc()
+			}
+			par.mu.Unlock()
+			p.resume <- struct{}{}
+			<-d.yieldCh
+			par.mu.Lock()
+			if d.gateWait != nil {
+				// The slice parked mid-gate; it resumes via the stack.
+				d.stack = append(d.stack, d.gateWait)
+				d.gateWait = nil
+				d.running = nil
+				continue
+			}
+			d.running = nil
+			if par.panicV != nil {
+				break
+			}
+			if p.state == stateDone {
+				par.done++
+				if par.done == par.n {
+					par.finished = true
+				}
+			}
+			par.cond.Broadcast()
+			continue
+		}
+		if d.fireableLocked() != nil {
+			d.fireTimeoutLocked()
+			par.cond.Broadcast()
+			continue
+		}
+		if par.idleLocked() {
+			if par.done < par.n && par.panicV == nil {
+				par.panicV = "sim: deadlock\n" + par.eng.describeStates()
+			}
+			par.finished = true
+			break
+		}
+		par.cond.Wait()
+	}
+	par.cond.Broadcast()
+	par.mu.Unlock()
+}
+
+// minClock returns the earliest key time any domain could still schedule —
+// a nondecreasing lower bound on every future booking time, which is what
+// Resource.Trim needs from Engine.MinClock. It is coarser than the serial
+// engine's min-proc-clock but equally safe: bookings only ever happen at or
+// after the booking slice's key time.
+func (par *parEngine) minClock() float64 {
+	par.mu.Lock()
+	defer par.mu.Unlock()
+	min, ok := 0.0, false
+	consider := func(t float64) {
+		if !ok || t < min {
+			min, ok = t, true
+		}
+	}
+	for _, d := range par.doms {
+		if d.running != nil {
+			consider(d.running.visT)
+		}
+		for _, s := range d.stack {
+			consider(s.visT)
+		}
+		if top := d.ready.peek(); top != nil {
+			consider(top.readyAt)
+		}
+		if e := d.peekDl(); e != nil {
+			consider(e.at)
+		}
+	}
+	if !ok {
+		return 0
+	}
+	return min
+}
+
+// mergeStats sums the per-domain counters. Every count is identical to the
+// serial engine's by the exclusivity argument; only their attribution was
+// split across domains. MaxReadyDepth is n under the serial engine for any
+// run — all n procs are ready before the first pop — so the merge pins it
+// rather than reconstructing it from per-domain high-water marks.
+func mergeStats(doms []*domain, n int) Stats {
+	var s Stats
+	for _, d := range doms {
+		s.Resumes.Add(d.stats.Resumes.Value())
+		s.Sends.Add(d.stats.Sends.Value())
+		s.Recvs.Add(d.stats.Recvs.Value())
+		s.ExactPops.Add(d.stats.ExactPops.Value())
+		s.WildcardPops.Add(d.stats.WildcardPops.Value())
+		s.WildcardScanned.Add(d.stats.WildcardScanned.Value())
+		s.Perturbed.Add(d.stats.Perturbed.Value())
+		s.Timeouts.Add(d.stats.Timeouts.Value())
+		s.Advances.Add(d.stats.Advances.Value())
+	}
+	s.MaxReadyDepth = uint64(n)
+	return s
+}
+
+// runParallel is Engine.Run's parallel mode: cfg.Workers domains, one worker
+// goroutine each, bit-identical results to the serial scheduler.
+func (e *Engine) runParallel(n int, body func(p *Proc)) float64 {
+	W := e.cfg.Workers
+	domOf := e.cfg.DomainOf
+	if domOf == nil {
+		// Default mapping: contiguous blocks, the id-order analogue of
+		// node-aligned domains.
+		domOf = make([]int, n)
+		per := (n + W - 1) / W
+		for i := range domOf {
+			domOf[i] = i / per
+		}
+	}
+	if len(domOf) != n {
+		panic(fmt.Sprintf("sim: DomainOf has %d entries for %d procs", len(domOf), n))
+	}
+	for i, di := range domOf {
+		if di < 0 || di >= W {
+			panic(fmt.Sprintf("sim: DomainOf[%d] = %d outside [0, %d)", i, di, W))
+		}
+	}
+	par := &parEngine{eng: e, n: n}
+	par.cond = sync.NewCond(&par.mu)
+	e.par = par
+	par.doms = make([]*domain, W)
+	for i := range par.doms {
+		par.doms[i] = &domain{id: i, par: par, yieldCh: make(chan struct{})}
+	}
+	e.procs = make([]*Proc, n)
+	// Compute-scale sampling stays in id order (the Perturber contract only
+	// promises purity per proc id); rng construction, the dominant setup
+	// cost, fans out across domains.
+	slow := make([]float64, n)
+	for i := range slow {
+		slow[i] = 1
+		if e.cfg.Perturber != nil {
+			if s := e.cfg.Perturber.ComputeScale(i); s > 1 {
+				slow[i] = s
+			}
+		}
+	}
+	var setup sync.WaitGroup
+	for di := range par.doms {
+		setup.Add(1)
+		go func(di int) {
+			defer setup.Done()
+			for i := 0; i < n; i++ {
+				if domOf[i] != di {
+					continue
+				}
+				e.procs[i] = &Proc{
+					id:     i,
+					engine: e,
+					state:  stateReady,
+					resume: make(chan struct{}),
+					rng:    rand.New(rand.NewSource(e.cfg.Seed*1000003 + int64(i))),
+					slow:   slow[i],
+					dom:    par.doms[di],
+				}
+			}
+		}(di)
+	}
+	setup.Wait()
+	for _, p := range e.procs {
+		p.dom.ready.push(p)
+		go func(p *Proc) {
+			<-p.resume
+			defer func() {
+				r := recover()
+				par.mu.Lock()
+				if r != nil {
+					if par.panicV == nil {
+						par.panicV = fmt.Sprintf("%v\n\nproc %d stack:\n%s", r, p.id, debug.Stack())
+					}
+				} else {
+					// A proc's disappearance from the ready view is itself a
+					// scheduling event: gate it so sibling Sync decisions see
+					// this proc until exactly its serial completion moment.
+					p.ensureGateLocked()
+				}
+				p.drainPending()
+				p.state = stateDone
+				par.cond.Broadcast()
+				par.mu.Unlock()
+				p.dom.yieldCh <- struct{}{}
+			}()
+			body(p)
+		}(p)
+	}
+	var workers sync.WaitGroup
+	for _, d := range par.doms {
+		workers.Add(1)
+		go func(d *domain) {
+			defer workers.Done()
+			par.worker(d)
+		}(d)
+	}
+	workers.Wait()
+	if par.panicV != nil {
+		panic(par.panicV)
+	}
+	e.stats = mergeStats(par.doms, n)
+	var max float64
+	for _, p := range e.procs {
+		if p.now > max {
+			max = p.now
+		}
+	}
+	return max
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// runStats runs body under the given worker count and returns the end time
+// and the engine's merged stats.
+func runStats(t *testing.T, n, workers int, domainOf []int, seed int64, body func(p *Proc)) (float64, Stats) {
+	t.Helper()
+	e := NewEngine(Config{Seed: seed, Workers: workers, DomainOf: domainOf})
+	end := e.Run(n, body)
+	return end, e.Stats()
+}
+
+// exerciser is a message-heavy torture body: ring sends, wildcard receives,
+// random compute, Sync points, self-sends and RecvUntil watchdogs, all driven
+// by the proc's seeded rng so every run is deterministic.
+func exerciser(n int) func(p *Proc) {
+	const lat = 5e-6
+	return func(p *Proc) {
+		me := p.ID()
+		next := (me + 1) % n
+		prev := (me + n - 1) % n
+		for round := 0; round < 8; round++ {
+			p.Advance(p.Rand().Float64() * 1e-4)
+			p.Sync()
+			p.Send(next, round, []int{me, round}, p.Now()+lat)
+			m := p.Recv(prev, round)
+			if m.Src != prev {
+				panic("wrong src")
+			}
+			if round%3 == 0 {
+				// Zero-latency self-send: deposited and immediately taken.
+				p.Send(me, 100+round, round, p.Now())
+				if mm, ok := p.TryRecv(me, 100+round); !ok || mm.Payload.(int) != round {
+					panic("self-send lost")
+				}
+			}
+			if round%4 == 1 {
+				// Watchdog that never fires: the peer's message arrives first.
+				p.Send(next, 200+round, nil, p.Now()+lat)
+				if _, ok := p.RecvUntil(prev, 200+round, p.Now()+1.0); !ok {
+					panic("watchdog fired under a timely sender")
+				}
+			}
+			if round == 5 && me == 0 {
+				// Watchdog that must fire: nobody sends on this tag.
+				if _, ok := p.RecvUntil(prev, 999, p.Now()+3e-5); ok {
+					panic("phantom message")
+				}
+			}
+			// Wildcard receive of a second tagged message.
+			p.Send(next, 300+round, me, p.Now()+lat)
+			wm := p.Recv(AnySource, 300+round)
+			if wm.Src != prev {
+				panic("wildcard matched wrong queue")
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins bit-identical end times and Stats between
+// the serial scheduler and the parallel one at several worker counts and
+// domain shapes.
+func TestParallelMatchesSerial(t *testing.T) {
+	const n = 32
+	body := exerciser(n)
+	wantEnd, wantStats := runStats(t, n, 1, nil, 7, body)
+	for _, workers := range []int{2, 3, 4, 8} {
+		for _, shape := range []string{"blocks", "stripes"} {
+			var domainOf []int
+			if shape == "stripes" {
+				domainOf = make([]int, n)
+				for i := range domainOf {
+					domainOf[i] = i % workers
+				}
+			}
+			end, st := runStats(t, n, workers, domainOf, 7, body)
+			if end != wantEnd {
+				t.Errorf("workers=%d %s: end %x != serial %x", workers, shape, end, wantEnd)
+			}
+			if st != wantStats {
+				t.Errorf("workers=%d %s: stats %+v != serial %+v", workers, shape, st, wantStats)
+			}
+		}
+	}
+}
+
+// TestParallelRunTwiceIdentical pins run-twice determinism of the parallel
+// scheduler itself.
+func TestParallelRunTwiceIdentical(t *testing.T) {
+	const n = 24
+	body := exerciser(n)
+	end1, st1 := runStats(t, n, 4, nil, 3, body)
+	end2, st2 := runStats(t, n, 4, nil, 3, body)
+	if end1 != end2 || st1 != st2 {
+		t.Fatalf("parallel run not reproducible: %x/%x, %+v vs %+v", end1, end2, st1, st2)
+	}
+}
+
+// TestParallelPerturbed checks identity when the perturber draws from the
+// engine's serialized frng — the draw order is part of the gate contract.
+type parTestPerturber struct{}
+
+func (parTestPerturber) ComputeScale(proc int) float64 { return 1 + float64(proc%3)*0.5 }
+func (parTestPerturber) DeliveryDelay(src, dst int, at float64, rng *rand.Rand) float64 {
+	if (src+dst)%4 == 0 {
+		return rng.Float64() * 2e-6
+	}
+	return 0
+}
+
+func TestParallelPerturbed(t *testing.T) {
+	const n = 16
+	body := exerciser(n)
+	run := func(workers int) (float64, Stats) {
+		e := NewEngine(Config{Seed: 11, Workers: workers, Perturber: parTestPerturber{}})
+		end := e.Run(n, body)
+		return end, e.Stats()
+	}
+	wantEnd, wantStats := run(1)
+	for _, w := range []int{2, 4} {
+		end, st := run(w)
+		if end != wantEnd || st != wantStats {
+			t.Errorf("workers=%d: end %x stats %+v; serial end %x stats %+v",
+				w, end, st, wantEnd, wantStats)
+		}
+	}
+}
+
+// TestStatsMergeDeterministic checks the per-domain Stats merge directly:
+// counters sum, and MaxReadyDepth pins to n (the serial high-water mark).
+func TestStatsMergeDeterministic(t *testing.T) {
+	doms := []*domain{{}, {}, {}}
+	doms[0].stats.Resumes.Add(3)
+	doms[1].stats.Resumes.Add(5)
+	doms[2].stats.Sends.Add(7)
+	doms[0].stats.Timeouts.Add(1)
+	doms[2].stats.Advances.Add(9)
+	s := mergeStats(doms, 42)
+	if got := s.Resumes.Value(); got != 8 {
+		t.Errorf("Resumes = %d, want 8", got)
+	}
+	if got := s.Sends.Value(); got != 7 {
+		t.Errorf("Sends = %d, want 7", got)
+	}
+	if got := s.Timeouts.Value(); got != 1 {
+		t.Errorf("Timeouts = %d, want 1", got)
+	}
+	if got := s.Advances.Value(); got != 9 {
+		t.Errorf("Advances = %d, want 9", got)
+	}
+	if s.MaxReadyDepth != 42 {
+		t.Errorf("MaxReadyDepth = %d, want 42", s.MaxReadyDepth)
+	}
+}
+
+// TestParallelEmptyDomain runs with a domain that owns no procs at all: its
+// worker must park and terminate cleanly without wedging the others.
+func TestParallelEmptyDomain(t *testing.T) {
+	const n = 8
+	domainOf := make([]int, n)
+	for i := range domainOf {
+		domainOf[i] = 0
+		if i >= n/2 {
+			domainOf[i] = 2 // domain 1 stays empty
+		}
+	}
+	body := exerciser(n)
+	wantEnd, wantStats := runStats(t, n, 1, nil, 5, body)
+	end, st := runStats(t, n, 3, domainOf, 5, body)
+	if end != wantEnd || st != wantStats {
+		t.Fatalf("empty-domain run diverged: end %x vs %x, %+v vs %+v", end, wantEnd, st, wantStats)
+	}
+}
+
+// TestParallelHorizonMessage exercises a cross-domain message arriving at
+// exactly the receiving slice's key time: the receiver at (t, idHi) must
+// still see a deposit stamped (t, idLo) from a same-time sender with a lower
+// id — the lexicographic gate admits the sender first.
+func TestParallelHorizonMessage(t *testing.T) {
+	const n = 2
+	body := func(p *Proc) {
+		if p.ID() == 0 {
+			// Zero-latency cross-proc send at the shared start time: arrival
+			// equals the receiver's clock, the tightest horizon there is.
+			p.Send(1, 1, "edge", p.Now())
+		} else {
+			m := p.Recv(0, 1)
+			if m.Payload.(string) != "edge" {
+				panic("lost horizon message")
+			}
+			if m.Arrival != 0 {
+				panic("horizon arrival moved")
+			}
+		}
+	}
+	wantEnd, wantStats := runStats(t, n, 1, nil, 1, body)
+	end, st := runStats(t, n, 2, []int{0, 1}, 1, body)
+	if end != wantEnd || st != wantStats {
+		t.Fatalf("horizon run diverged: end %x vs %x, %+v vs %+v", end, wantEnd, st, wantStats)
+	}
+}
+
+// TestParallelTimeoutRace pins the deadline tie rules across engines: a
+// message sent "just in time" (arrival == deadline) beats the watchdog, one
+// past it loses, under both schedulers and cross-domain placement.
+func TestParallelTimeoutRace(t *testing.T) {
+	for _, late := range []bool{false, true} {
+		body := func(p *Proc) {
+			const deadline = 1e-3
+			if p.ID() == 0 {
+				arrival := deadline
+				if late {
+					arrival = deadline * 1.5
+				}
+				p.Advance(2e-4)
+				p.Send(1, 5, "cargo", arrival)
+				p.Recv(1, 6)
+			} else {
+				m, ok := p.RecvUntil(0, 5, deadline)
+				if ok == late {
+					panic(fmt.Sprintf("late=%v but delivery ok=%v", late, ok))
+				}
+				if ok && m.Arrival != deadline {
+					panic("just-in-time arrival mangled")
+				}
+				if !ok && p.Now() != deadline {
+					panic("timeout did not land exactly on the deadline")
+				}
+				p.Send(0, 6, nil, p.Now()+1e-6)
+			}
+		}
+		wantEnd, wantStats := runStats(t, 2, 1, nil, 1, body)
+		end, st := runStats(t, 2, 2, []int{0, 1}, 1, body)
+		if end != wantEnd || st != wantStats {
+			t.Fatalf("late=%v diverged: end %x vs %x, %+v vs %+v", late, end, wantEnd, st, wantStats)
+		}
+	}
+}
+
+// TestParallelDeadlockPanics checks that an all-blocked parallel run panics
+// with the same deadlock report shape as the serial engine.
+func TestParallelDeadlockPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic from deadlocked run")
+		}
+		if s, ok := r.(string); !ok || len(s) < len("sim: deadlock") || s[:13] != "sim: deadlock" {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e := NewEngine(Config{Seed: 1, Workers: 2})
+	e.Run(2, func(p *Proc) {
+		p.Recv(1-p.ID(), 42) // both wait forever
+	})
+}
+
+// TestParallelBodyPanicPropagates checks that a proc panic surfaces out of
+// Run under the parallel scheduler, like the serial one.
+func TestParallelBodyPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("proc panic swallowed")
+		}
+	}()
+	e := NewEngine(Config{Seed: 1, Workers: 2})
+	e.Run(4, func(p *Proc) {
+		if p.ID() == 2 {
+			panic("boom")
+		}
+		p.Advance(1e-6)
+	})
+}

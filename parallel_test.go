@@ -1,0 +1,153 @@
+// Parallel-engine identity tests. The conservative parallel scheduler
+// (internal/sim/parallel.go, DESIGN.md §12) promises bit-identical results
+// to the serial engine for every worker count: same virtual end times, same
+// scheduler counters, same metrics snapshots, same recovery telemetry, same
+// golden hex-floats. These tests pin that promise at the top of the stack —
+// full experiment runners over the whole fault-scenario catalog, baseline
+// and ParColl geometry — so any divergence anywhere in the mpi/mpiio/lustre
+// layers under the parallel engine fails loudly here.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// parallelWorkers are the engine worker counts the identity tests exercise
+// against the serial baseline.
+var parallelWorkers = []int{2, 4}
+
+// benchWorkers returns the bench preset with the parallel engine selected.
+func benchWorkers(w int) experiments.Preset {
+	p := experiments.BenchPreset()
+	p.Workers = w
+	return p
+}
+
+// TestParallelGoldenMetrics runs the pre-existing hex-float goldens of
+// determinism_test.go under the parallel engine: every pinned figure metric
+// must come out bit-identical at 2 and at 4 workers.
+func TestParallelGoldenMetrics(t *testing.T) {
+	for _, w := range parallelWorkers {
+		got := goldenMetrics(benchWorkers(w))
+		for k, want := range goldenWant {
+			if got[k] != want {
+				t.Errorf("workers=%d %s:\n  got:  %s\n  want: %s", w, k, got[k], want)
+			}
+		}
+	}
+}
+
+// TestParallelScenarioCatalogMatchesSerial runs the whole fault-scenario
+// catalog (baseline and ParColl geometry) serially and under the parallel
+// engine and asserts bit-identical elapsed times, breakdowns, and
+// perturbation counts.
+func TestParallelScenarioCatalogMatchesSerial(t *testing.T) {
+	serial := experiments.BenchPreset().ScenarioSuite(scenarioProcs, scenarioGroups)
+	for _, w := range parallelWorkers {
+		par := benchWorkers(w).ScenarioSuite(scenarioProcs, scenarioGroups)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: suite size %d != serial %d", w, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Errorf("workers=%d %s/groups=%d: differs from serial:\n  serial:   %+v\n  parallel: %+v",
+					w, serial[i].Scenario, serial[i].Groups, serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestParallelSchedulerStatsMatchSerial pins the merged per-domain scheduler
+// counters against the serial engine's: the deterministic stats merge must
+// reproduce every counter exactly, not just the virtual times.
+func TestParallelSchedulerStatsMatchSerial(t *testing.T) {
+	sp, sst := experiments.BenchPreset().CollectiveWallStats(scenarioProcs)
+	for _, w := range parallelWorkers {
+		pp, pst := benchWorkers(w).CollectiveWallStats(scenarioProcs)
+		if pp.Breakdown != sp.Breakdown {
+			t.Errorf("workers=%d: breakdown differs:\n  serial:   %+v\n  parallel: %+v",
+				w, sp.Breakdown, pp.Breakdown)
+		}
+		if pst != sst {
+			t.Errorf("workers=%d: scheduler stats differ:\n  serial:   %+v\n  parallel: %+v",
+				w, sst, pst)
+		}
+	}
+}
+
+// TestParallelRecoveryMatchesSerial runs every hard-failure scenario through
+// the fail-stop recovery path under both engines: elapsed time, goodput,
+// byte-exact read-back verification, and the full recovery telemetry
+// (detections, failovers, reelections, time-to-recover) must agree.
+func TestParallelRecoveryMatchesSerial(t *testing.T) {
+	serial := experiments.BenchPreset()
+	for _, name := range failureScenarios {
+		plan, err := fault.Scenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, groups := range []int{1, scenarioGroups} {
+			want := serial.TileUnderFailure(scenarioProcs, groups, plan)
+			for _, w := range parallelWorkers {
+				got := benchWorkers(w).TileUnderFailure(scenarioProcs, groups, plan)
+				if got != want {
+					t.Errorf("%s/groups=%d workers=%d: differs from serial:\n  serial:   %+v\n  parallel: %+v",
+						name, groups, w, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelObservedMatchesSerial compares a fully instrumented run
+// (trace recorder and metrics registry threaded through every layer) between
+// the engines: the metrics snapshot must be equal and the Perfetto export
+// byte-identical — the strictest cross-engine check, since the trace records
+// the exact serial order of engine-shared appends.
+func TestParallelObservedMatchesSerial(t *testing.T) {
+	plan, err := fault.Scenario(fault.OneStraggler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := experiments.ObservedTileWrite(experiments.BenchPreset(), scenarioProcs, scenarioGroups, plan)
+	ja, err := a.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parallelWorkers {
+		b := experiments.ObservedTileWrite(benchWorkers(w), scenarioProcs, scenarioGroups, plan)
+		if b.Result.Elapsed != a.Result.Elapsed {
+			t.Errorf("workers=%d: elapsed %x != serial %x", w, b.Result.Elapsed, a.Result.Elapsed)
+		}
+		if !b.Snapshot.Equal(a.Snapshot) {
+			t.Errorf("workers=%d: metrics snapshot differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+				w, a.Snapshot.String(), b.Snapshot.String())
+		}
+		jb, err := b.Perfetto()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jb, ja) {
+			t.Errorf("workers=%d: Perfetto export differs from serial: %d vs %d bytes", w, len(jb), len(ja))
+		}
+	}
+}
+
+// TestParallelRunTwiceIdentical pins run-to-run identity within the parallel
+// engine itself: two catalog runs at 4 workers must agree bit-for-bit, so
+// goroutine scheduling can never leak into results.
+func TestParallelRunTwiceIdentical(t *testing.T) {
+	p := benchWorkers(4)
+	first := p.ScenarioSuite(scenarioProcs, scenarioGroups)
+	second := p.ScenarioSuite(scenarioProcs, scenarioGroups)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("%s/groups=%d: parallel runs differ:\n  first:  %+v\n  second: %+v",
+				first[i].Scenario, first[i].Groups, first[i], second[i])
+		}
+	}
+}

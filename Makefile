@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-large race vet faults fuzz recovery obs paperrepro verify
+.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical paperrepro verify
 
 all: build test
 
@@ -22,7 +22,7 @@ vet:
 # engine at 2 and 4 workers (DESIGN.md §12).
 race:
 	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/...
-	$(GO) test -race -run 'TestParallel' -count=1 .
+	$(GO) test -race -run 'TestParallel|TestHierarchicalParallel' -count=1 .
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
 # perturber hook tests, and the scenario determinism goldens + straggler
@@ -50,6 +50,16 @@ fuzz:
 	$(GO) test -fuzz 'FuzzPartitionDirect' -fuzztime=10s ./internal/core
 	$(GO) test -fuzz 'FuzzSieve' -fuzztime=10s ./internal/mpiio
 	$(GO) test -fuzz 'FuzzRetrySchedule' -fuzztime=10s ./internal/recovery
+	$(GO) test -fuzz 'FuzzNodeSplit' -fuzztime=10s ./internal/mpi
+
+# Two-level collective gate: vet the touched layers, run the hierarchy
+# property/fuzz-seed and two-level protocol suites, then the root goldens,
+# flat-off identity, parallel-engine identity, and the fat-node acceptance
+# test (DESIGN.md §13, EXPERIMENTS.md "Fat-node sweep").
+hierarchical: vet
+	$(GO) test ./internal/mpi/ -run 'TestSplitByNode|TestHierarchy|TestIntraComm|FuzzNodeSplit' -count=1
+	$(GO) test ./internal/mpiio/ -run 'TestHier|TestIntraNode' -count=1
+	$(GO) test . -run 'TestHierarchical|TestIntraNodeAggregationReducesExchange' -count=1 -v
 
 # Fail-stop recovery gate: the retry/backoff/breaker unit tests, the
 # resilient-collective acceptance tests (byte-exact read-back under crashes,
@@ -62,11 +72,13 @@ recovery: vet
 # Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
 # run the full bench suite with allocation stats, and regenerate the
 # machine-readable report (see DESIGN.md, "Performance model of the
-# simulator", for how to read BENCH_4.json; BENCH_1.json is the PR-1
-# baseline to diff allocs/op against, BENCH_3.json the pre-recovery one).
+# simulator", for how to read BENCH_7.json; BENCH_1.json is the PR-1
+# baseline to diff allocs/op against, BENCH_3.json the pre-recovery one,
+# BENCH_4.json the pre-hierarchy one; the emit step also asserts the flat
+# 1024-proc path's allocs/op stays within 1% of the BENCH_6.json baseline).
 bench: vet race
 	$(GO) test -bench=. -benchmem -run '^$$' .
-	BENCH_JSON=BENCH_4.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
+	BENCH_JSON=BENCH_7.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
 
 # Large-scale tier: the 1024/4096-proc Fig1 points under the partitioned
 # parallel engine (GOMAXPROCS workers), plus the 256-proc serial-vs-parallel

@@ -54,6 +54,63 @@ func TestEmitBenchJSON(t *testing.T) {
 			point.Name, point.NsPerOp, point.AllocsPerOp,
 			point.Metrics["sim_events_per_sec"], 100*point.Metrics["sync_share"])
 	}
+	// Fat-node point: the same Fig1 workload on 16-PE nodes with the
+	// two-level intra-node protocol on (DESIGN.md §13), so the report
+	// tracks the hierarchical path's wall-clock and allocation cost
+	// alongside the flat one's.
+	fat := experiments.BenchPreset()
+	fat.Cluster.PEsPerNode = 16
+	fat.IntraNode = true
+	{
+		var pt experiments.WallPoint
+		var st sim.Stats
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pt, st = fat.CollectiveWallStats(64)
+			}
+		})
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		point := perf.BenchPoint{
+			Name:        "Fig1CollectiveWallFatNode/procs=64/pes=16/intranode",
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+			Metrics: map[string]float64{
+				"pes_per_node":       16,
+				"sync_share":         pt.SyncShare(),
+				"sim_events":         float64(st.Events()),
+				"sim_events_per_sec": float64(st.Events()) / (nsPerOp / 1e9),
+			},
+		}
+		rep.Add(point)
+		t.Logf("%s: %.0f ns/op, %.0f allocs/op, sync=%.1f%%",
+			point.Name, point.NsPerOp, point.AllocsPerOp, 100*point.Metrics["sync_share"])
+	}
+	// Healthy-path allocation guard: the flat 1024-proc Fig1 point must not
+	// have grown its allocs/op by more than 1% over the BENCH_6.json
+	// baseline — the two-level code must cost nothing when it is off.
+	if base, err := perf.ReadBenchReport("BENCH_6.json"); err == nil {
+		var want float64
+		for _, bp := range base.Points {
+			if bp.Name == "Fig1CollectiveWall/procs=1024" {
+				want = bp.AllocsPerOp
+			}
+		}
+		if want > 0 {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p.CollectiveWallStats(1024)
+				}
+			})
+			got := float64(res.AllocsPerOp())
+			t.Logf("healthy-path guard: %.0f allocs/op vs BENCH_6 baseline %.0f", got, want)
+			if got > want*1.01 {
+				t.Errorf("healthy-path allocs/op regressed: %.0f > 1%% over BENCH_6 baseline %.0f", got, want)
+			}
+		}
+	}
 	if err := rep.Write(path); err != nil {
 		t.Fatalf("writing %s: %v", path, err)
 	}

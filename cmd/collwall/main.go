@@ -67,8 +67,7 @@ func main() {
 	}
 
 	p := experiments.PaperPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	var procs []int
 	for n := *minProcs; n <= *maxProcs; n *= 2 {
 		procs = append(procs, n)
@@ -103,8 +102,7 @@ func maybeObserve(c *cli.Common, groups int) {
 		return
 	}
 	p := experiments.BenchPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	var plan *fault.Plan
 	if c.Scenario != "" && c.Scenario != "all" {
 		plan = c.Plan()
@@ -148,8 +146,7 @@ func maybeObserve(c *cli.Common, groups int) {
 func runOverlap(c *cli.Common, groups, steps int, ratios []float64) {
 	nprocs := c.Procs
 	p := experiments.BenchPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	plan, err := fault.Scenario(fault.OneStraggler)
 	if err != nil {
 		panic(err)
@@ -185,8 +182,7 @@ func runOverlap(c *cli.Common, groups, steps int, ratios []float64) {
 func runSweep(c *cli.Common, groups int, severities []float64) {
 	nprocs := c.Procs
 	p := experiments.BenchPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	pts := p.StragglerSweep(nprocs, groups, severities)
 	if c.JSON {
 		c.EmitJSON("straggler-sweep", pts)
@@ -212,8 +208,7 @@ func runSweep(c *cli.Common, groups int, severities []float64) {
 func runScenarios(c *cli.Common, groups int) {
 	name, nprocs := c.Scenario, c.Procs
 	p := experiments.BenchPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	var pts []experiments.ScenarioPoint
 	if name == "all" {
 		pts = p.ScenarioSuite(nprocs, groups)
@@ -245,8 +240,7 @@ func runScenarios(c *cli.Common, groups int) {
 func runFailures(c *cli.Common, name string, groups int) {
 	nprocs := c.Procs
 	p := experiments.BenchPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	var pts []experiments.FailurePoint
 	if name == "all" {
 		pts = p.RecoverySuite(nprocs, groups)
@@ -277,8 +271,7 @@ func runFailures(c *cli.Common, name string, groups int) {
 // the waiting that builds the wall — directly visible.
 func renderGantt(c *cli.Common, nprocs int) {
 	p := experiments.PaperPreset()
-	p.Seed = c.Seed
-	p.Workers = c.Workers
+	c.ApplyBase(&p)
 	rec := trace.New()
 	env := experiments.EnvFor(p, p.TileScale, core.Options{})
 	mpi.RunPlanWorkers(nprocs, p.Cluster, p.Seed, nil, p.Workers, func(r *mpi.Rank) {

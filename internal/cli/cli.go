@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 )
@@ -21,13 +22,15 @@ import (
 // Common holds the flag values shared by every cmd tool. Zero value is
 // usable; Register wires the fields to the default flag set.
 type Common struct {
-	JSON     bool   // -json: machine-readable output
-	Seed     int64  // -seed: simulation seed
-	Procs    int    // -procs: simulated process count
-	Scenario string // -scenario: named fault scenario applied to every run
-	TraceOut string // -trace-out: Perfetto trace_event JSON output path
-	Metrics  bool   // -metrics: print the metrics snapshot + critical path
-	Workers  int    // -workers: engine domain workers (1 = serial scheduler)
+	JSON       bool   // -json: machine-readable output
+	Seed       int64  // -seed: simulation seed
+	Procs      int    // -procs: simulated process count
+	Scenario   string // -scenario: named fault scenario applied to every run
+	TraceOut   string // -trace-out: Perfetto trace_event JSON output path
+	Metrics    bool   // -metrics: print the metrics snapshot + critical path
+	Workers    int    // -workers: engine domain workers (1 = serial scheduler)
+	PEsPerNode int    // -pes-per-node: simulated PEs per node (fat-node knob)
+	IntraNode  bool   // -intranode: two-level intra-node aggregation
 }
 
 // Register installs -json, -seed, -procs and -workers on the default flag
@@ -39,6 +42,10 @@ func Register(defaultProcs int) *Common {
 	flag.IntVar(&c.Procs, "procs", defaultProcs, "number of simulated processes")
 	flag.IntVar(&c.Workers, "workers", runtime.GOMAXPROCS(0),
 		"simulation engine workers: 1 runs the serial scheduler, >1 the parallel one (results are bit-identical either way)")
+	flag.IntVar(&c.PEsPerNode, "pes-per-node", cluster.DefaultConfig().PEsPerNode,
+		"simulated PEs per node (2 = the paper's dual-core XT4 nodes; up to 64 models fat multicore nodes)")
+	flag.BoolVar(&c.IntraNode, "intranode", false,
+		"enable two-level collective I/O: PEs sharing a node aggregate into their node leader before any traffic crosses the NIC")
 	return c
 }
 
@@ -75,12 +82,25 @@ func (c *Common) Plan() *fault.Plan {
 }
 
 // Apply copies the shared flag values onto a preset: the seed, the
-// scenario's fault plan (threaded through every runner of the preset), and
-// the engine worker count.
+// scenario's fault plan (threaded through every runner of the preset), the
+// engine worker count, and the node topology knobs.
 func (c *Common) Apply(p *experiments.Preset) {
-	p.Seed = c.Seed
+	c.ApplyBase(p)
 	p.Fault = c.Plan()
+}
+
+// ApplyBase copies every shared flag value except the fault plan onto a
+// preset — for tools (collwall's modes) that resolve -scenario themselves.
+func (c *Common) ApplyBase(p *experiments.Preset) {
+	p.Seed = c.Seed
 	p.Workers = c.Workers
+	if c.PEsPerNode != 0 {
+		if c.PEsPerNode < 2 || c.PEsPerNode > 64 {
+			Fatalf("bad -pes-per-node %d: want 2..64", c.PEsPerNode)
+		}
+		p.Cluster.PEsPerNode = c.PEsPerNode
+	}
+	p.IntraNode = c.IntraNode
 }
 
 // EmitJSON prints {"experiment": name, "workers": n, "points": points} with

@@ -49,8 +49,10 @@ func TestUnevenLastNode(t *testing.T) {
 	}
 }
 
-// Property: every rank maps to a valid node and, for block mapping, nodes
-// hold at most PEsPerNode ranks.
+// Property: every rank maps to a valid node and no node ever holds more
+// than PEsPerNode ranks. This bound is exact for both mappings: with
+// numNodes = ceil(nprocs/pes), cyclic deals at most ceil(nprocs/numNodes)
+// <= pes ranks per node even when the division is uneven.
 func TestMappingProperty(t *testing.T) {
 	f := func(nprocsRaw, pesRaw uint8, cyclic bool) bool {
 		nprocs := int(nprocsRaw)%200 + 1
@@ -70,7 +72,7 @@ func TestMappingProperty(t *testing.T) {
 			counts[n]++
 		}
 		for _, k := range counts {
-			if k > pes+1 { // cyclic can overfill by one when uneven
+			if k > pes {
 				return false
 			}
 		}
@@ -78,6 +80,29 @@ func TestMappingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression for the "cyclic overfill" edge the property test used to
+// tolerate: 10 ranks at 4 PEs/node give 3 nodes, and the cyclic deal fills
+// them {4,3,3} — never PEsPerNode+1.
+func TestCyclicUnevenExactFill(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PEsPerNode = 4
+	cfg.Mapping = Cyclic
+	c := New(10, cfg)
+	counts := make([]int, c.NumNodes())
+	for r := 0; r < 10; r++ {
+		counts[c.NodeOf(r)]++
+	}
+	want := []int{4, 3, 3}
+	for n, k := range counts {
+		if k != want[n] {
+			t.Errorf("node %d holds %d ranks, want %d (counts %v)", n, k, want[n], counts)
+		}
+		if k > cfg.PEsPerNode {
+			t.Errorf("node %d overfilled: %d > PEsPerNode %d", n, k, cfg.PEsPerNode)
+		}
 	}
 }
 

@@ -69,6 +69,13 @@ type Preset struct {
 	// bit-identical either way; only wall-clock time changes. The cmd
 	// tools' -workers flag sets it.
 	Workers int
+
+	// IntraNode turns on two-level collective I/O for every runner of this
+	// preset (DESIGN.md §13): PEs sharing a node aggregate into their node
+	// leader before any traffic crosses the NIC. Pair with
+	// Cluster.PEsPerNode > 2 to model fat multicore nodes; the cmd tools'
+	// -intranode and -pes-per-node flags set both.
+	IntraNode bool
 }
 
 // PaperPreset runs the paper's workload geometry shrunk 4096x (tile/IOR)
@@ -146,6 +153,9 @@ func (p Preset) envPlan(scale float64, opts core.Options, plan *fault.Plan) work
 	if !plan.IsZero() {
 		lcfg.Faults = plan
 		opts.Run.Fault = plan
+	}
+	if p.IntraNode {
+		opts.Hints.IntraNode = true
 	}
 	stripeSize := int64(4<<20) / int64(scale)
 	if stripeSize < 256 {

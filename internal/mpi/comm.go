@@ -29,6 +29,12 @@ type Comm struct {
 	ctx         int
 	splits      int // number of Split calls issued on this comm so far
 	collSeq     int // collective-invocation sequence (lockstep across members)
+	// local marks a node-local communicator: its rendezvous collectives are
+	// priced on the memory path (MemLatency/MemBandwidth) instead of the NIC.
+	// Set only by NewHierarchy on intra-node comms; deliberately not
+	// inherited by Split/Dup — locality of a derived group is the deriver's
+	// call, not a property that survives regrouping.
+	local bool
 }
 
 // WorldComm returns the communicator spanning all ranks.

@@ -1,0 +1,190 @@
+package mpi
+
+import "repro/internal/perf"
+
+// Two-level (hierarchical) collectives.
+//
+// On a fat node, every PE that crosses the NIC individually pays the full
+// inter-node latency and contends for the shared link; requests that first
+// aggregate within the node and cross the NIC once per node remove most of
+// that traffic (Kang et al., "Improving MPI Collective I/O Performance With
+// Intra-node Request Aggregation"). The abstraction here mirrors the classic
+// level_0/1/2 communicator split: a node-local sub-communicator per node
+// (priced on the memory path), a cross-node sub-communicator of node leaders
+// (priced on the NIC), and a layout that higher layers can compute without
+// communication to agree on who leads whom.
+
+// NodeLayout describes how a communicator's members spread over physical
+// nodes. It is a pure function of the topology (see SplitByNode), so every
+// member computes the identical layout locally — leader election needs no
+// messages.
+type NodeLayout struct {
+	// Groups lists each node's member comm ranks in ascending order; nodes
+	// are ordered by their smallest comm rank, so both Groups and Leaders
+	// ascend.
+	Groups [][]int
+	// Leaders holds each node's leader comm rank: the node-minimal member,
+	// i.e. Groups[i][0].
+	Leaders []int
+	// NodeIdx maps a comm rank to its node's index in Groups/Leaders.
+	NodeIdx []int
+}
+
+// SplitByNode computes the node layout of n comm ranks under the given
+// rank-to-node function. Node indices are dense, assigned in order of each
+// node's first (smallest) comm rank, which makes Leaders ascend — and makes
+// a leader's rank in the leaders-only communicator equal its node index.
+func SplitByNode(n int, nodeOf func(commRank int) int) NodeLayout {
+	lay := NodeLayout{NodeIdx: make([]int, n)}
+	idx := make(map[int]int)
+	for cr := 0; cr < n; cr++ {
+		node := nodeOf(cr)
+		i, ok := idx[node]
+		if !ok {
+			i = len(lay.Groups)
+			idx[node] = i
+			lay.Groups = append(lay.Groups, nil)
+			lay.Leaders = append(lay.Leaders, cr)
+		}
+		lay.Groups[i] = append(lay.Groups[i], cr)
+		lay.NodeIdx[cr] = i
+	}
+	return lay
+}
+
+// NumNodes returns the number of distinct nodes in the layout.
+func (l NodeLayout) NumNodes() int { return len(l.Groups) }
+
+// LeaderOf returns the leader comm rank of the node hosting cr.
+func (l NodeLayout) LeaderOf(cr int) int { return l.Leaders[l.NodeIdx[cr]] }
+
+// IsLeader reports whether cr is its node's leader.
+func (l NodeLayout) IsLeader(cr int) bool { return l.LeaderOf(cr) == cr }
+
+// LayoutOf computes the node layout of a communicator's members from the
+// cluster topology — locally, with no communication.
+func LayoutOf(c *Comm) NodeLayout {
+	cl := c.r.W.Cluster
+	return SplitByNode(c.Size(), func(cr int) int { return cl.NodeOf(c.WorldRankOf(cr)) })
+}
+
+// Hierarchy is a communicator split into node-local and cross-node levels.
+type Hierarchy struct {
+	Comm   *Comm
+	Layout NodeLayout
+	// Intra spans the ranks sharing the caller's node, ordered by comm rank
+	// (the leader is intra rank 0). Its rendezvous collectives are priced on
+	// the memory path, not the NIC.
+	Intra *Comm
+	// Inter spans the node leaders, ordered by comm rank — leader of node i
+	// is inter rank i (see SplitByNode). Nil on non-leaders.
+	Inter *Comm
+}
+
+// NewHierarchy builds the two-level split of c: one Split keyed by node for
+// the intra-node communicators, one leaders-only Split for the cross-node
+// level. It is collective over c (all members must call it together); the
+// construction cost is the two Splits' allgathers, paid once per handle.
+func NewHierarchy(c *Comm) *Hierarchy {
+	lay := LayoutOf(c)
+	me := c.Rank()
+	intra := c.Split(lay.NodeIdx[me], me)
+	intra.local = true
+	var inter *Comm
+	if lay.IsLeader(me) {
+		inter = c.Split(0, me)
+	} else {
+		c.Split(UndefinedColor, 0)
+	}
+	return &Hierarchy{Comm: c, Layout: lay, Intra: intra, Inter: inter}
+}
+
+// IsLeader reports whether the calling rank leads its node.
+func (h *Hierarchy) IsLeader() bool { return h.Layout.IsLeader(h.Comm.Rank()) }
+
+// Leader returns the calling rank's node leader (a comm rank of h.Comm).
+func (h *Hierarchy) Leader() int { return h.Layout.LeaderOf(h.Comm.Rank()) }
+
+// NumNodes returns the number of nodes under the communicator.
+func (h *Hierarchy) NumNodes() int { return h.Layout.NumNodes() }
+
+// AllgatherInt64s is the two-level allgather of one fixed-width vector per
+// member (every member must pass the same length), returned indexed by comm
+// rank. Members gather to their leader over memory, leaders allgather the
+// node blocks over the NIC, and the full table fans back out node-locally —
+// so only one process per node crosses the interconnect.
+func (h *Hierarchy) AllgatherInt64s(vals []int64) [][]int64 {
+	width := len(vals)
+	blobs := h.Intra.Gather(0, encInt64sBuf(vals))
+	var full []byte
+	if h.IsLeader() {
+		node := perf.GetBuf(8 * width * len(blobs))[:0]
+		for _, b := range blobs {
+			node = append(node, b...)
+			perf.PutBuf(b)
+		}
+		nodeBlobs := h.Inter.Allgather(node)
+		total := 0
+		for _, b := range nodeBlobs {
+			total += len(b)
+		}
+		// The broadcast buffer is shared by every member of the node (Bcast
+		// relays it without copying), so it must not come from the arena.
+		full = make([]byte, 0, total)
+		for _, b := range nodeBlobs {
+			full = append(full, b...)
+		}
+	}
+	full = h.Intra.Bcast(0, full)
+	out := make([][]int64, h.Comm.Size())
+	flat := make([]int64, width*h.Comm.Size())
+	decInt64sInto(flat, full)
+	pos := 0
+	for _, group := range h.Layout.Groups {
+		for _, cr := range group {
+			out[cr] = flat[pos : pos+width : pos+width]
+			pos += width
+		}
+	}
+	return out
+}
+
+// AllreduceInt64 is the two-level allreduce: reduce to the node leader over
+// memory, allreduce across leaders over the NIC, broadcast back node-locally.
+func (h *Hierarchy) AllreduceInt64(vals []int64, op Op) []int64 {
+	red := h.Intra.ReduceInt64(0, vals, op)
+	var enc []byte
+	if h.IsLeader() {
+		res := h.Inter.AllreduceInt64(red, op)
+		enc = encInt64s(res)
+	}
+	enc = h.Intra.Bcast(0, enc)
+	return decInt64s(enc)
+}
+
+// ExchangeLeaderInt64s shares one fixed-width vector per node with every
+// rank: leaders pass their node's vector (all the same length), non-leaders
+// pass nil, and everyone returns the table indexed by node. This is the
+// two-level replacement for a full-communicator alltoall of control state —
+// only leaders synchronize across nodes; members learn the result from their
+// leader over memory.
+func (h *Hierarchy) ExchangeLeaderInt64s(vals []int64) [][]int64 {
+	var flat []byte
+	if h.IsLeader() {
+		per := h.Inter.AllgatherInt64s(vals)
+		flat = make([]byte, 0, 8*len(vals)*len(per))
+		for _, v := range per {
+			flat = append(flat, encInt64s(v)...)
+		}
+	}
+	flat = h.Intra.Bcast(0, flat)
+	nn := h.NumNodes()
+	width := len(flat) / 8 / nn
+	all := make([]int64, len(flat)/8)
+	decInt64sInto(all, flat)
+	out := make([][]int64, nn)
+	for i := range out {
+		out[i] = all[i*width : (i+1)*width : (i+1)*width]
+	}
+	return out
+}

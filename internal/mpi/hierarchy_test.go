@@ -1,0 +1,329 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+)
+
+// layoutInvariants checks the structural contract of a NodeLayout against
+// the nodeOf function that produced it: leader sets partition the ranks
+// exactly (every rank has one leader, leaders are node-minimal), groups are
+// sorted and disjoint, and intra groups + the leader set compose back to
+// the full rank range.
+func layoutInvariants(n int, nodeOf func(int) int, lay NodeLayout) error {
+	if len(lay.NodeIdx) != n {
+		return fmt.Errorf("NodeIdx has %d entries for %d ranks", len(lay.NodeIdx), n)
+	}
+	if len(lay.Groups) != len(lay.Leaders) {
+		return fmt.Errorf("%d groups vs %d leaders", len(lay.Groups), len(lay.Leaders))
+	}
+	seen := make([]bool, n)
+	for i, g := range lay.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("group %d empty", i)
+		}
+		if lay.Leaders[i] != g[0] {
+			return fmt.Errorf("group %d leader %d is not its minimal member %d", i, lay.Leaders[i], g[0])
+		}
+		for j, cr := range g {
+			if cr < 0 || cr >= n {
+				return fmt.Errorf("group %d member %d out of range", i, cr)
+			}
+			if seen[cr] {
+				return fmt.Errorf("rank %d appears in two groups", cr)
+			}
+			seen[cr] = true
+			if j > 0 && g[j-1] >= cr {
+				return fmt.Errorf("group %d not strictly ascending at %d", i, j)
+			}
+			if lay.NodeIdx[cr] != i {
+				return fmt.Errorf("rank %d NodeIdx %d, lives in group %d", cr, lay.NodeIdx[cr], i)
+			}
+			if nodeOf(cr) != nodeOf(g[0]) {
+				return fmt.Errorf("rank %d grouped with leader on a different node", cr)
+			}
+			if lay.LeaderOf(cr) != g[0] {
+				return fmt.Errorf("LeaderOf(%d) = %d want %d", cr, lay.LeaderOf(cr), g[0])
+			}
+			if lay.IsLeader(cr) != (cr == g[0]) {
+				return fmt.Errorf("IsLeader(%d) wrong", cr)
+			}
+		}
+	}
+	for cr := 0; cr < n; cr++ {
+		if !seen[cr] {
+			return fmt.Errorf("rank %d in no group", cr)
+		}
+		// Same node <=> same group: nodes must not be split across groups.
+		for other := 0; other < n; other++ {
+			if (nodeOf(cr) == nodeOf(other)) != (lay.NodeIdx[cr] == lay.NodeIdx[other]) {
+				return fmt.Errorf("ranks %d,%d: same-node %v but same-group %v",
+					cr, other, nodeOf(cr) == nodeOf(other), lay.NodeIdx[cr] == lay.NodeIdx[other])
+			}
+		}
+	}
+	// Leaders ascend (first-seen order = order of minimal members).
+	for i := 1; i < len(lay.Leaders); i++ {
+		if lay.Leaders[i-1] >= lay.Leaders[i] {
+			return fmt.Errorf("leaders not ascending: %v", lay.Leaders)
+		}
+	}
+	return nil
+}
+
+// TestSplitByNodeProperty drives the layout invariants through quick.Check
+// over random rank counts, PEs-per-node, and both mappings — including
+// uneven last nodes (n not a multiple of pes) and cyclic deals.
+func TestSplitByNodeProperty(t *testing.T) {
+	prop := func(nSeed, pesSeed uint8, cyclic bool) bool {
+		n := int(nSeed)%97 + 1
+		pes := int(pesSeed)%16 + 1
+		numNodes := (n + pes - 1) / pes
+		nodeOf := func(cr int) int { return cr / pes }
+		if cyclic {
+			nodeOf = func(cr int) int { return cr % numNodes }
+		}
+		lay := SplitByNode(n, nodeOf)
+		if err := layoutInvariants(n, nodeOf, lay); err != nil {
+			t.Logf("n=%d pes=%d cyclic=%v: %v", n, pes, cyclic, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitByNodeArbitraryMaps checks the layout against adversarial
+// rank-to-node functions that no real mapping produces (interleaved,
+// repeated, out-of-order node ids) — SplitByNode must only rely on equality
+// of node ids, never on their ordering or density.
+func TestSplitByNodeArbitraryMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64) + 1
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = rng.Intn(n) * 17 // sparse, unordered node ids
+		}
+		nodeOf := func(cr int) int { return ids[cr] }
+		lay := SplitByNode(n, nodeOf)
+		if err := layoutInvariants(n, nodeOf, lay); err != nil {
+			t.Fatalf("trial %d ids=%v: %v", trial, ids, err)
+		}
+	}
+}
+
+// FuzzNodeSplit is the native fuzz form of the layout invariants: the node
+// map arrives as raw bytes, one node id per rank.
+func FuzzNodeSplit(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})
+	f.Add([]byte{5})
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 1})
+	f.Fuzz(func(t *testing.T, ids []byte) {
+		if len(ids) == 0 || len(ids) > 256 {
+			return
+		}
+		nodeOf := func(cr int) int { return int(ids[cr]) }
+		lay := SplitByNode(len(ids), nodeOf)
+		if err := layoutInvariants(len(ids), nodeOf, lay); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// fatConfig is the default cluster with a fat-node PE count.
+func fatConfig(pes int, m cluster.Mapping) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.PEsPerNode = pes
+	cfg.Mapping = m
+	return cfg
+}
+
+// TestHierarchyComposition builds the two-level split under real runs and
+// checks that the intra and inter communicators compose to the world: intra
+// groups match the layout, the inter comm holds exactly the leaders in node
+// order, and non-leaders get no inter comm.
+func TestHierarchyComposition(t *testing.T) {
+	for _, tc := range []struct {
+		n, pes int
+		m      cluster.Mapping
+	}{
+		{16, 2, cluster.Block}, {16, 8, cluster.Block}, {17, 4, cluster.Block},
+		{16, 4, cluster.Cyclic}, {13, 4, cluster.Cyclic}, {5, 8, cluster.Block},
+		{6, 1, cluster.Block},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("n%d pes%d %v", tc.n, tc.pes, tc.m), func(t *testing.T) {
+			Run(tc.n, fatConfig(tc.pes, tc.m), 1, func(r *Rank) {
+				c := WorldComm(r)
+				h := NewHierarchy(c)
+				lay := h.Layout
+				if err := layoutInvariants(tc.n, func(cr int) int {
+					return r.W.Cluster.NodeOf(cr)
+				}, lay); err != nil {
+					t.Error(err)
+				}
+				me := c.Rank()
+				group := lay.Groups[lay.NodeIdx[me]]
+				if h.Intra.Size() != len(group) {
+					t.Errorf("rank %d intra size %d want %d", me, h.Intra.Size(), len(group))
+				}
+				for i, cr := range group {
+					if h.Intra.WorldRankOf(i) != c.WorldRankOf(cr) {
+						t.Errorf("rank %d intra member %d = world %d want %d",
+							me, i, h.Intra.WorldRankOf(i), c.WorldRankOf(cr))
+					}
+				}
+				if h.IsLeader() != (me == group[0]) {
+					t.Errorf("rank %d IsLeader %v", me, h.IsLeader())
+				}
+				if h.Leader() != group[0] {
+					t.Errorf("rank %d Leader %d want %d", me, h.Leader(), group[0])
+				}
+				if h.IsLeader() {
+					if h.Inter == nil {
+						t.Fatalf("leader %d has no inter comm", me)
+					}
+					if h.Inter.Size() != lay.NumNodes() {
+						t.Errorf("inter size %d want %d", h.Inter.Size(), lay.NumNodes())
+					}
+					// Leader of node i must sit at inter rank i.
+					if h.Inter.Rank() != lay.NodeIdx[me] {
+						t.Errorf("leader %d inter rank %d want node idx %d",
+							me, h.Inter.Rank(), lay.NodeIdx[me])
+					}
+					for i, l := range lay.Leaders {
+						if h.Inter.WorldRankOf(i) != c.WorldRankOf(l) {
+							t.Errorf("inter member %d = world %d want leader %d",
+								i, h.Inter.WorldRankOf(i), c.WorldRankOf(l))
+						}
+					}
+				} else if h.Inter != nil {
+					t.Errorf("non-leader %d got an inter comm", me)
+				}
+			})
+		})
+	}
+}
+
+// TestHierarchyCollectivesMatchFlat cross-validates the two-level
+// collectives against the flat ones: same values, every rank, uneven nodes
+// and cyclic maps included.
+func TestHierarchyCollectivesMatchFlat(t *testing.T) {
+	for _, tc := range []struct {
+		n, pes int
+		m      cluster.Mapping
+	}{
+		{16, 8, cluster.Block}, {13, 4, cluster.Block}, {12, 4, cluster.Cyclic}, {9, 16, cluster.Block},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("n%d pes%d %v", tc.n, tc.pes, tc.m), func(t *testing.T) {
+			Run(tc.n, fatConfig(tc.pes, tc.m), 1, func(r *Rank) {
+				c := WorldComm(r)
+				h := NewHierarchy(c)
+				me := c.Rank()
+				vals := []int64{int64(me * 3), int64(100 - me)}
+
+				flatAG := c.AllgatherInt64s(vals)
+				hierAG := h.AllgatherInt64s(vals)
+				for cr := range flatAG {
+					for j := range flatAG[cr] {
+						if hierAG[cr][j] != flatAG[cr][j] {
+							t.Fatalf("rank %d allgather[%d][%d]: hier %d flat %d",
+								me, cr, j, hierAG[cr][j], flatAG[cr][j])
+						}
+					}
+				}
+
+				for _, op := range []Op{OpSum, OpMax, OpMin} {
+					flatAR := c.AllreduceInt64(vals, op)
+					hierAR := h.AllreduceInt64(vals, op)
+					for j := range flatAR {
+						if hierAR[j] != flatAR[j] {
+							t.Fatalf("rank %d allreduce op%d[%d]: hier %d flat %d",
+								me, op, j, hierAR[j], flatAR[j])
+						}
+					}
+				}
+
+				// Leader vectors: node index and leader rank, visible to all.
+				var lv []int64
+				if h.IsLeader() {
+					lv = []int64{int64(h.Layout.NodeIdx[me]), int64(me)}
+				}
+				table := h.ExchangeLeaderInt64s(lv)
+				if len(table) != h.NumNodes() {
+					t.Fatalf("rank %d leader table has %d nodes want %d", me, len(table), h.NumNodes())
+				}
+				for i, row := range table {
+					if int(row[0]) != i || int(row[1]) != h.Layout.Leaders[i] {
+						t.Fatalf("rank %d leader table[%d] = %v want [%d %d]",
+							me, i, row, i, h.Layout.Leaders[i])
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestHierarchyRunTwiceIdentical pins determinism of the two-level path:
+// identical seeds produce identical virtual end times.
+func TestHierarchyRunTwiceIdentical(t *testing.T) {
+	run := func() float64 {
+		return Run(24, fatConfig(8, cluster.Block), 42, func(r *Rank) {
+			c := WorldComm(r)
+			h := NewHierarchy(c)
+			r.Compute(r.P.Rand().Float64() * 1e-4)
+			for i := 0; i < 3; i++ {
+				h.AllgatherInt64s([]int64{int64(c.Rank() + i)})
+				h.AllreduceInt64([]int64{int64(i)}, OpMax)
+			}
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("hierarchical runs differ: %v vs %v", a, b)
+	}
+}
+
+// TestIntraCommCheaperThanInter pins the cost model: the same collective on
+// a node-local communicator (memory path) must finish faster than on an
+// equal-sized cross-node one (NIC path).
+func TestIntraCommCheaperThanInter(t *testing.T) {
+	elapsed := func(local bool) float64 {
+		var d float64
+		// 8 ranks on one node (intra) vs 8 ranks on 8 nodes (inter-like).
+		pes := 1
+		if local {
+			pes = 8
+		}
+		Run(8, fatConfig(pes, cluster.Block), 1, func(r *Rank) {
+			c := WorldComm(r)
+			h := NewHierarchy(c)
+			var cc *Comm
+			if local {
+				cc = h.Intra // all 8 share the node; marked local
+			} else {
+				cc = h.Inter // every rank leads its own node
+			}
+			t0 := r.Now()
+			for i := 0; i < 20; i++ {
+				cc.AllreduceInt64([]int64{int64(i)}, OpSum)
+			}
+			if c.Rank() == 0 {
+				d = r.Now() - t0
+			}
+		})
+		return d
+	}
+	intra, inter := elapsed(true), elapsed(false)
+	if intra >= inter {
+		t.Fatalf("node-local collective not cheaper: intra %g vs inter %g", intra, inter)
+	}
+}

@@ -42,6 +42,14 @@ type Rank struct {
 	depth  int // public-op nesting depth; only depth 0 records time
 	tracer *trace.Recorder
 	reg    *obs.Registry
+
+	// Pre-resolved per-level point-to-point instruments (nil when no
+	// registry is attached): every message through sendOwned counts under
+	// intra or inter depending on whether source and destination share a
+	// node, making the cross-NIC traffic reduction of two-level collectives
+	// observable rather than asserted.
+	p2pIntraMsgs, p2pIntraBytes *obs.Counter
+	p2pInterMsgs, p2pInterBytes *obs.Counter
 }
 
 // SetTracer attaches an event recorder: every top-level operation emits a
@@ -56,7 +64,19 @@ func (r *Rank) SetTracer(rec *trace.Recorder) { r.tracer = rec }
 // clocks or draws randomness — so an instrumented run is bit-identical in
 // virtual time to a bare one. Share one registry across the ranks of a run
 // (the engine serializes access).
-func (r *Rank) SetObs(reg *obs.Registry) { r.reg = reg }
+func (r *Rank) SetObs(reg *obs.Registry) {
+	r.reg = reg
+	if reg == nil {
+		r.p2pIntraMsgs, r.p2pIntraBytes = nil, nil
+		r.p2pInterMsgs, r.p2pInterBytes = nil, nil
+		return
+	}
+	r.P.Ordered() // registry is engine-shared; resolve in serial order
+	r.p2pIntraMsgs = reg.Counter("mpi.p2p.intra.msgs")
+	r.p2pIntraBytes = reg.Counter("mpi.p2p.intra.bytes")
+	r.p2pInterMsgs = reg.Counter("mpi.p2p.inter.msgs")
+	r.p2pInterBytes = reg.Counter("mpi.p2p.inter.bytes")
+}
 
 // noteColl counts one top-level collective call. Nested collectives (a
 // Bcast inside an Allreduce) are not double-counted: only depth-0 entries

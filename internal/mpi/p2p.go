@@ -59,6 +59,16 @@ func (c *Comm) sendOwned(dst, tag int, payload []byte, costBytes int) {
 	r.P.Send(dstW, c.encTag(tag), payload, arrival)
 	r.prof.Msgs++
 	r.prof.Bytes += int64(costBytes)
+	if r.p2pIntraMsgs != nil {
+		r.P.Ordered() // registry is engine-shared; count in serial order
+		if r.W.Cluster.SameNode(srcW, dstW) {
+			r.p2pIntraMsgs.Inc()
+			r.p2pIntraBytes.Add(uint64(costBytes))
+		} else {
+			r.p2pInterMsgs.Inc()
+			r.p2pInterBytes.Add(uint64(costBytes))
+		}
+	}
 }
 
 // Recv blocks until a message with the given tag arrives from comm rank src

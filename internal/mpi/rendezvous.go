@@ -46,15 +46,24 @@ func logSteps(p int) int {
 }
 
 // stepCost is the fixed per-step cost of a collective round: one latency
-// plus send and receive CPU overheads.
+// plus send and receive CPU overheads. Node-local communicators hop over
+// shared memory, not the wire.
 func (c *Comm) stepCost() float64 {
 	cc := c.r.W.Cluster.Config()
+	if c.local {
+		return cc.MemLatency + cc.SendOverhead + cc.RecvOverhead
+	}
 	return cc.Latency + cc.SendOverhead + cc.RecvOverhead
 }
 
-// bwCost converts a byte volume to seconds on the NIC.
+// bwCost converts a byte volume to seconds on the NIC — or on the memory
+// bus for a node-local communicator.
 func (c *Comm) bwCost(bytes int64) float64 {
-	return float64(bytes) / c.r.W.Cluster.Config().NICBandwidth
+	cc := c.r.W.Cluster.Config()
+	if c.local {
+		return float64(bytes) / cc.MemBandwidth
+	}
+	return float64(bytes) / cc.NICBandwidth
 }
 
 // syncExchange deposits payload, waits until every member has arrived, and

@@ -42,6 +42,7 @@ type plan struct {
 	endLoc int64          // this aggregator's last touched offset (exclusive)
 	ntimes int
 	cb     int64
+	h      *hplan // two-level scratch; nil on the flat path (see hier.go)
 }
 
 // window returns this aggregator's file window for the given round; rounds
@@ -107,7 +108,12 @@ func (f *File) buildPlan(segs []datatype.Segment) *plan {
 		st, end = segs[0].Off, segs[len(segs)-1].End()
 	}
 	old := r.SetClass(mpi.ClassSync)
-	ranges := comm.AllgatherInt64s([]int64{st, end})
+	var ranges [][]int64
+	if f.hier != nil {
+		ranges = f.hier.h.AllgatherInt64s([]int64{st, end})
+	} else {
+		ranges = comm.AllgatherInt64s([]int64{st, end})
+	}
 	r.SetClass(old)
 
 	minSt, maxEnd := maxI64, int64(0)
@@ -139,29 +145,35 @@ func (f *File) buildPlan(segs []datatype.Segment) *plan {
 	}
 
 	// Step 3: disseminate request lists to aggregators
-	// (ADIOI_Calc_others_req). [sync]
-	send := make([][]byte, comm.Size())
-	for a, cr := range f.aggs {
-		if len(p.myReq[a]) > 0 {
-			send[cr] = encClips(p.myReq[a])
-		}
-	}
-	old = r.SetClass(mpi.ClassSync)
-	got := comm.Alltoallv(send, f.hints.AlltoallvAlgo)
-	r.SetClass(old)
-	if f.isAggregator() {
-		p.others = make(map[int][]clip)
-		for src, b := range got {
-			if len(b) > 0 {
-				p.others[src] = decClips(b)
+	// (ADIOI_Calc_others_req). Two-level mode funnels them through node
+	// leaders instead, so only merged lists cross the NIC (hier.go). [sync]
+	if f.hier != nil {
+		f.hierDisseminate(p)
+	} else {
+		send := make([][]byte, comm.Size())
+		for a, cr := range f.aggs {
+			if len(p.myReq[a]) > 0 {
+				send[cr] = encClips(p.myReq[a])
 			}
 		}
-	}
-	// The request lists were arena-encoded by encClips and are fully decoded
-	// now; this rank owns every received block (ownership transfer).
-	for _, b := range got {
-		if len(b) > 0 {
-			perf.PutBuf(b)
+		old = r.SetClass(mpi.ClassSync)
+		got := comm.Alltoallv(send, f.hints.AlltoallvAlgo)
+		r.SetClass(old)
+		if f.isAggregator() {
+			p.others = make(map[int][]clip)
+			for src, b := range got {
+				if len(b) > 0 {
+					p.others[src] = decClips(b)
+				}
+			}
+		}
+		// The request lists were arena-encoded by encClips and are fully
+		// decoded now; this rank owns every received block (ownership
+		// transfer).
+		for _, b := range got {
+			if len(b) > 0 {
+				perf.PutBuf(b)
+			}
 		}
 	}
 
@@ -186,7 +198,12 @@ func (f *File) buildPlan(segs []datatype.Segment) *plan {
 		}
 	}
 	old = r.SetClass(mpi.ClassSync)
-	nt := comm.AllreduceInt64([]int64{local}, mpi.OpMax)
+	var nt []int64
+	if f.hier != nil {
+		nt = f.hier.h.AllreduceInt64([]int64{local}, mpi.OpMax)
+	} else {
+		nt = comm.AllreduceInt64([]int64{local}, mpi.OpMax)
+	}
 	r.SetClass(old)
 	p.ntimes = int(nt[0])
 	return p
@@ -312,7 +329,13 @@ func (s *wstate) syncRound(round int) {
 	}
 	t0 := r.Now()
 	old := r.SetClass(mpi.ClassSync)
-	comm.AlltoallIntsInto(s.owe, s.want)
+	if f.hier != nil {
+		// Two-level: leaders exchange round windows, everyone derives its
+		// obligations locally — no comm-wide alltoall (see hier.go).
+		f.hierWindows(s.p, s.w0, s.w1)
+	} else {
+		comm.AlltoallIntsInto(s.owe, s.want)
+	}
 	r.SetClass(old)
 	f.traceRound("round-sync", t0, r.Now(), round)
 }
@@ -324,10 +347,14 @@ func (s *wstate) exchangeRound(round int) {
 	f, r, comm := s.f, s.f.r, s.f.comm
 	t0 := r.Now()
 	old := r.SetClass(mpi.ClassExchange)
-	for a, cr := range f.aggs {
-		if n := s.owe[cr]; n > 0 {
-			payload := s.cursor[a].take(s.p.myReq[a], s.data, int64(n))
-			comm.SendWeighted(cr, s.tag, payload, scaled(len(payload), f.scale))
+	if f.hier != nil {
+		f.hierSendUp(s) // member -> leader -> aggregator (hier.go)
+	} else {
+		for a, cr := range f.aggs {
+			if n := s.owe[cr]; n > 0 {
+				payload := s.cursor[a].take(s.p.myReq[a], s.data, int64(n))
+				comm.SendWeighted(cr, s.tag, payload, scaled(len(payload), f.scale))
+			}
 		}
 	}
 	if s.isAgg {
@@ -427,7 +454,12 @@ type streamCursor struct {
 // take returns an arena buffer; the receiving aggregator releases it with
 // perf.PutBuf after scattering (ownership transfer via Send).
 func (c *streamCursor) take(req []clip, data []byte, n int64) []byte {
-	out := perf.GetBuf(int(n))[:0]
+	return c.takeAppend(perf.GetBuf(int(n))[:0], req, data, n)
+}
+
+// takeAppend is take appending into out — the two-level up-flow drains
+// several aggregators' streams into one member payload this way.
+func (c *streamCursor) takeAppend(out []byte, req []clip, data []byte, n int64) []byte {
 	for n > 0 {
 		if c.seg >= len(req) {
 			panic("mpiio: send obligation exceeds request stream")
@@ -524,7 +556,11 @@ func (s *rstate) syncRound(round int) {
 	}
 	t0 := r.Now()
 	old := r.SetClass(mpi.ClassSync)
-	comm.AlltoallIntsInto(s.due, s.give)
+	if f.hier != nil {
+		f.hierWindows(s.p, s.w0, s.w1)
+	} else {
+		comm.AlltoallIntsInto(s.due, s.give)
+	}
 	r.SetClass(old)
 	f.traceRound("round-sync", t0, r.Now(), round)
 }
@@ -672,13 +708,17 @@ func (s *rstate) recvRound(round int) {
 	f, r, comm := s.f, s.f.r, s.f.comm
 	t0 := r.Now()
 	old := r.SetClass(mpi.ClassExchange)
-	for a, cr := range f.aggs {
-		if s.due[cr] == 0 {
-			continue
+	if f.hier != nil {
+		f.hierRecvDown(s) // aggregator -> leader -> member (hier.go)
+	} else {
+		for a, cr := range f.aggs {
+			if s.due[cr] == 0 {
+				continue
+			}
+			msg, _ := comm.Recv(cr, s.tag)
+			s.cursor[a].place(s.p.myReq[a], s.out, msg)
+			perf.PutBuf(msg) // arena-built by the serving aggregator
 		}
-		msg, _ := comm.Recv(cr, s.tag)
-		s.cursor[a].place(s.p.myReq[a], s.out, msg)
-		perf.PutBuf(msg) // arena-built by the serving aggregator
 	}
 	r.SetClass(old)
 	f.traceRound("round-exchange", t0, r.Now(), round)

@@ -49,6 +49,14 @@ type Hints struct {
 	// non-contiguous I/O (ReadAtSieved/WriteAtSieved). Zero means the
 	// ROMIO default of 4 MiB.
 	IndBufferSize int64
+	// IntraNode enables two-level collective I/O: PEs sharing a node merge
+	// their offset/length vectors and data into their node leader before
+	// the inter-node exchange, so only one process per node crosses the
+	// NIC (hint "parcoll_intranode"). It requires every aggregator to be
+	// its node's leader (the default selection guarantees this); otherwise,
+	// and under crash-carrying fault plans, the flat path runs instead.
+	// Off by default: the flat protocol is bit-identical to prior releases.
+	IntraNode bool
 }
 
 // RunOptions carries per-run state that is not an MPI_Info hint: fault
@@ -130,6 +138,7 @@ type File struct {
 	prof  Breakdown
 	prev  [mpi.NumClasses]float64
 	ovl   OverlapStats
+	hier  *fileHier // two-level collective state; nil on the flat path
 
 	// Pre-resolved obs instruments (nil when run.Obs is nil), so the round
 	// loop pays a nil check instead of a map lookup per observation.
@@ -254,10 +263,32 @@ func OpenWith(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeIn
 	nodes := comm.AllgatherInt64s([]int64{int64(r.W.Cluster.NodeOf(r.WorldRank()))})
 	r.SetClass(old)
 	f.aggs = selectAggregators(comm, nodes, hints)
+	// Two-level collectives: build the hierarchy when asked for and viable.
+	// Viability (every aggregator leads its node) and the crash gate are pure
+	// functions of topology and options, so all ranks agree on whether the
+	// collective NewHierarchy runs. The resilient path stays flat — failover
+	// re-elects aggregators mid-call, which would orphan the leader roles.
+	if hints.IntraNode && !f.recoveryOn() {
+		lay := mpi.LayoutOf(comm)
+		if hierViable(lay, f.aggs) {
+			old := r.SetClass(mpi.ClassSync)
+			h := mpi.NewHierarchy(comm)
+			r.SetClass(old)
+			aggNode := make([]int, len(f.aggs))
+			for i, cr := range f.aggs {
+				aggNode[i] = lay.NodeIdx[cr]
+			}
+			f.hier = &fileHier{h: h, aggNode: aggNode}
+		}
+	}
 	f.lf = fs.Open(r, name, stripe)
 	f.markProf()
 	return f
 }
+
+// Hierarchical reports whether this handle runs the two-level collective
+// path (Hints.IntraNode requested and viable on this communicator).
+func (f *File) Hierarchical() bool { return f.hier != nil }
 
 // rankOf digs the Rank out of a Comm via a tiny interface on mpi.Comm.
 func rankOf(c *mpi.Comm) *mpi.Rank { return c.RankHandle() }

@@ -1,0 +1,353 @@
+package mpiio
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mpi"
+	"repro/internal/perf"
+)
+
+// Two-level (intra-node aggregated) collective I/O.
+//
+// The flat ext2ph protocol has every PE talk to every aggregator across the
+// NIC: the request alltoallv, the per-round dense size alltoall, and one
+// data message per (PE, aggregator) pair per round. On a fat node that is
+// PEsPerNode times more cross-NIC traffic than necessary — the PEs of one
+// node collectively hold one contiguous-ish slab of the request stream.
+// With Hints.IntraNode on, PEs first merge into their node leader over
+// shared memory and only leaders cross the interconnect:
+//
+//   - dissemination: members gather their per-aggregator request lists at
+//     the leader (intra, memory-priced); the leader concatenates them in
+//     member order and ships one merged list per aggregator (inter). The
+//     aggregator's view is unchanged in content — the same clips arrive,
+//     keyed by the sending node's leader — so file domains, st_loc/end_loc,
+//     round count, and therefore all file bytes and I/O times are identical
+//     to the flat path.
+//   - per-round sync: the dense comm-wide size alltoall is replaced by a
+//     leaders-only exchange of the aggregators' round windows; every rank
+//     then derives its own obligations locally (clipWindowBytes over its
+//     request lists — consistent by construction, since the aggregator's
+//     expectation is the same function of the same merged lists).
+//   - data exchange: a member sends ONE message to its leader per round
+//     (its per-aggregator pieces concatenated in aggregator order); the
+//     leader reassembles per-aggregator payloads in member-major order —
+//     exactly the order of the merged request lists — and crosses the NIC
+//     once per aggregator. Reads run the same tree in reverse.
+//
+// The viability rule keeping all of this consistent: every aggregator must
+// be its node's leader (node-minimal comm rank). The default aggregator
+// selection — first rank of each distinct node — satisfies it by
+// construction; explicit AggregatorList hints that violate it fall back to
+// the flat path, as does any crash-carrying fault plan (failover re-elects
+// aggregators mid-call, which would orphan the leader roles).
+
+// fileHier is the per-file two-level state: the communicator hierarchy and
+// the aggregator-to-node map, both fixed at open.
+type fileHier struct {
+	h       *mpi.Hierarchy
+	aggNode []int // aggregator index -> node index in h.Layout
+}
+
+// hierViable reports whether the two-level path can run: every aggregator
+// comm rank leads its node. Aggregators are distinct, so this also bounds
+// them to one per node — which is what lets a round window be published as
+// "this node's window" by its leader.
+func hierViable(lay mpi.NodeLayout, aggs []int) bool {
+	for _, cr := range aggs {
+		if !lay.IsLeader(cr) {
+			return false
+		}
+	}
+	return true
+}
+
+// hplan is the per-call two-level scratch hung off the plan.
+type hplan struct {
+	// memberReq (leaders only) holds each intra member's request list per
+	// aggregator, decoded at dissemination; offsets/lengths only (that is
+	// all the leader needs: round-splitting byte counts and merge order).
+	memberReq [][][]clip
+	win       [][2]int64 // per aggregator: this round's window
+	myOwe     []int64    // per aggregator: my data bytes this round
+	memOwe    [][]int64  // leaders: per member, per aggregator bytes this round
+}
+
+// hierDisseminate is the two-level form of protocol step 3: requests gather
+// at the node leader over memory and only merged per-aggregator lists cross
+// the NIC. Fills p.others on aggregators (keyed by leader comm rank, the
+// message source the round loop will see) and p.h everywhere. [sync]
+func (f *File) hierDisseminate(p *plan) {
+	r, hh := f.r, f.hier.h
+	nag := len(f.aggs)
+	hp := &hplan{win: make([][2]int64, nag), myOwe: make([]int64, nag)}
+	p.h = hp
+
+	old := r.SetClass(mpi.ClassSync)
+	blobs := hh.Intra.Gather(0, encReqSet(p.myReq))
+	if hh.IsLeader() {
+		hp.memberReq = make([][][]clip, len(blobs))
+		for m, b := range blobs {
+			hp.memberReq[m] = decReqSet(b, nag)
+			perf.PutBuf(b)
+		}
+		hp.memOwe = make([][]int64, len(hp.memberReq))
+		for m := range hp.memOwe {
+			hp.memOwe[m] = make([]int64, nag)
+		}
+		// Merge member lists per aggregator — concatenation in member order,
+		// never re-sorted: the round loop's payload assembly counts on the
+		// merged list and the data stream sharing one member-major order.
+		send := make([][]byte, hh.Inter.Size())
+		for a := 0; a < nag; a++ {
+			var merged []clip
+			for _, mr := range hp.memberReq {
+				merged = append(merged, mr[a]...)
+			}
+			if len(merged) > 0 {
+				send[f.hier.aggNode[a]] = encClips(merged)
+			}
+		}
+		got := hh.Inter.Alltoallv(send, f.hints.AlltoallvAlgo)
+		if f.isAggregator() {
+			p.others = make(map[int][]clip)
+			for node, b := range got {
+				if len(b) > 0 {
+					p.others[hh.Layout.Leaders[node]] = decClips(b)
+				}
+			}
+		}
+		for _, b := range got {
+			if len(b) > 0 {
+				perf.PutBuf(b)
+			}
+		}
+	}
+	r.SetClass(old)
+}
+
+// hierWindows is the round's two-level synchronization: leaders exchange
+// their node's aggregator window (zero when the node hosts none) and fan the
+// table out node-locally; every rank then computes its send/receive
+// obligations without any comm-wide collective. w0/w1 are the caller's own
+// aggregator window (zero on non-aggregators). [sync]
+func (f *File) hierWindows(p *plan, w0, w1 int64) {
+	hp, hh := p.h, f.hier.h
+	var lv []int64
+	if hh.IsLeader() {
+		lv = []int64{w0, w1}
+	}
+	tab := hh.ExchangeLeaderInt64s(lv)
+	for a := range f.aggs {
+		win := tab[f.hier.aggNode[a]]
+		hp.win[a] = [2]int64{win[0], win[1]}
+		hp.myOwe[a] = clipWindowBytes(p.myReq[a], win[0], win[1])
+	}
+	if hh.IsLeader() {
+		for m, mr := range hp.memberReq {
+			for a := range f.aggs {
+				hp.memOwe[m][a] = clipWindowBytes(mr[a], hp.win[a][0], hp.win[a][1])
+			}
+		}
+	}
+}
+
+// hierSendUp is the write exchange's up-flow: every rank drains its cursors
+// into one member payload (per-aggregator pieces in aggregator order) and
+// hands it to its leader over memory; leaders reassemble per-aggregator
+// payloads in member-major order and cross the NIC once per aggregator.
+// The aggregator-side receive/scatter in exchangeRound is unchanged — it
+// sees the same byte streams as the flat path, just from fewer sources.
+// [exchange]
+func (f *File) hierSendUp(s *wstate) {
+	hp, hh := s.p.h, f.hier.h
+	var total int64
+	for a := range f.aggs {
+		total += hp.myOwe[a]
+	}
+	var mine []byte
+	if total > 0 {
+		mine = perf.GetBuf(int(total))[:0]
+		for a := range f.aggs {
+			if n := hp.myOwe[a]; n > 0 {
+				mine = s.cursor[a].takeAppend(mine, s.p.myReq[a], s.data, n)
+			}
+		}
+	}
+	if !hh.IsLeader() {
+		if total > 0 {
+			hh.Intra.SendWeighted(0, s.tag, mine, scaled(len(mine), f.scale))
+		}
+		return
+	}
+	msgs := make([][]byte, hh.Intra.Size())
+	msgs[0] = mine // the leader is its own member 0
+	for m := 1; m < hh.Intra.Size(); m++ {
+		if sumInt64(hp.memOwe[m]) > 0 {
+			msg, _ := hh.Intra.Recv(m, s.tag)
+			msgs[m] = msg
+		}
+	}
+	pos := make([]int64, len(msgs))
+	for a, cr := range f.aggs {
+		var n int64
+		for m := range msgs {
+			n += hp.memOwe[m][a]
+		}
+		if n == 0 {
+			continue
+		}
+		payload := perf.GetBuf(int(n))[:0]
+		for m, msg := range msgs {
+			if k := hp.memOwe[m][a]; k > 0 {
+				payload = append(payload, msg[pos[m]:pos[m]+k]...)
+				pos[m] += k
+			}
+		}
+		f.comm.SendWeighted(cr, s.tag, payload, scaled(len(payload), f.scale))
+	}
+	for _, msg := range msgs {
+		if msg != nil {
+			perf.PutBuf(msg)
+		}
+	}
+}
+
+// hierRecvDown is the read exchange's down-flow, hierSendUp in reverse: the
+// leader receives each aggregator's merged delivery for its node, splits it
+// per member by the locally known byte counts, and fans out one message per
+// member over memory; members scatter their piece through their own request
+// cursors. [exchange]
+func (f *File) hierRecvDown(s *rstate) {
+	hp, hh := s.p.h, f.hier.h
+	if hh.IsLeader() {
+		nm := hh.Intra.Size()
+		parts := make([][]byte, nm)
+		for m := 0; m < nm; m++ {
+			if t := sumInt64(hp.memOwe[m]); t > 0 {
+				parts[m] = perf.GetBuf(int(t))[:0]
+			}
+		}
+		for a, cr := range f.aggs {
+			var n int64
+			for m := 0; m < nm; m++ {
+				n += hp.memOwe[m][a]
+			}
+			if n == 0 {
+				continue
+			}
+			msg, _ := f.comm.Recv(cr, s.tag)
+			var pos int64
+			for m := 0; m < nm; m++ {
+				if k := hp.memOwe[m][a]; k > 0 {
+					parts[m] = append(parts[m], msg[pos:pos+k]...)
+					pos += k
+				}
+			}
+			perf.PutBuf(msg) // arena-built by serveRound
+		}
+		for m := 1; m < nm; m++ {
+			if parts[m] != nil {
+				hh.Intra.SendWeighted(m, s.tag, parts[m], scaled(len(parts[m]), f.scale))
+			}
+		}
+		if parts[0] != nil {
+			f.hierPlace(s, parts[0])
+			perf.PutBuf(parts[0])
+		}
+		return
+	}
+	if sumInt64(hp.myOwe) > 0 {
+		msg, _ := hh.Intra.Recv(0, s.tag)
+		f.hierPlace(s, msg)
+		perf.PutBuf(msg)
+	}
+}
+
+// hierPlace scatters a member's round delivery (per-aggregator pieces in
+// aggregator order) into the output buffer through the request cursors.
+func (f *File) hierPlace(s *rstate, msg []byte) {
+	hp := s.p.h
+	var pos int64
+	for a := range f.aggs {
+		if k := hp.myOwe[a]; k > 0 {
+			s.cursor[a].place(s.p.myReq[a], s.out, msg[pos:pos+k])
+			pos += k
+		}
+	}
+}
+
+func sumInt64(v []int64) int64 {
+	var n int64
+	for _, x := range v {
+		n += x
+	}
+	return n
+}
+
+// clipWindowBytes returns the byte count of cl intersected with [lo, hi) —
+// clipBytes(clipWindow(cl, lo, hi)) without materializing the clips. The
+// two-level sync computes every obligation through it, on both sides of
+// each transfer, which is what makes the derived sizes agree by
+// construction.
+func clipWindowBytes(cl []clip, lo, hi int64) int64 {
+	var n int64
+	for _, c := range cl {
+		if c.off+c.ln <= lo || c.off >= hi {
+			continue
+		}
+		o, e := c.off, c.off+c.ln
+		if o < lo {
+			o = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		n += e - o
+	}
+	return n
+}
+
+// encReqSet encodes per-aggregator request lists into one arena blob:
+// a count header (one int64 per aggregator) followed by the 16-byte
+// off/len clip records in aggregator order. The consumer releases it with
+// perf.PutBuf once decoded (hierDisseminate does).
+func encReqSet(reqs [][]clip) []byte {
+	total := 0
+	for _, cl := range reqs {
+		total += len(cl)
+	}
+	out := perf.GetBuf(8*len(reqs) + 16*total)
+	pos := 0
+	for _, cl := range reqs {
+		binary.LittleEndian.PutUint64(out[pos:], uint64(len(cl)))
+		pos += 8
+	}
+	for _, cl := range reqs {
+		for _, c := range cl {
+			binary.LittleEndian.PutUint64(out[pos:], uint64(c.off))
+			binary.LittleEndian.PutUint64(out[pos+8:], uint64(c.ln))
+			pos += 16
+		}
+	}
+	return out
+}
+
+func decReqSet(b []byte, nag int) [][]clip {
+	reqs := make([][]clip, nag)
+	pos := 8 * nag
+	for a := 0; a < nag; a++ {
+		n := int(binary.LittleEndian.Uint64(b[8*a:]))
+		if n == 0 {
+			continue
+		}
+		cl := make([]clip, n)
+		for i := range cl {
+			cl[i].off = int64(binary.LittleEndian.Uint64(b[pos:]))
+			cl[i].ln = int64(binary.LittleEndian.Uint64(b[pos+8:]))
+			pos += 16
+		}
+		reqs[a] = cl
+	}
+	return reqs
+}

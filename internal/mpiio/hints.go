@@ -24,6 +24,7 @@ import (
 //	cb_config_list  - comma-separated world ranks to use as aggregators
 //	romio_no_indep_rw - accepted and ignored (compatibility)
 //	parcoll_alltoallv - "direct" (default) or "pairwise"
+//	parcoll_intranode - "enable" for two-level collectives, "disable" (default)
 //	striping_unit   - accepted and ignored (striping is set at open)
 func ParseHints(info map[string]string) (Hints, error) {
 	var h Hints
@@ -62,6 +63,15 @@ func ParseHints(info map[string]string) (Hints, error) {
 			default:
 				return h, fmt.Errorf("mpiio: bad parcoll_alltoallv %q", v)
 			}
+		case "parcoll_intranode":
+			switch v {
+			case "enable":
+				h.IntraNode = true
+			case "disable":
+				h.IntraNode = false
+			default:
+				return h, fmt.Errorf("mpiio: bad parcoll_intranode %q", v)
+			}
 		case "romio_no_indep_rw", "striping_unit":
 			// accepted for compatibility, no effect here
 		default:
@@ -89,6 +99,9 @@ func (h Hints) Info() []string {
 	}
 	if h.AlltoallvAlgo == mpi.AlltoallvPairwise {
 		m["parcoll_alltoallv"] = "pairwise"
+	}
+	if h.IntraNode {
+		m["parcoll_intranode"] = "enable"
 	}
 	keys := make([]string, 0, len(m))
 	for k := range m {

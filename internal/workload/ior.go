@@ -15,6 +15,23 @@ import (
 type IOR struct {
 	Block    int64 // real bytes per process
 	Transfer int64 // real bytes per collective call
+	// Strided switches from IOR's segmented layout (rank r owns the
+	// contiguous slab [r*Block, (r+1)*Block)) to its interleaved one: the
+	// file is a round-robin of Transfer-sized chunks, rank r owning chunks
+	// r, r+nprocs, r+2*nprocs, ... Every rank then overlaps every
+	// aggregator's file domain — the fine-grained sharing that stresses the
+	// exchange phase hardest.
+	Strided bool
+}
+
+// view builds rank's file view for either layout.
+func (w IOR) view(rank, nprocs int) datatype.View {
+	if !w.Strided {
+		return datatype.View{Disp: int64(rank) * w.Block, Filetype: datatype.Contig(w.Block)}
+	}
+	n := (w.Block + w.Transfer - 1) / w.Transfer
+	ft := datatype.NewVector(n, w.Transfer, int64(nprocs)*w.Transfer)
+	return datatype.View{Disp: int64(rank) * w.Transfer, Filetype: ft}
 }
 
 // Write runs the collective-write phase and returns this rank's Result.
@@ -22,7 +39,7 @@ func (w IOR) Write(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
 	me := r.WorldRank()
-	f.SetView(datatype.View{Disp: int64(me) * w.Block, Filetype: datatype.Contig(w.Block)})
+	f.SetView(w.view(me, comm.Size()))
 	buf := make([]byte, w.Transfer)
 	elapsed := measure(comm, func() {
 		for off := int64(0); off < w.Block; off += w.Transfer {
@@ -48,7 +65,7 @@ func (w IOR) Read(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
 	me := r.WorldRank()
-	f.SetView(datatype.View{Disp: int64(me) * w.Block, Filetype: datatype.Contig(w.Block)})
+	f.SetView(w.view(me, comm.Size()))
 	elapsed := measure(comm, func() {
 		for off := int64(0); off < w.Block; off += w.Transfer {
 			n := w.Transfer
@@ -67,16 +84,21 @@ func (w IOR) Read(r *mpi.Rank, env Env, name string) Result {
 	}
 }
 
-// Verify checks this rank's slab against the deterministic pattern,
-// returning the first mismatching rank-local offset or -1.
+// Verify checks this rank's data (either layout) against the deterministic
+// pattern, returning the first mismatching rank-local offset or -1.
 func (w IOR) Verify(r *mpi.Rank, env Env, name string) int64 {
 	f := env.FS.Open(r, name, env.Stripe)
 	me := r.WorldRank()
-	got := f.ReadAt(r, int64(me)*w.Block, w.Block)
-	for i, b := range got {
-		if b != PatternByte(me, int64(i)) {
-			return int64(i)
+	v := w.view(me, mpi.WorldComm(r).Size())
+	var pos int64
+	for _, s := range v.Map(0, w.Block) {
+		got := f.ReadAt(r, s.Off, s.Len)
+		for i, b := range got {
+			if b != PatternByte(me, pos+int64(i)) {
+				return pos + int64(i)
+			}
 		}
+		pos += s.Len
 	}
 	return -1
 }

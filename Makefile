@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical paperrepro verify
+.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical backends paperrepro verify
 
 all: build test
 
@@ -21,7 +21,7 @@ vet:
 # parallel-identity suite, which drives every layer through the parallel
 # engine at 2 and 4 workers (DESIGN.md §12).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/... ./internal/storage/... ./internal/bb/... ./internal/pvfs/...
 	$(GO) test -race -run 'TestParallel|TestHierarchicalParallel' -count=1 .
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzSieve' -fuzztime=10s ./internal/mpiio
 	$(GO) test -fuzz 'FuzzRetrySchedule' -fuzztime=10s ./internal/recovery
 	$(GO) test -fuzz 'FuzzNodeSplit' -fuzztime=10s ./internal/mpi
+	$(GO) test -fuzz 'FuzzExtentCoalesce' -fuzztime=10s ./internal/bb
 
 # Two-level collective gate: vet the touched layers, run the hierarchy
 # property/fuzz-seed and two-level protocol suites, then the root goldens,
@@ -72,13 +73,14 @@ recovery: vet
 # Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
 # run the full bench suite with allocation stats, and regenerate the
 # machine-readable report (see DESIGN.md, "Performance model of the
-# simulator", for how to read BENCH_7.json; BENCH_1.json is the PR-1
+# simulator", for how to read BENCH_8.json; BENCH_1.json is the PR-1
 # baseline to diff allocs/op against, BENCH_3.json the pre-recovery one,
-# BENCH_4.json the pre-hierarchy one; the emit step also asserts the flat
-# 1024-proc path's allocs/op stays within 1% of the BENCH_6.json baseline).
+# BENCH_4.json the pre-hierarchy one, BENCH_7.json the pre-backend-seam
+# one; the emit step also asserts the flat 1024-proc path's allocs/op
+# stays within 1% of the BENCH_7.json baseline).
 bench: vet race
 	$(GO) test -bench=. -benchmem -run '^$$' .
-	BENCH_JSON=BENCH_7.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
+	BENCH_JSON=BENCH_8.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
 
 # Large-scale tier: the 1024/4096-proc Fig1 points under the partitioned
 # parallel engine (GOMAXPROCS workers), plus the 256-proc serial-vs-parallel
@@ -86,6 +88,19 @@ bench: vet race
 # point. See DESIGN.md §12 and EXPERIMENTS.md "Strong scaling".
 bench-large:
 	BENCH_LARGE_JSON=BENCH_6.json $(GO) test -run '^TestEmitBenchLargeJSON$$' -count=1 -v -timeout 60m .
+
+# Storage-backend gate: vet the backend packages, run the shared
+# conformance suite against all three backends plus their unit tests, and
+# the root acceptance tests — list-I/O request reduction with bytes
+# conserved, and the checkpoint-burst claim that the burst buffer's
+# write-call time beats pass-through lustre at compute/IO >= 1 with a
+# byte-exact read-back after the drain (DESIGN.md §14, EXPERIMENTS.md
+# "Checkpoint burst").
+backends:
+	$(GO) vet ./internal/storage/... ./internal/bb/... ./internal/pvfs/... ./internal/lustre/...
+	$(GO) test ./internal/storage/... ./internal/bb/... ./internal/pvfs/... -count=1
+	$(GO) test ./internal/lustre/ -run 'TestBackendConformance|TestRemove|TestStatsDeterministic' -count=1
+	$(GO) test . -run 'TestBackendSweepListIO|TestCheckpointBurst' -count=1 -v
 
 # Regenerate the checked-in full-scale transcript. -timings=false drops the
 # wall-clock lines so the file is a pure function of the simulation — any

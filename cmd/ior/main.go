@@ -22,12 +22,19 @@ func main() {
 	groups := flag.String("groups", "1,2,4,8,16", "comma list of subgroup counts to sweep")
 	verify := flag.Bool("verify", false, "verify file contents after each run")
 	ostStats := flag.Bool("oststats", false, "print per-OST service statistics for the last configuration")
+	backends := flag.Bool("backends", false,
+		"sweep the storage backends instead: strided independent write + checkpoint burst on every -backend choice")
+	burstRatio := flag.Float64("burst-ratio", 1, "checkpoint-burst compute per step as a multiple of the reference I/O time")
 	c := cli.Register(128)
 	c.RegisterScenario("")
 	flag.Parse()
 
 	p := experiments.PaperPreset()
 	c.Apply(&p)
+	if *backends {
+		runBackendSweep(p, c, *burstRatio)
+		return
+	}
 	gs := cli.ParseInts("group count", *groups)
 
 	points := p.IORGroups([]int{c.Procs}, func(int) []int { return gs })
@@ -59,6 +66,33 @@ func main() {
 
 func verifyRun(p experiments.Preset, nprocs, groups int) error {
 	return experiments.VerifyIOR(p, nprocs, core.Options{NumGroups: groups})
+}
+
+// runBackendSweep compares the storage backends head to head: the strided
+// independent write (where list-I/O collapses per-extent requests) and the
+// checkpoint burst (where the burst buffer hides drains under compute).
+func runBackendSweep(p experiments.Preset, c *cli.Common, ratio float64) {
+	names := experiments.BackendNames()
+	sweep := p.BackendSweep(c.Procs, names)
+	burst := p.CheckpointBurst(c.Procs, ratio, names)
+	if c.JSON {
+		c.EmitJSON("backend-sweep", map[string]any{"strided": sweep, "burst": burst})
+		return
+	}
+	fmt.Printf("Strided independent IOR write: %d procs, %s virtual per proc in %s units\n\n",
+		c.Procs, stats.Bytes(p.IORBlock*int64(p.IORScale)), stats.Bytes(p.IORTransfer*int64(p.IORScale)))
+	t := stats.NewTable("backend", "bandwidth", "requests")
+	for _, pt := range sweep {
+		t.AddRow(pt.Backend, stats.MBps(pt.BW), fmt.Sprintf("%d", pt.Requests))
+	}
+	fmt.Println(t)
+	fmt.Printf("\nCheckpoint burst (compute/IO ratio %g):\n\n", ratio)
+	b := stats.NewTable("backend", "write-stall", "drain-tail", "elapsed")
+	for _, pt := range burst {
+		b.AddRow(pt.Backend, fmt.Sprintf("%.4fs", pt.WriteSecs),
+			fmt.Sprintf("%.4fs", pt.DrainSecs), fmt.Sprintf("%.4fs", pt.Elapsed))
+	}
+	fmt.Println(b)
 }
 
 // printOSTStats reruns the last configuration and summarizes where the OST

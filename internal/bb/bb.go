@@ -1,0 +1,432 @@
+// Package bb is a node-local burst-buffer staging tier in the spirit of
+// Zhang et al.'s loosely-coupled collective I/O: a storage.Backend that
+// wraps another backend and absorbs writes into node-local memory at memory
+// latency/bandwidth, then drains them to the underlying backend
+// asynchronously on the existing nbio progress engine — so a checkpoint
+// burst's file-system time hides under the application's next compute phase
+// instead of stalling the write call.
+//
+// Mechanics of one absorbed write: the caller pays only the node's staging
+// memory (MemLatency plus bytes over MemBandwidth through a per-node memory
+// pipe, so PEs sharing a node contend). The drain to the underlying backend
+// is issued in the same call — its NIC and target-service resources are
+// booked exactly as a direct async write's would be, optionally paced by a
+// per-node drain pipe of DrainBandwidth — and rides an nbio.Request whose
+// tail the progress engine hides under whatever the rank does next. Data is
+// durable in the under-backend's byte store at issue time (the async-write
+// contract), so read-backs are byte-exact at any point.
+//
+// Capacity: each node's staging memory holds at most Capacity virtual
+// bytes. Staged entries are reclaimed in strict FIFO order as their drains
+// complete (an entry frees only after every earlier entry on its node has —
+// deterministic drain ordering); a write that does not fit falls back to
+// writing through to the under-backend at full cost. Try variants also
+// write through whenever the under-backend injects request errors, so
+// fault-plan error plumbing is preserved.
+package bb
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/nbio"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config tunes the staging tier.
+type Config struct {
+	// Capacity is each node's staging memory in virtual bytes. Zero means
+	// unlimited (never write through).
+	Capacity int64
+	// DrainBandwidth, when positive, paces each node's drain to the
+	// under-backend through a per-node pipe of this many bytes/second; the
+	// drain completes at the later of the pipe and the under-backend's own
+	// service. Zero leaves the under-backend's pace unthrottled.
+	DrainBandwidth float64
+}
+
+// Tier is a burst-buffer staging tier over an underlying backend.
+type Tier struct {
+	under storage.Backend
+	cfg   Config
+	nodes map[int]*nodeState
+
+	absorbed     int64 // virtual bytes staged at memory speed
+	drained      int64 // virtual bytes whose staged entries were reclaimed
+	writethrough int64 // virtual bytes that bypassed staging (full buffer)
+
+	obsAbsorbed *obs.Counter
+	obsDrained  *obs.Counter
+	obsWT       *obs.Counter
+}
+
+// nodeState is one node's staging-buffer bookkeeping.
+type nodeState struct {
+	used     int64    // staged virtual bytes not yet reclaimed
+	q        []staged // FIFO of staged entries, reclaim order
+	drainEnd float64  // latest drain completion issued on this node
+	mem      *sim.Resource
+	pipe     *sim.Resource // nil unless DrainBandwidth > 0
+
+	// dirty maps file name to the node's coalesced staged extents — the
+	// residency set reads probe for a memory-speed hit.
+	dirty map[string][]storage.Extent
+}
+
+// staged is one queued drain: virt bytes of file covering ext, whose drain
+// completes at end.
+type staged struct {
+	file string
+	ext  storage.Extent
+	virt int64
+	end  float64
+}
+
+var (
+	_ storage.Backend = (*Tier)(nil)
+	_ storage.File    = (*File)(nil)
+)
+
+// New wraps under with a staging tier.
+func New(under storage.Backend, cfg Config) *Tier {
+	return &Tier{under: under, cfg: cfg, nodes: make(map[int]*nodeState)}
+}
+
+// Under returns the wrapped backend.
+func (t *Tier) Under() storage.Backend { return t.under }
+
+// Counters returns the tier's cumulative (absorbed, drained, writethrough)
+// virtual byte counts.
+func (t *Tier) Counters() (absorbed, drained, writethrough int64) {
+	return t.absorbed, t.drained, t.writethrough
+}
+
+// SetObs attaches a metrics registry: absorbed/drained/writethrough bytes
+// count as they happen, and the under-backend is instrumented too. Pass nil
+// to detach. Observe-only.
+func (t *Tier) SetObs(reg *obs.Registry) {
+	t.under.SetObs(reg)
+	if reg == nil {
+		t.obsAbsorbed, t.obsDrained, t.obsWT = nil, nil, nil
+		return
+	}
+	t.obsAbsorbed = reg.Counter("storage.bb.absorbed.bytes")
+	t.obsDrained = reg.Counter("storage.bb.drained.bytes")
+	t.obsWT = reg.Counter("storage.bb.writethrough.bytes")
+}
+
+// Stats returns the under-backend's per-target counters (the tier itself
+// has no targets; its counters are the byte totals above).
+func (t *Tier) Stats() []storage.TargetStat { return t.under.Stats() }
+
+// Params inherits the under-backend's cost scale and targets. ListIO is
+// always true: staging memory is inherently list-capable (one absorb for
+// the whole extent list), and the drain uses the under-backend's own
+// vectored call — a per-extent loop there costs only hidden drain time.
+func (t *Tier) Params() storage.Params {
+	p := t.under.Params()
+	p.ListIO = true
+	return p
+}
+
+// Name identifies the backend kind.
+func (t *Tier) Name() string { return "bb" }
+
+// Remove drops the file from the under-backend and evicts its staged
+// extents from every node (without counting them drained — they no longer
+// exist to drain).
+func (t *Tier) Remove(name string) {
+	t.under.Remove(name)
+	for _, ns := range t.nodes {
+		kept := ns.q[:0]
+		for _, s := range ns.q {
+			if s.file == name {
+				ns.used -= s.virt
+				continue
+			}
+			kept = append(kept, s)
+		}
+		ns.q = kept
+		delete(ns.dirty, name)
+	}
+}
+
+// node returns (creating) the calling rank's node state.
+func (t *Tier) node(r *mpi.Rank) *nodeState {
+	id := r.W.Cluster.NodeOf(r.WorldRank())
+	ns, ok := t.nodes[id]
+	if !ok {
+		ns = &nodeState{
+			mem:   sim.NewResource(fmt.Sprintf("bbmem%d", id)),
+			dirty: make(map[string][]storage.Extent),
+		}
+		if t.cfg.DrainBandwidth > 0 {
+			ns.pipe = sim.NewResource(fmt.Sprintf("bbdrain%d", id))
+		}
+		t.nodes[id] = ns
+	}
+	return ns
+}
+
+// reclaim frees staged entries whose drains have completed by virtual time
+// now, in strict FIFO order: an entry is reclaimed only after every earlier
+// entry on the node, so the buffer's occupancy (and hence every
+// write-through decision) is a deterministic function of virtual time.
+func (t *Tier) reclaim(ns *nodeState, now float64) {
+	n := 0
+	for n < len(ns.q) && ns.q[n].end <= now {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for _, s := range ns.q[:n] {
+		ns.used -= s.virt
+		t.drained += s.virt
+		if t.obsDrained != nil {
+			t.obsDrained.Add(uint64(s.virt))
+		}
+	}
+	ns.q = append(ns.q[:0], ns.q[n:]...)
+	t.rebuildDirty(ns)
+}
+
+// rebuildDirty recomputes the node's per-file residency sets from the
+// remaining queue (coalesced).
+func (t *Tier) rebuildDirty(ns *nodeState) {
+	for f := range ns.dirty {
+		delete(ns.dirty, f)
+	}
+	for _, s := range ns.q {
+		ns.dirty[s.file] = append(ns.dirty[s.file], s.ext)
+	}
+	for f, exts := range ns.dirty {
+		ns.dirty[f] = Coalesce(exts)
+	}
+}
+
+// Drain blocks (in virtual time) until every drain issued on the calling
+// rank's node has completed, charging the exposed wait to ClassIO — the
+// checkpoint-burst "make it durable now" barrier.
+func (t *Tier) Drain(r *mpi.Rank) {
+	r.P.Sync()
+	ns := t.node(r)
+	now := r.Now()
+	if ns.drainEnd > now {
+		r.ChargeIO(ns.drainEnd - now)
+		now = r.Now()
+	}
+	t.reclaim(ns, now)
+}
+
+// Open opens the file on the under-backend and wraps the handle.
+func (t *Tier) Open(r *mpi.Rank, name string, stripe storage.Stripe) storage.File {
+	return &File{t: t, name: name, uf: t.under.Open(r, name, stripe)}
+}
+
+// File is a staged handle over an under-backend file.
+type File struct {
+	t    *Tier
+	name string
+	uf   storage.File
+}
+
+// Stripe returns the under-file's stripe layout.
+func (f *File) Stripe() storage.Stripe { return f.uf.Stripe() }
+
+// Size returns the under-file's length (stores happen at issue time, so
+// staged writes are already counted).
+func (f *File) Size() int64 { return f.uf.Size() }
+
+// Contents returns the file's bytes at no time cost.
+func (f *File) Contents() []byte { return f.uf.Contents() }
+
+// Peek returns the file's bytes in [off, off+n) at no time cost.
+func (f *File) Peek(off, n int64) []byte { return f.uf.Peek(off, n) }
+
+// stage absorbs one extent list into the node's staging memory and issues
+// its drain, returning the write call's virtual completion time (the memory
+// absorb). Falls back to write-through when the buffer cannot hold the
+// request. Data is durable in the under-store on return either way.
+func (f *File) stage(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
+	t := f.t
+	var total int64
+	for _, e := range exts {
+		total += e.Len
+	}
+	if total == 0 {
+		return r.Now()
+	}
+	r.P.Sync()
+	now := r.Now()
+	ns := t.node(r)
+	t.reclaim(ns, now)
+	scale := t.under.Params().CostScale
+	virtF := float64(total) * scale
+	virt := int64(virtF)
+	if t.cfg.Capacity > 0 && ns.used+virt > t.cfg.Capacity {
+		// Full: write through at the under-backend's cost.
+		t.writethrough += virt
+		if t.obsWT != nil {
+			t.obsWT.Add(uint64(virt))
+		}
+		return f.uf.WritevAtAsync(r, exts, bufs)
+	}
+	// Absorb: the caller pays node memory only.
+	cl := r.W.Cluster.Config()
+	_, memEnd := ns.mem.Acquire(now, virtF/cl.MemBandwidth)
+	done := memEnd + cl.MemLatency
+	// Issue the drain: the under-backend's resources are booked now (the
+	// async-write contract), optionally paced by the node's drain pipe.
+	dEnd := f.uf.WritevAtAsync(r, exts, bufs)
+	if ns.pipe != nil {
+		_, pEnd := ns.pipe.Acquire(now, virtF/t.cfg.DrainBandwidth)
+		if pEnd > dEnd {
+			dEnd = pEnd
+		}
+	}
+	if dEnd < done {
+		dEnd = done
+	}
+	ns.used += virt
+	for _, e := range exts {
+		ns.q = append(ns.q, staged{file: f.name, ext: e, virt: 0, end: dEnd})
+	}
+	if len(ns.q) > 0 {
+		// Capacity is tracked per request, not per extent: attribute the
+		// whole request's bytes to its last queue entry.
+		ns.q[len(ns.q)-1].virt = virt
+	}
+	ns.dirty[f.name] = Coalesce(append(ns.dirty[f.name], exts...))
+	if dEnd > ns.drainEnd {
+		ns.drainEnd = dEnd
+	}
+	t.absorbed += virt
+	if t.obsAbsorbed != nil {
+		t.obsAbsorbed.Add(uint64(virt))
+	}
+	// Ride the progress engine: the drain tail hides under whatever the
+	// rank does next (compute, the next round's exchange).
+	nbio.Start(r, dEnd, nil, nil, nil)
+	return done
+}
+
+// WritevAt absorbs one list-I/O write, charging ClassIO for the memory
+// absorb (or the full under-cost on write-through).
+func (f *File) WritevAt(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) {
+	done := f.stage(r, exts, bufs)
+	r.ChargeIO(done - r.Now())
+}
+
+// WritevAtAsync is WritevAt returning the virtual completion time instead
+// of charging the clock.
+func (f *File) WritevAtAsync(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
+	return f.stage(r, exts, bufs)
+}
+
+// WriteAt absorbs one contiguous write.
+func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
+	f.WritevAt(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
+}
+
+// WriteAtAsync absorbs one contiguous write, returning the completion time.
+func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
+	return f.WritevAtAsync(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
+}
+
+// TryWriteAt: under an error-injecting fault plan the staging tier steps
+// aside — the write goes through to the under-backend's plumbed path, so
+// typed errors (and their retry accounting) surface exactly as they would
+// without the tier. Healthy plans absorb as usual and never fail.
+func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
+	if f.t.under.Params().Injecting {
+		virt := int64(float64(len(data)) * f.t.under.Params().CostScale)
+		f.t.writethrough += virt
+		if f.t.obsWT != nil {
+			f.t.obsWT.Add(uint64(virt))
+		}
+		return f.uf.TryWriteAt(r, off, data)
+	}
+	f.WriteAt(r, off, data)
+	return nil
+}
+
+// readHit reports whether the whole range is resident in the calling
+// node's staging buffer.
+func (f *File) readHit(r *mpi.Rank, ns *nodeState, off, n int64) bool {
+	return covered(ns.dirty[f.name], off, n)
+}
+
+// readv serves a vectored read: ranges fully resident in the node's
+// staging buffer cost memory only; anything else goes to the under-backend.
+func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
+	t := f.t
+	r.P.Sync()
+	now := r.Now()
+	ns := t.node(r)
+	t.reclaim(ns, now)
+	cl := r.W.Cluster.Config()
+	scale := t.under.Params().CostScale
+	out := make([][]byte, len(exts))
+	var miss []storage.Extent
+	var missIdx []int
+	done := now
+	for i, e := range exts {
+		if f.readHit(r, ns, e.Off, e.Len) {
+			out[i] = f.uf.Peek(e.Off, e.Len)
+			virtF := float64(e.Len) * scale
+			_, memEnd := ns.mem.Acquire(now, virtF/cl.MemBandwidth)
+			if end := memEnd + cl.MemLatency; end > done {
+				done = end
+			}
+			continue
+		}
+		miss = append(miss, e)
+		missIdx = append(missIdx, i)
+	}
+	if len(miss) > 0 {
+		data, uEnd := f.uf.ReadvAtAsync(r, miss)
+		for j, i := range missIdx {
+			out[i] = data[j]
+		}
+		if uEnd > done {
+			done = uEnd
+		}
+	}
+	return out, done
+}
+
+// ReadvAt reads one list-I/O request, charging ClassIO for the wait.
+func (f *File) ReadvAt(r *mpi.Rank, exts []storage.Extent) [][]byte {
+	out, done := f.readv(r, exts)
+	r.ChargeIO(done - r.Now())
+	return out
+}
+
+// ReadvAtAsync is ReadvAt returning the completion time instead of
+// charging the clock.
+func (f *File) ReadvAtAsync(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
+	return f.readv(r, exts)
+}
+
+// ReadAt reads one contiguous range.
+func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
+	return f.ReadvAt(r, []storage.Extent{{Off: off, Len: n}})[0]
+}
+
+// ReadAtAsync reads one contiguous range, returning the completion time.
+func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
+	out, done := f.ReadvAtAsync(r, []storage.Extent{{Off: off, Len: n}})
+	return out[0], done
+}
+
+// TryReadAt mirrors TryWriteAt: injecting plans bypass the tier so typed
+// errors surface; healthy plans never fail.
+func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
+	if f.t.under.Params().Injecting {
+		return f.uf.TryReadAt(r, off, n)
+	}
+	return f.ReadAt(r, off, n), nil
+}

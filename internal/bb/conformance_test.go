@@ -1,0 +1,25 @@
+package bb
+
+import (
+	"testing"
+
+	"repro/internal/lustre"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+// TestBackendConformance runs the shared storage.Backend suite against the
+// burst-buffer tier in its interesting configurations: unlimited capacity
+// (everything absorbs), a throttled drain pipe, and a capacity so small
+// that every conformance write falls through to the backing store.
+func TestBackendConformance(t *testing.T) {
+	storagetest.Run(t, "bb", func() storage.Backend {
+		return New(lustre.NewFS(lustre.DefaultConfig()), Config{})
+	})
+	storagetest.Run(t, "bb-throttled", func() storage.Backend {
+		return New(lustre.NewFS(lustre.DefaultConfig()), Config{DrainBandwidth: 1e8})
+	})
+	storagetest.Run(t, "bb-tiny", func() storage.Backend {
+		return New(lustre.NewFS(lustre.DefaultConfig()), Config{Capacity: 64})
+	})
+}

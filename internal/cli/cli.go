@@ -31,6 +31,10 @@ type Common struct {
 	Workers    int    // -workers: engine domain workers (1 = serial scheduler)
 	PEsPerNode int    // -pes-per-node: simulated PEs per node (fat-node knob)
 	IntraNode  bool   // -intranode: two-level intra-node aggregation
+
+	Backend    string  // -backend: storage backend (lustre, listio, bb)
+	BBCapacity int64   // -bb-capacity: burst-buffer virtual bytes per node
+	BBDrainBW  float64 // -bb-drain-bw: burst-buffer drain bytes/sec per node
 }
 
 // Register installs -json, -seed, -procs and -workers on the default flag
@@ -46,6 +50,12 @@ func Register(defaultProcs int) *Common {
 		"simulated PEs per node (2 = the paper's dual-core XT4 nodes; up to 64 models fat multicore nodes)")
 	flag.BoolVar(&c.IntraNode, "intranode", false,
 		"enable two-level collective I/O: PEs sharing a node aggregate into their node leader before any traffic crosses the NIC")
+	flag.StringVar(&c.Backend, "backend", "lustre",
+		"storage backend ("+strings.Join(experiments.BackendNames(), ", ")+"): listio is a PVFS-style list-I/O farm, bb a node-local burst buffer over lustre")
+	flag.Int64Var(&c.BBCapacity, "bb-capacity", 0,
+		"burst-buffer capacity in virtual bytes per node (0 = unlimited; writes past it fall through to the backing store)")
+	flag.Float64Var(&c.BBDrainBW, "bb-drain-bw", 0,
+		"burst-buffer drain bandwidth in bytes/sec per node (0 = unthrottled; only the backing store paces the drain)")
 	return c
 }
 
@@ -101,6 +111,26 @@ func (c *Common) ApplyBase(p *experiments.Preset) {
 		p.Cluster.PEsPerNode = c.PEsPerNode
 	}
 	p.IntraNode = c.IntraNode
+	if c.Backend != "" {
+		ok := false
+		for _, n := range experiments.BackendNames() {
+			if c.Backend == n {
+				ok = true
+			}
+		}
+		if !ok {
+			Fatalf("bad -backend %q: want one of %s", c.Backend, strings.Join(experiments.BackendNames(), ", "))
+		}
+		p.Backend = c.Backend
+	}
+	if c.BBCapacity < 0 {
+		Fatalf("bad -bb-capacity %d: want >= 0", c.BBCapacity)
+	}
+	if c.BBDrainBW < 0 {
+		Fatalf("bad -bb-drain-bw %g: want >= 0", c.BBDrainBW)
+	}
+	p.BBCapacity = c.BBCapacity
+	p.BBDrainBW = c.BBDrainBW
 }
 
 // EmitJSON prints {"experiment": name, "workers": n, "points": points} with

@@ -25,11 +25,11 @@ import (
 	"fmt"
 
 	"repro/internal/datatype"
-	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
-	"repro/internal/recovery"
 	"repro/internal/nbio"
+	"repro/internal/recovery"
+	"repro/internal/storage"
 )
 
 // Mode reports how the current file view was partitioned.
@@ -154,9 +154,9 @@ func tuneLadder(size int) []int {
 type File struct {
 	r      *mpi.Rank
 	comm   *mpi.Comm
-	fs     *lustre.FS
+	fs     storage.Backend
 	name   string
-	stripe lustre.StripeInfo
+	stripe storage.Stripe
 	opts   Options
 	view   datatype.View
 
@@ -172,7 +172,7 @@ type File struct {
 }
 
 // Open collectively opens name with ParColl semantics over comm.
-func Open(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, opts Options) *File {
+func Open(comm *mpi.Comm, fs storage.Backend, name string, stripe storage.Stripe, opts Options) *File {
 	f := &File{
 		r:       comm.RankHandle(),
 		comm:    comm,
@@ -240,6 +240,25 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 		f.tuneEnd()
 	}
 	f.absorb()
+}
+
+// WriteAt writes independently through the view — no coordination, each
+// rank straight to storage (the paper's "w/o Coll" baseline; vectored on
+// list-I/O backends).
+func (f *File) WriteAt(logOff int64, data []byte) {
+	f.ensurePlan()
+	f.subFile.SetView(f.view)
+	f.subFile.WriteAt(logOff, data)
+	f.absorb()
+}
+
+// ReadAt reads independently through the view.
+func (f *File) ReadAt(logOff, n int64) []byte {
+	f.ensurePlan()
+	f.subFile.SetView(f.view)
+	out := f.subFile.ReadAt(logOff, n)
+	f.absorb()
+	return out
 }
 
 // ReadAtAll collectively reads n view-logical bytes at logOff.

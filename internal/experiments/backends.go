@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// BackendPoint is one backend's run of the strided IOR workload — the
+// noncontiguous pattern where list-I/O pays off: every flush round's dirty
+// set is many extents, which the lustre model serves one RPC each and the
+// listio farm serves in one request per touched server.
+type BackendPoint struct {
+	Backend   string
+	Elapsed   float64 // end-to-end seconds
+	BW        float64 // bytes/second at the workload's virtual size
+	Requests  int64   // storage requests served (per-target sum)
+	VirtBytes int64   // virtual bytes served by the targets (conservation check)
+}
+
+// BackendSweep runs the strided IOR write — independent I/O, the paper's
+// "w/o Coll" baseline, where every transfer is a pile of noncontiguous
+// segments — on each named backend at the preset's IOR geometry, and
+// returns one point per backend, plus a byte-exact read-back verification
+// on every run. The request counts are the acceptance handle: listio's
+// vectored requests must serve strictly fewer server round-trips than
+// lustre's per-extent ones while the target-served bytes agree.
+func (p Preset) BackendSweep(nprocs int, backends []string) []BackendPoint {
+	out := make([]BackendPoint, 0, len(backends))
+	for _, b := range backends {
+		q := p
+		q.Backend = b
+		env := q.env(q.IORScale, core.Options{})
+		w := workload.IOR{Block: p.IORBlock, Transfer: p.IORTransfer, Strided: true}
+		pt := BackendPoint{Backend: b}
+		q.run(nprocs, func(r *mpi.Rank) {
+			res := w.WriteIndependent(r, env, "bsweep")
+			if bad := w.Verify(r, env, "bsweep"); bad >= 0 {
+				panic(fmt.Sprintf("backend %s: rank %d data mismatch at %d", b, r.WorldRank(), bad))
+			}
+			if r.WorldRank() == 0 {
+				pt.Elapsed = res.Elapsed
+				pt.BW = res.Bandwidth()
+			}
+		})
+		for _, st := range env.FS.Stats() {
+			pt.Requests += st.Requests
+			pt.VirtBytes += st.Bytes
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// BurstPoint is one backend's run of the checkpoint-burst scenario.
+type BurstPoint struct {
+	Backend   string
+	Ratio     float64 // compute seconds per step / reference I/O seconds per step
+	WriteSecs float64 // summed global spans of the collective write calls
+	DrainSecs float64 // global span of the final drain barrier
+	Elapsed   float64 // end-to-end seconds including compute and drain
+	BW        float64
+}
+
+// burstWorkload is the checkpoint geometry shared by the sweep: the tile
+// preset's per-rank byte count as contiguous N-1 checkpoint blocks.
+func (p Preset) burstWorkload(compute float64) workload.CheckpointBurst {
+	return workload.CheckpointBurst{
+		BlockBytes: p.Tile.TileBytes(),
+		Steps:      4,
+		Compute:    compute,
+	}
+}
+
+// CheckpointBurst runs the checkpoint-burst scenario — compute phases
+// interleaved with collective dumps, drain forced at the end — on each
+// named backend. ratio sets each step's compute as a multiple of the
+// reference per-step I/O time, which is measured first on the plain lustre
+// backend with zero compute (the same convention as the overlap sweep). At
+// ratio >= 1 a staging tier has a whole I/O-time of compute per step to
+// hide each drain under, so its write-call seconds must drop strictly
+// below lustre's. Every run is verified byte-exact after its drain.
+func (p Preset) CheckpointBurst(nprocs int, ratio float64, backends []string) []BurstPoint {
+	// Reference: per-step collective write time on pass-through lustre.
+	ref := p
+	ref.Backend = "lustre"
+	refEnv := ref.env(ref.TileScale, core.Options{})
+	refW := ref.burstWorkload(0)
+	var refPerStep float64
+	ref.run(nprocs, func(r *mpi.Rank) {
+		res := refW.Run(r, refEnv, "ckpt-ref")
+		if r.WorldRank() == 0 {
+			refPerStep = res.WriteSecs / float64(refW.Steps)
+		}
+	})
+	compute := ratio * refPerStep
+
+	out := make([]BurstPoint, 0, len(backends))
+	for _, b := range backends {
+		q := p
+		q.Backend = b
+		env := q.env(q.TileScale, core.Options{})
+		w := q.burstWorkload(compute)
+		pt := BurstPoint{Backend: b, Ratio: ratio}
+		q.run(nprocs, func(r *mpi.Rank) {
+			res := w.Run(r, env, "ckpt")
+			if err := w.Verify(r, env, "ckpt"); err != nil {
+				panic(fmt.Sprintf("backend %s: checkpoint read-back: %v", b, err))
+			}
+			if r.WorldRank() == 0 {
+				pt.WriteSecs = res.WriteSecs
+				pt.DrainSecs = res.DrainSecs
+				pt.Elapsed = res.Elapsed
+				pt.BW = res.Bandwidth()
+			}
+		})
+		out = append(out, pt)
+	}
+	return out
+}
+
+// BackendFor exposes the preset's backend construction at an explicit cost
+// scale (for harnesses that need a bare backend without a workload Env).
+func (p Preset) BackendFor(scale float64) storage.Backend {
+	lcfg := p.Lustre
+	lcfg.CostScale = scale
+	return p.newBackend(lcfg)
+}

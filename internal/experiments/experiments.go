@@ -13,13 +13,16 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/bb"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/pvfs"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -76,6 +79,21 @@ type Preset struct {
 	// Cluster.PEsPerNode > 2 to model fat multicore nodes; the cmd tools'
 	// -intranode and -pes-per-node flags set both.
 	IntraNode bool
+
+	// Backend selects the storage backend every runner builds (DESIGN.md
+	// §14): "lustre" (or empty) the reference OST model, "listio" the
+	// PVFS-style list-I/O server farm on the same hardware numbers, "bb"
+	// the node-local burst-buffer tier staged over lustre. The cmd tools'
+	// -backend flag sets it. Fault plans that degrade OSTs reach only the
+	// lustre-family backends ("lustre", "bb"); the listio farm models a
+	// healthy cluster.
+	Backend string
+	// BBCapacity is the per-node staging capacity in virtual bytes for the
+	// "bb" backend (0 = unlimited); -bb-capacity.
+	BBCapacity int64
+	// BBDrainBW is the per-node drain bandwidth in bytes/second for the
+	// "bb" backend (0 = the under-backend's native pace); -bb-drain-bw.
+	BBDrainBW float64
 }
 
 // PaperPreset runs the paper's workload geometry shrunk 4096x (tile/IOR)
@@ -168,9 +186,40 @@ func (p Preset) envPlan(scale float64, opts core.Options, plan *fault.Plan) work
 		opts.Workers = p.Workers
 	}
 	return workload.Env{
-		FS:     lustre.NewFS(lcfg),
-		Stripe: lustre.StripeInfo{Count: p.StripeCount, Size: stripeSize},
+		FS:     p.newBackend(lcfg),
+		Stripe: storage.Stripe{Count: p.StripeCount, Size: stripeSize},
 		Opts:   opts,
+	}
+}
+
+// BackendNames lists the -backend flag's valid values.
+func BackendNames() []string { return []string{"lustre", "listio", "bb"} }
+
+// newBackend builds the preset's storage backend from the (already
+// fault-threaded, cost-scaled) lustre config. The listio farm reuses the
+// lustre hardware numbers so sweeps isolate the protocol difference; the
+// bb tier stages over a lustre instance built from the same config.
+func (p Preset) newBackend(lcfg lustre.Config) storage.Backend {
+	switch p.Backend {
+	case "", "lustre":
+		return lustre.NewFS(lcfg)
+	case "listio":
+		return pvfs.NewFS(pvfs.Config{
+			NumServers:      lcfg.NumOSTs,
+			ServerBandwidth: lcfg.OSTBandwidth,
+			RequestOverhead: lcfg.RequestOverhead,
+			OpenCost:        lcfg.OpenCost,
+			CostScale:       lcfg.CostScale,
+			Jitter:          lcfg.Jitter,
+			Seed:            lcfg.Seed,
+		})
+	case "bb":
+		return bb.New(lustre.NewFS(lcfg), bb.Config{
+			Capacity:       p.BBCapacity,
+			DrainBandwidth: p.BBDrainBW,
+		})
+	default:
+		panic(fmt.Sprintf("experiments: unknown backend %q (want lustre|listio|bb)", p.Backend))
 	}
 }
 

@@ -164,7 +164,7 @@ func TestPresetsAreSane(t *testing.T) {
 func TestEnvForAppliesScale(t *testing.T) {
 	p := PaperPreset()
 	env := EnvFor(p, 128, core.Options{})
-	if got := env.FS.Config().CostScale; got != 128 {
+	if got := env.FS.Params().CostScale; got != 128 {
 		t.Errorf("CostScale = %g want 128", got)
 	}
 	if env.Stripe.Size != int64(4<<20)/128 {

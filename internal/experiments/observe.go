@@ -3,11 +3,12 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/obs"
+	"repro/internal/recovery"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -79,10 +80,12 @@ func CaptureSim(reg *obs.Registry, st sim.Stats) {
 	reg.Gauge("sim.ready.max_depth").Set(float64(st.MaxReadyDepth))
 }
 
-// CaptureLustre folds the file system's per-OST totals and retry-engine
-// counters into the registry under the "lustre." prefix. elapsed (the run's
-// virtual finish time) turns per-OST busy time into a utilization gauge.
-func CaptureLustre(reg *obs.Registry, fs *lustre.FS, elapsed float64) {
+// CaptureLustre folds the storage backend's per-target totals and — for
+// backends with a retry engine — its counters into the registry. The metric
+// names keep the historical "lustre." prefix so dashboards and goldens read
+// unchanged regardless of which backend served the run. elapsed (the run's
+// virtual finish time) turns per-target busy time into a utilization gauge.
+func CaptureLustre(reg *obs.Registry, fs storage.Backend, elapsed float64) {
 	var reqs, bytes, switches, tails, errs int64
 	var busyMax, busyTot float64
 	for _, st := range fs.Stats() {
@@ -106,8 +109,10 @@ func CaptureLustre(reg *obs.Registry, fs *lustre.FS, elapsed float64) {
 	if elapsed > 0 {
 		reg.Gauge("lustre.ost.utilization.max").Set(busyMax / elapsed)
 	}
-	rs := fs.RetryStats()
-	reg.Counter("lustre.retry.attempts").Add(rs.Attempts)
-	reg.Counter("lustre.retry.failures").Add(rs.Failures)
-	reg.Counter("lustre.retry.exhausted").Add(rs.Exhausted)
+	if rfs, ok := fs.(interface{ RetryStats() recovery.RetryStats }); ok {
+		rs := rfs.RetryStats()
+		reg.Counter("lustre.retry.attempts").Add(rs.Attempts)
+		reg.Counter("lustre.retry.failures").Add(rs.Failures)
+		reg.Counter("lustre.retry.exhausted").Add(rs.Exhausted)
+	}
 }

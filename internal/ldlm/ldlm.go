@@ -146,6 +146,16 @@ func (m *Manager) Enqueue(obj string, client int, start, end int64, mode Mode) (
 	return len(victims)
 }
 
+// Forget drops an object's lock namespace outright — the server-side
+// cleanup when the object itself is destroyed. Unlike revocation it is not
+// a protocol event: no callbacks fire and no counters move, the ledger
+// entry simply ceases to exist. Without it a removed file's namespace
+// lingers, and a recreated file of the same name inherits stale granted
+// locks (phantom revocations on first touch).
+func (m *Manager) Forget(obj string) {
+	delete(m.namespaces, obj)
+}
+
 // Holders returns the distinct clients currently holding locks on obj, in
 // ascending order (diagnostics).
 func (m *Manager) Holders(obj string) []int {

@@ -1,0 +1,11 @@
+package lustre
+
+import "repro/internal/storage"
+
+// The storage.Backend extraction (DESIGN.md §14) was carved out of this
+// package; these assertions pin lustre as a conforming implementation so
+// any interface drift fails the build here, next to the methods.
+var (
+	_ storage.Backend = (*FS)(nil)
+	_ storage.File    = (*File)(nil)
+)

@@ -1,0 +1,16 @@
+package lustre
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+// TestBackendConformance runs the shared storage.Backend suite against the
+// lustre model — the reference implementation the other backends mimic.
+func TestBackendConformance(t *testing.T) {
+	storagetest.Run(t, "lustre", func() storage.Backend {
+		return NewFS(DefaultConfig())
+	})
+}

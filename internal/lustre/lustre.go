@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // Config describes the file system hardware model.
@@ -97,12 +98,11 @@ func DefaultConfig() Config {
 	}
 }
 
-// StripeInfo is a file's striping layout, set at create time.
-type StripeInfo struct {
-	Count  int   // number of OSTs the file stripes over
-	Size   int64 // stripe unit in bytes
-	Offset int   // index of the first OST
-}
+// StripeInfo is a file's striping layout, set at create time. It is the
+// storage package's Stripe — the layout type moved to the backend seam in
+// the storage.Backend extraction; the alias keeps every call site reading
+// (and compiling) unchanged.
+type StripeInfo = storage.Stripe
 
 // DefaultStripe mirrors the paper's experiments: 64 targets, 4 MB units.
 func DefaultStripe() StripeInfo { return StripeInfo{Count: 64, Size: 4 << 20} }
@@ -174,16 +174,9 @@ func (fs *FS) maybeTrim(r *mpi.Rank) {
 	fs.mds.Trim(w)
 }
 
-// OSTStat aggregates one OST's service counters for analysis output.
-type OSTStat struct {
-	Requests  int64
-	Bytes     int64 // virtual bytes served
-	Switches  int64 // client alternations (lock/seek penalties paid)
-	Tails     int64 // heavy-tail events
-	Errors    int64 // injected request failures (before retry)
-	BusySecs  float64
-	FaultSecs float64 // service time added by the fault plan
-}
+// OSTStat aggregates one OST's service counters for analysis output (an
+// alias of the storage seam's per-target counter type).
+type OSTStat = storage.TargetStat
 
 // svcTime returns the service time for a request of virt bytes on OST ost
 // issued by client rank arriving at virtual time `at`, including jitter and
@@ -361,14 +354,10 @@ func (fs *FS) OSTBusyTimes() []float64 {
 	return out
 }
 
-const pageBits = 16 // 64 KiB pages
-const pageSize = 1 << pageBits
-
 type fileObj struct {
 	name   string
 	stripe StripeInfo
-	pages  map[int64][]byte
-	size   int64
+	data   *storage.ByteStore
 }
 
 // File is an open handle. Handles are cheap; every rank opens its own.
@@ -379,8 +368,9 @@ type File struct {
 
 // Open opens (creating if necessary) the named file. The stripe layout
 // applies only on create, like Lustre's. Open costs metadata-server time,
-// which serializes when many ranks open at once.
-func (fs *FS) Open(r *mpi.Rank, name string, stripe StripeInfo) *File {
+// which serializes when many ranks open at once. The handle is returned as
+// the backend seam's interface type (the concrete handle is *File).
+func (fs *FS) Open(r *mpi.Rank, name string, stripe StripeInfo) storage.File {
 	if stripe.Count <= 0 || stripe.Size <= 0 {
 		panic("lustre: invalid stripe layout")
 	}
@@ -392,20 +382,48 @@ func (fs *FS) Open(r *mpi.Rank, name string, stripe StripeInfo) *File {
 	r.ChargeIO(end - r.Now())
 	obj, ok := fs.files[name]
 	if !ok {
-		obj = &fileObj{name: name, stripe: stripe, pages: make(map[int64][]byte)}
+		obj = &fileObj{name: name, stripe: stripe, data: storage.NewByteStore()}
 		fs.files[name] = obj
 	}
 	return &File{fs: fs, obj: obj}
 }
 
-// Remove deletes a file's data (no time cost; test convenience).
-func (fs *FS) Remove(name string) { delete(fs.files, name) }
+// Remove deletes a file's data and releases the per-file ledger state the
+// FS holds for it — with extent locks enabled, each of the file's OST
+// objects has an LDLM namespace (keyed "name/ost") that would otherwise
+// outlive the file: a recreated file of the same name would inherit the old
+// granted locks and pay phantom revocations on first touch. No time cost.
+func (fs *FS) Remove(name string) {
+	delete(fs.files, name)
+	if fs.locks != nil {
+		for i := 0; i < fs.cfg.NumOSTs; i++ {
+			fs.locks.Forget(fmt.Sprintf("%s/%d", name, i))
+		}
+	}
+}
+
+// Drain is a no-op: lustre buffers nothing — every write is durable on its
+// OSTs by the time the call's completion wait has been charged.
+func (fs *FS) Drain(r *mpi.Rank) {}
+
+// Params returns the backend properties the I/O protocol layers consult.
+func (fs *FS) Params() storage.Params {
+	return storage.Params{
+		CostScale: fs.cfg.CostScale,
+		Targets:   fs.cfg.NumOSTs,
+		ListIO:    false,
+		Injecting: fs.inj,
+	}
+}
+
+// Name identifies the backend kind for reports and sweeps.
+func (fs *FS) Name() string { return "lustre" }
 
 // Stripe returns the file's stripe layout.
 func (f *File) Stripe() StripeInfo { return f.obj.stripe }
 
 // Size returns the file length (highest byte written so far).
-func (f *File) Size() int64 { return f.obj.size }
+func (f *File) Size() int64 { return f.obj.data.Size() }
 
 // ostIndexFor returns the OST id serving stripe unit index u.
 func (f *File) ostIndexFor(u int64) int {
@@ -623,46 +641,60 @@ func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
 	return f.obj.load(off, n), nil
 }
 
-func (o *fileObj) store(off int64, data []byte) {
-	for len(data) > 0 {
-		page := off >> pageBits
-		po := off & (pageSize - 1)
-		l := int64(pageSize) - po
-		if l > int64(len(data)) {
-			l = int64(len(data))
-		}
-		buf, ok := o.pages[page]
-		if !ok {
-			buf = make([]byte, pageSize)
-			o.pages[page] = buf
-		}
-		copy(buf[po:po+l], data[:l])
-		off += l
-		data = data[l:]
-	}
-	if off > o.size {
-		o.size = off
+func (o *fileObj) store(off int64, data []byte) { o.data.Store(off, data) }
+
+func (o *fileObj) load(off, n int64) []byte { return o.data.Load(off, n) }
+
+// Contents returns the file's bytes in [0, Size) — test convenience with no
+// simulated time cost.
+func (f *File) Contents() []byte { return f.obj.load(0, f.obj.data.Size()) }
+
+// Peek returns the file's bytes in [off, off+n) with no simulated time cost.
+func (f *File) Peek(off, n int64) []byte { return f.obj.load(off, n) }
+
+// WritevAt writes one list of extents, bufs[i] at exts[i]. Lustre has no
+// native list-I/O (Params().ListIO is false), so the vectored call is the
+// per-extent loop the collective flush would otherwise run itself — same
+// RPCs, same cost; it exists so *FS satisfies storage.Backend and the
+// conformance suite can compare backends through one call shape.
+func (f *File) WritevAt(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) {
+	for i, e := range exts {
+		f.WriteAt(r, e.Off, bufs[i][:e.Len])
 	}
 }
 
-func (o *fileObj) load(off, n int64) []byte {
-	out := make([]byte, n)
-	pos := int64(0)
-	for pos < n {
-		page := (off + pos) >> pageBits
-		po := (off + pos) & (pageSize - 1)
-		l := int64(pageSize) - po
-		if l > n-pos {
-			l = n - pos
+// WritevAtAsync is the per-extent WriteAtAsync loop; it returns the max of
+// the per-extent virtual completion times.
+func (f *File) WritevAtAsync(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
+	done := r.Now()
+	for i, e := range exts {
+		if d := f.WriteAtAsync(r, e.Off, bufs[i][:e.Len]); d > done {
+			done = d
 		}
-		if buf, ok := o.pages[page]; ok {
-			copy(out[pos:pos+l], buf[po:po+l])
-		}
-		pos += l
+	}
+	return done
+}
+
+// ReadvAt reads one list of extents as the per-extent ReadAt loop.
+func (f *File) ReadvAt(r *mpi.Rank, exts []storage.Extent) [][]byte {
+	out := make([][]byte, len(exts))
+	for i, e := range exts {
+		out[i] = f.ReadAt(r, e.Off, e.Len)
 	}
 	return out
 }
 
-// Contents returns the file's bytes in [0, Size) — test convenience with no
-// simulated time cost.
-func (f *File) Contents() []byte { return f.obj.load(0, f.obj.size) }
+// ReadvAtAsync is the per-extent ReadAtAsync loop; it returns the buffers
+// plus the max of the per-extent virtual completion times.
+func (f *File) ReadvAtAsync(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
+	out := make([][]byte, len(exts))
+	done := r.Now()
+	for i, e := range exts {
+		var d float64
+		out[i], d = f.ReadAtAsync(r, e.Off, e.Len)
+		if d > done {
+			done = d
+		}
+	}
+	return out, done
+}

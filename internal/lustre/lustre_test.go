@@ -9,7 +9,12 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/storage"
 )
+
+// pageSize mirrors the byte store's page granularity, now owned by the
+// storage package.
+const pageSize = storage.PageSize
 
 func smallStripe() StripeInfo { return StripeInfo{Count: 4, Size: 1024} }
 

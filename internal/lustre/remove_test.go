@@ -1,0 +1,126 @@
+package lustre
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// TestRemoveReleasesLockState is the regression test for the Remove leak:
+// deleting a file used to leave its per-OST LDLM namespaces behind, so a
+// later file reusing the name inherited stale granted locks and paid
+// phantom revocations (Switches) on first touch. With the fix, a fresh
+// single-writer file created after Remove must see zero lock conflicts —
+// exactly like a name never used before.
+func TestRemoveReleasesLockState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseExtentLocks = true
+	stripe := StripeInfo{Count: 4, Size: 1 << 20}
+
+	sumSwitches := func(fs *FS) int64 {
+		var n int64
+		for _, st := range fs.Stats() {
+			n += st.Switches
+		}
+		return n
+	}
+
+	fs := NewFS(cfg)
+	var before, after int64
+	mpi.Run(2, cluster.DefaultConfig(), 1, func(r *mpi.Rank) {
+		comm := mpi.WorldComm(r)
+		// Phase 1: two ranks hammer the same extents so the LDLM grants
+		// conflicting locks and records real revocations.
+		f := fs.Open(r, "ckpt", stripe)
+		buf := make([]byte, 1<<20)
+		for i := 0; i < 4; i++ {
+			f.WriteAt(r, int64(i)<<20, buf)
+		}
+		comm.Barrier()
+		if r.WorldRank() == 0 {
+			before = sumSwitches(fs)
+			if before == 0 {
+				t.Error("phase 1 produced no lock revocations; test is vacuous")
+			}
+			fs.Remove("ckpt")
+		}
+		comm.Barrier()
+		// Phase 2: rank 0 alone reuses the name. A single writer on a fresh
+		// file can never conflict — any new Switches are phantoms from state
+		// Remove failed to release.
+		if r.WorldRank() == 0 {
+			g := fs.Open(r, "ckpt", stripe)
+			if g.Size() != 0 {
+				t.Errorf("reopen after Remove: Size() = %d, want 0", g.Size())
+			}
+			for i := 0; i < 4; i++ {
+				g.WriteAt(r, int64(i)<<20, buf)
+			}
+			after = sumSwitches(fs)
+		}
+	})
+	if after != before {
+		t.Fatalf("single-writer reopen after Remove paid %d phantom revocations", after-before)
+	}
+}
+
+// TestRemoveReleasesFileState checks the data side of Remove: the object's
+// pages are gone (a reopen reads zero size) and a recreated file holds only
+// its own bytes.
+func TestRemoveReleasesFileState(t *testing.T) {
+	fs := NewFS(DefaultConfig())
+	stripe := DefaultStripe()
+	mpi.Run(1, cluster.DefaultConfig(), 1, func(r *mpi.Rank) {
+		f := fs.Open(r, "f", stripe)
+		old := bytes.Repeat([]byte{0xAA}, 4096)
+		f.WriteAt(r, 0, old)
+		fs.Remove("f")
+		g := fs.Open(r, "f", stripe)
+		fresh := bytes.Repeat([]byte{0x55}, 128)
+		g.WriteAt(r, 1024, fresh)
+		if got := g.Size(); got != 1024+128 {
+			t.Fatalf("recreated file Size() = %d, want %d", got, 1024+128)
+		}
+		if got := g.Peek(0, 128); !bytes.Equal(got, make([]byte, 128)) {
+			t.Fatal("recreated file still holds the removed file's bytes")
+		}
+	})
+}
+
+// TestStatsDeterministicUnderJitter runs the same multi-rank workload twice
+// under the jittery-net scenario — randomized message delays and a degraded
+// NIC shifting every request's arrival time — and requires the full
+// []OSTStat ledgers to come back identical. The jitter draws ride the
+// seeded, engine-serialized RNGs, so even the noisy path must replay
+// exactly.
+func TestStatsDeterministicUnderJitter(t *testing.T) {
+	plan, err := fault.Scenario(fault.JitteryNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := func() []OSTStat {
+		cfg := DefaultConfig()
+		cfg.Faults = plan
+		fs := NewFS(cfg)
+		stripe := StripeInfo{Count: 8, Size: 1 << 18}
+		mpi.RunPlan(4, cluster.DefaultConfig(), 1, plan, func(r *mpi.Rank) {
+			f := fs.Open(r, "jitter", stripe)
+			buf := make([]byte, 96<<10)
+			me := int64(r.WorldRank())
+			for i := int64(0); i < 6; i++ {
+				f.WriteAt(r, (me*6+i)*(96<<10), buf)
+			}
+			mpi.WorldComm(r).Barrier()
+			f.ReadAt(r, me*(96<<10), 96<<10)
+		})
+		return fs.Stats()
+	}
+	a, b := one(), one()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Stats() differ across identical jittery-net runs:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/perf"
+	"repro/internal/storage"
 )
 
 // The extended two-phase protocol (Thakur & Choudhary), as implemented by
@@ -388,6 +389,16 @@ func (s *wstate) ioRound(round int) {
 	}
 	f, r := s.f, s.f.r
 	t0 := r.Now()
+	if f.vec {
+		// Native list-I/O: the whole round's dirty set is one vectored call
+		// — one request round-trip per touched target instead of an RPC per
+		// extent (DESIGN.md §14).
+		if exts, bufs := s.vecWriteArgs(); len(exts) > 0 {
+			f.lf.WritevAt(r, exts, bufs)
+		}
+		f.traceRound("round-io", t0, r.Now(), round)
+		return
+	}
 	if f.xlate == nil {
 		for _, ext := range mergeOverlapsInPlace(s.extents) {
 			f.lf.WriteAt(r, ext.Off, s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len])
@@ -419,6 +430,15 @@ func (s *wstate) ioRoundAsync(round int) float64 {
 	f, r := s.f, s.f.r
 	t0 := r.Now()
 	done := t0
+	if f.vec {
+		if exts, bufs := s.vecWriteArgs(); len(exts) > 0 {
+			if d := f.lf.WritevAtAsync(r, exts, bufs); d > done {
+				done = d
+			}
+		}
+		f.traceRound("round-io", t0, done, round)
+		return done
+	}
 	if f.xlate == nil {
 		for _, ext := range mergeOverlapsInPlace(s.extents) {
 			if d := f.lf.WriteAtAsync(r, ext.Off, s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len]); d > done {
@@ -441,6 +461,94 @@ func (s *wstate) ioRoundAsync(round int) float64 {
 		}
 	}
 	f.traceRound("round-io", t0, done, round)
+	return done
+}
+
+// vecWriteArgs assembles the round's merged dirty extents (translated to
+// physical segments when an intermediate view is active) into one vectored
+// write's argument lists. Only the list-I/O path calls it, so the scalar
+// backends' flush loop stays allocation-identical.
+func (s *wstate) vecWriteArgs() ([]storage.Extent, [][]byte) {
+	f := s.f
+	merged := mergeOverlapsInPlace(s.extents)
+	if f.xlate == nil {
+		exts := make([]storage.Extent, 0, len(merged))
+		bufs := make([][]byte, 0, len(merged))
+		for _, ext := range merged {
+			exts = append(exts, storage.Extent{Off: ext.Off, Len: ext.Len})
+			bufs = append(bufs, s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len])
+		}
+		return exts, bufs
+	}
+	var chunks []physChunk
+	for _, ext := range merged {
+		pos := ext.Off - s.w0
+		for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+			chunks = append(chunks, physChunk{off: ph.Off, data: s.buf[pos : pos+ph.Len]})
+			pos += ph.Len
+		}
+	}
+	runs := mergeChunks(chunks)
+	exts := make([]storage.Extent, 0, len(runs))
+	bufs := make([][]byte, 0, len(runs))
+	for _, run := range runs {
+		exts = append(exts, storage.Extent{Off: run.off, Len: int64(len(run.data))})
+		bufs = append(bufs, run.data)
+	}
+	return exts, bufs
+}
+
+// vecRead issues one vectored read for the merged extents into buf (window
+// origin w0), translating through an intermediate view when active and
+// scattering the returned buffers into place. async selects the Async
+// variant and returns its virtual completion time; the blocking variant
+// charges the clock and returns the advanced now.
+func (s *rstate) vecRead(buf []byte, w0 int64, merged []datatype.Segment, async bool) float64 {
+	f, r := s.f, s.f.r
+	var exts []storage.Extent
+	var runs []mergedRun
+	if f.xlate == nil {
+		exts = make([]storage.Extent, 0, len(merged))
+		for _, ext := range merged {
+			exts = append(exts, storage.Extent{Off: ext.Off, Len: ext.Len})
+		}
+	} else {
+		var chunks []physChunk
+		for _, ext := range merged {
+			pos := ext.Off - w0
+			for _, ph := range f.xlate.Phys(ext.Off, ext.Len) {
+				chunks = append(chunks, physChunk{off: ph.Off, data: buf[pos : pos+ph.Len]})
+				pos += ph.Len
+			}
+		}
+		runs = mergeRuns(chunks)
+		exts = make([]storage.Extent, 0, len(runs))
+		for _, run := range runs {
+			exts = append(exts, storage.Extent{Off: run.off, Len: run.n})
+		}
+	}
+	if len(exts) == 0 {
+		return r.Now()
+	}
+	var got [][]byte
+	var done float64
+	if async {
+		got, done = f.lf.ReadvAtAsync(r, exts)
+	} else {
+		got = f.lf.ReadvAt(r, exts)
+		done = r.Now()
+	}
+	if f.xlate == nil {
+		for i, ext := range exts {
+			copy(buf[ext.Off-w0:ext.Off-w0+ext.Len], got[i])
+		}
+	} else {
+		for i, run := range runs {
+			for _, c := range run.parts {
+				copy(c.data, got[i][c.off-run.off:c.off-run.off+int64(len(c.data))])
+			}
+		}
+	}
 	return done
 }
 
@@ -611,6 +719,11 @@ func (s *rstate) ioRound(round int) {
 			s.extents = append(s.extents, datatype.Segment{Off: c.off, Len: c.ln})
 		}
 	}
+	if f.vec {
+		s.vecRead(s.buf, s.w0, mergeOverlapsInPlace(s.extents), false)
+		f.traceRound("round-io", t0, r.Now(), round)
+		return
+	}
 	if f.xlate == nil {
 		for _, ext := range mergeOverlapsInPlace(s.extents) {
 			copy(s.buf[ext.Off-s.w0:ext.Off-s.w0+ext.Len], f.lf.ReadAt(r, ext.Off, ext.Len))
@@ -647,6 +760,13 @@ func (s *rstate) ioRoundAsyncInto(buf []byte, round int) float64 {
 	done := t0
 	w0, _ := s.p.window(round)
 	exts := s.windowExtents(round, nil)
+	if f.vec {
+		if d := s.vecRead(buf, w0, exts, true); d > done {
+			done = d
+		}
+		f.traceRound("round-io", t0, done, round)
+		return done
+	}
 	if f.xlate == nil {
 		for _, ext := range exts {
 			got, d := f.lf.ReadAtAsync(r, ext.Off, ext.Len)

@@ -18,10 +18,10 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/fault"
-	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -127,12 +127,13 @@ type Translator interface {
 type File struct {
 	r     *mpi.Rank
 	comm  *mpi.Comm
-	lf    *lustre.File
+	lf    storage.File
 	view  datatype.View
 	hints Hints
 	run   RunOptions
 	aggs  []int // comm ranks acting as I/O aggregators, ascending
 	scale float64
+	vec   bool // backend has native list-I/O: flush rounds use WritevAt/ReadvAt
 	seq   int // collective-call sequence, advances in lockstep
 	xlate Translator
 	prof  Breakdown
@@ -228,23 +229,28 @@ func (f *File) SetTranslator(t Translator) { f.xlate = t }
 // Open collectively opens (creating if needed) name on fs over comm with a
 // zero RunOptions (no faults, default recovery policy, no tracing or
 // metrics). Every member must call it. The aggregator list is derived from
-// the hints and the node topology, identically on every rank.
-func Open(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, hints Hints) *File {
+// the hints and the node topology, identically on every rank. fs is any
+// storage backend (DESIGN.md §14); the protocol is backend-agnostic except
+// that the flush rounds switch to vectored list-I/O calls when the backend
+// supports them natively (Params().ListIO).
+func Open(comm *mpi.Comm, fs storage.Backend, name string, stripe storage.Stripe, hints Hints) *File {
 	return OpenWith(comm, fs, name, stripe, hints, RunOptions{})
 }
 
 // OpenWith is Open with explicit per-run state: fault plan, recovery policy,
 // and observability sinks. Hints stays pure MPI_Info configuration; run
 // carries everything else (see RunOptions).
-func OpenWith(comm *mpi.Comm, fs *lustre.FS, name string, stripe lustre.StripeInfo, hints Hints, run RunOptions) *File {
+func OpenWith(comm *mpi.Comm, fs storage.Backend, name string, stripe storage.Stripe, hints Hints, run RunOptions) *File {
 	r := rankOf(comm)
+	params := fs.Params()
 	f := &File{
 		r:         r,
 		comm:      comm,
 		view:      datatype.WholeFile(),
 		hints:     hints,
 		run:       run,
-		scale:     fs.Config().CostScale,
+		scale:     params.CostScale,
+		vec:       params.ListIO,
 		deadWorld: make(map[int]bool),
 	}
 	if run.Obs != nil {
@@ -334,8 +340,10 @@ func (f *File) SetView(v datatype.View) { f.view = v }
 // View returns the current file view.
 func (f *File) View() datatype.View { return f.view }
 
-// Lustre exposes the underlying lustre handle (for verification in tests).
-func (f *File) Lustre() *lustre.File { return f.lf }
+// Lustre exposes the underlying storage handle (for verification in tests;
+// the name predates the backend seam — the handle is whatever backend the
+// file was opened on).
+func (f *File) Lustre() storage.File { return f.lf }
 
 // Comm returns the communicator the file was opened on.
 func (f *File) Comm() *mpi.Comm { return f.comm }
@@ -365,9 +373,24 @@ func (f *File) Breakdown() Breakdown {
 
 // WriteAt writes independently (no coordination): the view maps the logical
 // range to physical segments, each written directly. This is the paper's
-// "w/o Coll" baseline.
+// "w/o Coll" baseline. On a list-I/O backend the whole segment list goes
+// out as one vectored request — Ching et al.'s optimization for exactly
+// this noncontiguous independent pattern.
 func (f *File) WriteAt(logOff int64, data []byte) {
 	segs := f.view.Map(logOff, int64(len(data)))
+	if f.vec && len(segs) > 1 {
+		exts := make([]storage.Extent, len(segs))
+		bufs := make([][]byte, len(segs))
+		var pos int64
+		for i, s := range segs {
+			exts[i] = storage.Extent{Off: s.Off, Len: s.Len}
+			bufs[i] = data[pos : pos+s.Len]
+			pos += s.Len
+		}
+		f.lf.WritevAt(f.r, exts, bufs)
+		f.absorbProf()
+		return
+	}
 	var pos int64
 	for _, s := range segs {
 		f.lf.WriteAt(f.r, s.Off, data[pos:pos+s.Len])
@@ -376,9 +399,22 @@ func (f *File) WriteAt(logOff int64, data []byte) {
 	f.absorbProf()
 }
 
-// ReadAt reads independently through the view.
+// ReadAt reads independently through the view, vectored on list-I/O
+// backends like WriteAt.
 func (f *File) ReadAt(logOff, n int64) []byte {
 	segs := f.view.Map(logOff, n)
+	if f.vec && len(segs) > 1 {
+		exts := make([]storage.Extent, len(segs))
+		for i, s := range segs {
+			exts[i] = storage.Extent{Off: s.Off, Len: s.Len}
+		}
+		out := make([]byte, 0, n)
+		for _, b := range f.lf.ReadvAt(f.r, exts) {
+			out = append(out, b...)
+		}
+		f.absorbProf()
+		return out
+	}
 	out := make([]byte, 0, n)
 	for _, s := range segs {
 		out = append(out, f.lf.ReadAt(f.r, s.Off, s.Len)...)

@@ -1,0 +1,16 @@
+package pvfs
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+// TestBackendConformance runs the shared storage.Backend suite against the
+// list-I/O server farm.
+func TestBackendConformance(t *testing.T) {
+	storagetest.Run(t, "listio", func() storage.Backend {
+		return NewFS(DefaultConfig())
+	})
+}

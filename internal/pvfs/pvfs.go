@@ -1,0 +1,392 @@
+// Package pvfs models a PVFS-style parallel file system with native
+// list-I/O, after Ching et al.'s "Noncontiguous I/O through PVFS": a client
+// describes an arbitrary set of (offset, length) extents in ONE request per
+// touched server, and the server moves all of them in one service — so a
+// noncontiguous flush costs one request round-trip plus the summed transfer
+// instead of a per-extent RPC each.
+//
+// The other deliberate difference from the lustre model: PVFS is lockless
+// (no distributed lock manager, no extent-lock revocations), so there are
+// no client-switch or revocation penalties and no heavy-tail lock stalls —
+// consistency is the application's job, which collective I/O provides by
+// construction. Servers still have per-request overhead, finite bandwidth,
+// and jittered service times, so request-count reduction is measurable as
+// time, not just as a counter.
+//
+// Timing of one vectored write: the extents ship through the client's
+// transmit NIC back-to-back (one summed transfer), then each touched server
+// serves its portion — one request overhead plus its summed bytes over
+// bandwidth, jitter applied per request — and the call completes when the
+// slowest server acknowledges. Reads are symmetric through the receive NIC.
+package pvfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config describes the server farm. The defaults mirror the lustre model's
+// hardware so backend comparisons isolate the protocol difference.
+type Config struct {
+	NumServers      int     // I/O servers (the lustre model's OSTs)
+	ServerBandwidth float64 // bytes/second each server sustains
+	RequestOverhead float64 // seconds of fixed cost per list-I/O request
+	OpenCost        float64 // seconds of metadata time per open
+	CostScale       float64 // virtual bytes per real byte (default 1)
+	Jitter          float64 // relative service-time noise per request
+	Seed            int64
+}
+
+// DefaultConfig mirrors lustre.DefaultConfig's hardware: 72 servers at
+// ~140 MB/s with sub-millisecond request overhead.
+func DefaultConfig() Config {
+	return Config{
+		NumServers:      72,
+		ServerBandwidth: 1.4e8,
+		RequestOverhead: 8e-4,
+		OpenCost:        5e-5,
+		CostScale:       1,
+		Jitter:          0.1,
+		Seed:            1,
+	}
+}
+
+// FS is one PVFS instance. Create one per run and share it across ranks;
+// the engine serializes access (every operation begins with a sync).
+type FS struct {
+	cfg       Config
+	servers   []*sim.Resource
+	mds       *sim.Resource
+	files     map[string]*fileObj
+	rng       *rand.Rand
+	stats     []storage.TargetStat
+	sinceTrim int
+
+	obsReqs *obs.Counter // storage.listio.requests (nil unless SetObs)
+}
+
+// NewFS builds a file system.
+func NewFS(cfg Config) *FS {
+	if cfg.NumServers <= 0 {
+		panic("pvfs: need at least one server")
+	}
+	if cfg.CostScale == 0 {
+		cfg.CostScale = 1
+	}
+	fs := &FS{
+		cfg:     cfg,
+		servers: make([]*sim.Resource, cfg.NumServers),
+		mds:     sim.NewResource("pvfs-mds"),
+		files:   make(map[string]*fileObj),
+		rng:     rand.New(rand.NewSource(cfg.Seed*7919 + 13)),
+		stats:   make([]storage.TargetStat, cfg.NumServers),
+	}
+	for i := range fs.servers {
+		fs.servers[i] = sim.NewResource(fmt.Sprintf("pvfs%d", i))
+	}
+	return fs
+}
+
+// Requests returns the total list-I/O requests served (one per touched
+// server per vectored call) — the counter the request-reduction acceptance
+// test pins against the lustre backend's per-extent RPC count.
+func (fs *FS) Requests() int64 {
+	var n int64
+	for i := range fs.stats {
+		n += fs.stats[i].Requests
+	}
+	return n
+}
+
+// SetObs attaches a metrics registry (nil detaches): every list-I/O request
+// bumps storage.listio.requests. Observe-only.
+func (fs *FS) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		fs.obsReqs = nil
+		return
+	}
+	fs.obsReqs = reg.Counter("storage.listio.requests")
+}
+
+// Stats returns a copy of the per-server service counters.
+func (fs *FS) Stats() []storage.TargetStat {
+	return append([]storage.TargetStat(nil), fs.stats...)
+}
+
+// Params reports native list-I/O, so the collective flush path issues
+// vectored calls instead of per-extent loops.
+func (fs *FS) Params() storage.Params {
+	return storage.Params{
+		CostScale: fs.cfg.CostScale,
+		Targets:   fs.cfg.NumServers,
+		ListIO:    true,
+	}
+}
+
+// Name identifies the backend kind ("listio" is the CLI spelling: the
+// protocol difference, not the brand, is what the sweeps vary).
+func (fs *FS) Name() string { return "listio" }
+
+// Drain is a no-op: the servers buffer nothing.
+func (fs *FS) Drain(r *mpi.Rank) {}
+
+// Config returns the file system's parameters.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// noise returns the multiplicative service-time factor for one request.
+func (fs *FS) noise() float64 {
+	if fs.cfg.Jitter == 0 {
+		return 1
+	}
+	return 1 + fs.cfg.Jitter*(2*fs.rng.Float64()-1)
+}
+
+const trimEvery = 512
+
+func (fs *FS) maybeTrim(r *mpi.Rank) {
+	fs.sinceTrim++
+	if fs.sinceTrim < trimEvery {
+		return
+	}
+	fs.sinceTrim = 0
+	w := r.P.MinClock()
+	for _, s := range fs.servers {
+		s.Trim(w)
+	}
+	fs.mds.Trim(w)
+}
+
+type fileObj struct {
+	name   string
+	stripe storage.Stripe
+	data   *storage.ByteStore
+}
+
+// File is an open handle. Handles are cheap; every rank opens its own.
+type File struct {
+	fs  *FS
+	obj *fileObj
+}
+
+var (
+	_ storage.Backend = (*FS)(nil)
+	_ storage.File    = (*File)(nil)
+)
+
+// Open opens (creating if necessary) the named file; the stripe layout
+// applies only on create. Open costs metadata time, which serializes when
+// many ranks open at once.
+func (fs *FS) Open(r *mpi.Rank, name string, stripe storage.Stripe) storage.File {
+	if stripe.Count <= 0 || stripe.Size <= 0 {
+		panic("pvfs: invalid stripe layout")
+	}
+	if stripe.Count > fs.cfg.NumServers {
+		stripe.Count = fs.cfg.NumServers
+	}
+	r.P.Sync()
+	_, end := fs.mds.Acquire(r.Now(), fs.cfg.OpenCost)
+	r.ChargeIO(end - r.Now())
+	obj, ok := fs.files[name]
+	if !ok {
+		obj = &fileObj{name: name, stripe: stripe, data: storage.NewByteStore()}
+		fs.files[name] = obj
+	}
+	return &File{fs: fs, obj: obj}
+}
+
+// Remove deletes a file's data; PVFS holds no per-file lock ledger.
+func (fs *FS) Remove(name string) { delete(fs.files, name) }
+
+// Stripe returns the file's stripe layout.
+func (f *File) Stripe() storage.Stripe { return f.obj.stripe }
+
+// Size returns the file length (highest byte written so far).
+func (f *File) Size() int64 { return f.obj.data.Size() }
+
+// Contents returns the file's bytes in [0, Size) at no time cost.
+func (f *File) Contents() []byte { return f.obj.data.Load(0, f.obj.data.Size()) }
+
+// Peek returns the file's bytes in [off, off+n) at no time cost.
+func (f *File) Peek(off, n int64) []byte { return f.obj.data.Load(off, n) }
+
+// serverFor returns the server id serving stripe unit index u.
+func (f *File) serverFor(u int64) int {
+	s := f.obj.stripe
+	return int((int64(s.Offset) + u%int64(s.Count)) % int64(len(f.fs.servers)))
+}
+
+// perServerBytes accumulates each extent's virtual bytes onto its servers,
+// splitting at stripe-unit boundaries. The result maps server id to summed
+// virtual bytes; iteration for timing walks server ids in ascending order so
+// the jitter draws are deterministic.
+func (f *File) perServerBytes(exts []storage.Extent) map[int]float64 {
+	ss := f.obj.stripe.Size
+	scale := f.fs.cfg.CostScale
+	per := make(map[int]float64)
+	for _, e := range exts {
+		off, n := e.Off, e.Len
+		for n > 0 {
+			unit := off / ss
+			l := (unit+1)*ss - off
+			if l > n {
+				l = n
+			}
+			per[f.serverFor(unit)] += float64(l) * scale
+			off += l
+			n -= l
+		}
+	}
+	return per
+}
+
+// serveList books one list-I/O request on every touched server, all
+// starting at virtual time `at`, and returns the slowest completion. One
+// request (one overhead, one jitter draw) per server regardless of how many
+// extents land on it — the list-I/O economics.
+func (f *File) serveList(at float64, per map[int]float64) float64 {
+	fs := f.fs
+	done := at
+	for s := 0; s < len(fs.servers); s++ {
+		virt, ok := per[s]
+		if !ok {
+			continue
+		}
+		st := &fs.stats[s]
+		st.Requests++
+		st.Bytes += int64(virt)
+		svc := (fs.cfg.RequestOverhead + virt/fs.cfg.ServerBandwidth) * fs.noise()
+		st.BusySecs += svc
+		_, end := fs.servers[s].Acquire(at, svc)
+		if end > done {
+			done = end
+		}
+		if fs.obsReqs != nil {
+			fs.obsReqs.Inc()
+		}
+	}
+	return done
+}
+
+// totalLen sums the extents' real bytes.
+func totalLen(exts []storage.Extent) int64 {
+	var n int64
+	for _, e := range exts {
+		n += e.Len
+	}
+	return n
+}
+
+// writev books one vectored write's resources and returns its virtual
+// completion time; the data is stored before return.
+func (f *File) writev(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
+	if totalLen(exts) == 0 {
+		return r.Now()
+	}
+	cl := r.W.Cluster
+	r.P.Sync()
+	now := r.Now()
+	lat := cl.Config().Latency
+	virtTotal := float64(totalLen(exts)) * f.fs.cfg.CostScale
+	_, txEnd := cl.TxNIC(r.WorldRank()).Acquire(now, virtTotal/cl.Config().NICBandwidth)
+	done := f.serveList(txEnd+lat, f.perServerBytes(exts)) + lat
+	for i, e := range exts {
+		if e.Off < 0 {
+			panic("pvfs: negative offset")
+		}
+		f.obj.data.Store(e.Off, bufs[i][:e.Len])
+	}
+	f.fs.maybeTrim(r)
+	if done < now {
+		done = now
+	}
+	return done
+}
+
+// readv books one vectored read's resources and returns the data plus its
+// virtual completion time.
+func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
+	out := make([][]byte, len(exts))
+	for i, e := range exts {
+		if e.Off < 0 {
+			panic("pvfs: negative offset")
+		}
+		out[i] = f.obj.data.Load(e.Off, e.Len)
+	}
+	if totalLen(exts) == 0 {
+		return out, r.Now()
+	}
+	cl := r.W.Cluster
+	r.P.Sync()
+	now := r.Now()
+	lat := cl.Config().Latency
+	served := f.serveList(now+lat, f.perServerBytes(exts))
+	virtTotal := float64(totalLen(exts)) * f.fs.cfg.CostScale
+	_, rxEnd := cl.RxNIC(r.WorldRank()).Acquire(served+lat, virtTotal/cl.Config().NICBandwidth)
+	f.fs.maybeTrim(r)
+	if rxEnd < now {
+		rxEnd = now
+	}
+	return out, rxEnd
+}
+
+// WritevAt writes one list-I/O request, charging ClassIO for the wait.
+func (f *File) WritevAt(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) {
+	done := f.writev(r, exts, bufs)
+	r.ChargeIO(done - r.Now())
+}
+
+// WritevAtAsync is WritevAt returning the virtual completion time instead
+// of charging the clock; data is durable on return.
+func (f *File) WritevAtAsync(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
+	return f.writev(r, exts, bufs)
+}
+
+// ReadvAt reads one list-I/O request, charging ClassIO for the wait.
+func (f *File) ReadvAt(r *mpi.Rank, exts []storage.Extent) [][]byte {
+	out, done := f.readv(r, exts)
+	r.ChargeIO(done - r.Now())
+	return out
+}
+
+// ReadvAtAsync is ReadvAt returning the data plus the virtual completion
+// time instead of charging the clock.
+func (f *File) ReadvAtAsync(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
+	return f.readv(r, exts)
+}
+
+// WriteAt is the one-extent vectored write.
+func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
+	f.WritevAt(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
+}
+
+// TryWriteAt never fails: the pvfs model injects no request errors.
+func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
+	f.WriteAt(r, off, data)
+	return nil
+}
+
+// WriteAtAsync is the one-extent vectored async write.
+func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
+	return f.WritevAtAsync(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
+}
+
+// ReadAt is the one-extent vectored read.
+func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
+	return f.ReadvAt(r, []storage.Extent{{Off: off, Len: n}})[0]
+}
+
+// TryReadAt never fails: the pvfs model injects no request errors.
+func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
+	return f.ReadAt(r, off, n), nil
+}
+
+// ReadAtAsync is the one-extent vectored async read.
+func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
+	out, done := f.ReadvAtAsync(r, []storage.Extent{{Off: off, Len: n}})
+	return out[0], done
+}

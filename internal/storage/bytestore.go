@@ -1,0 +1,66 @@
+package storage
+
+// ByteStore holds one file's contents as a sparse page map (64 KiB pages),
+// carved out of lustre's file object so every backend stores data the same
+// way: bytes are kept for real, unwritten ranges read as zero, and neither
+// Store nor Load costs simulated time — timing is the backend's job.
+type ByteStore struct {
+	pages map[int64][]byte
+	size  int64
+}
+
+const pageBits = 16
+
+// PageSize is the store's page granularity (64 KiB), exported for tests
+// that exercise page-boundary crossings.
+const PageSize = 1 << pageBits
+
+// NewByteStore returns an empty store.
+func NewByteStore() *ByteStore {
+	return &ByteStore{pages: make(map[int64][]byte)}
+}
+
+// Size returns the highest byte offset written so far.
+func (s *ByteStore) Size() int64 { return s.size }
+
+// Store writes data at off, allocating pages as needed.
+func (s *ByteStore) Store(off int64, data []byte) {
+	for len(data) > 0 {
+		page := off >> pageBits
+		po := off & (PageSize - 1)
+		l := int64(PageSize) - po
+		if l > int64(len(data)) {
+			l = int64(len(data))
+		}
+		buf, ok := s.pages[page]
+		if !ok {
+			buf = make([]byte, PageSize)
+			s.pages[page] = buf
+		}
+		copy(buf[po:po+l], data[:l])
+		off += l
+		data = data[l:]
+	}
+	if off > s.size {
+		s.size = off
+	}
+}
+
+// Load reads n bytes at off; unwritten bytes are zero.
+func (s *ByteStore) Load(off, n int64) []byte {
+	out := make([]byte, n)
+	pos := int64(0)
+	for pos < n {
+		page := (off + pos) >> pageBits
+		po := (off + pos) & (PageSize - 1)
+		l := int64(PageSize) - po
+		if l > n-pos {
+			l = n - pos
+		}
+		if buf, ok := s.pages[page]; ok {
+			copy(out[pos:pos+l], buf[po:po+l])
+		}
+		pos += l
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package storage defines the backend seam between the I/O protocol layers
+// (mpiio, core, nbio consumers) and the storage models that serve them. The
+// seam was carved out of internal/lustre, which remains the reference
+// implementation; internal/pvfs (a lockless list-I/O server in the mold of
+// PVFS) and internal/bb (a node-local burst-buffer staging tier) plug in
+// behind the same interface.
+//
+// Contract highlights (DESIGN.md §14):
+//
+//   - Data is stored for real at issue time: after WriteAt or WriteAtAsync
+//     returns, the bytes are durable in the backend's store and the caller
+//     may reuse its buffer. Reads therefore see preceding writes of the same
+//     proc regardless of virtual completion times.
+//   - Blocking variants charge the rank's ClassIO clock for the operation's
+//     completion wait; Async variants book the same simulated resources (in
+//     the same order, drawing the same randomness) but return the virtual
+//     completion time instead, for the nonblocking layer to account.
+//   - Try variants surface typed errors where the blocking variants panic;
+//     they exist for fault-injection plans whose request failures outlive
+//     the retry engine.
+//   - Vectored variants (WritevAt/ReadvAt and their Async twins) move a
+//     whole offset/length list in one call. Every backend implements them;
+//     only backends whose Params().ListIO is true make them cheaper than
+//     the equivalent per-extent loop, and only for those does the collective
+//     flush path in mpiio switch to the vectored calls.
+//   - Determinism: all service-time noise must come from seeded per-backend
+//     RNG consumed in engine-serialized order, so a run is a pure function
+//     of (config, workload, seed) at every engine worker count.
+package storage
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// Stripe is a file's striping layout, fixed at create time (lustre.StripeInfo
+// is an alias of this type, so existing call sites read unchanged).
+type Stripe struct {
+	Count  int   // number of targets the file stripes over
+	Size   int64 // stripe unit in bytes
+	Offset int   // index of the first target
+}
+
+// Extent is one (offset, length) run of a vectored list-I/O request.
+type Extent struct {
+	Off, Len int64
+}
+
+// End returns the exclusive upper bound of the extent.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+// TargetStat aggregates one storage target's service counters (an OST for
+// lustre, a server for pvfs; lustre.OSTStat is an alias of this type).
+type TargetStat struct {
+	Requests  int64
+	Bytes     int64 // virtual bytes served
+	Switches  int64 // client alternations (lock/seek penalties paid)
+	Tails     int64 // heavy-tail events
+	Errors    int64 // injected request failures (before retry)
+	BusySecs  float64
+	FaultSecs float64 // service time added by the fault plan
+}
+
+// Params describes a backend's protocol-relevant properties — the subset of
+// its configuration the I/O layers consult (the interface's "Config").
+type Params struct {
+	// CostScale is the virtual-bytes-per-real-byte factor of the cost model.
+	CostScale float64
+	// Targets is the number of storage targets behind the backend.
+	Targets int
+	// ListIO reports native vectored I/O: a WritevAt/ReadvAt costs one
+	// request round-trip per touched target plus the summed transfer,
+	// instead of a per-extent service call each. The collective flush path
+	// uses the vectored calls only when this is set, so backends without
+	// native support keep their per-extent request accounting bit-exact.
+	ListIO bool
+	// Injecting reports that a fault plan injects request errors, i.e. the
+	// Try variants can return non-nil and async paths may panic. Staging
+	// tiers consult it to route traffic through the error-plumbed path.
+	Injecting bool
+}
+
+// File is an open handle on a backend. Handles are cheap; every rank opens
+// its own (like an MPI file handle or a Lustre client).
+type File interface {
+	// Stripe returns the file's layout, as fixed at create time.
+	Stripe() Stripe
+	// Size returns the file length (highest byte written so far).
+	Size() int64
+
+	// WriteAt writes data at off, charging ClassIO for the completion wait.
+	WriteAt(r *mpi.Rank, off int64, data []byte)
+	// TryWriteAt is WriteAt returning the typed error instead of panicking.
+	// On error no bytes are stored (all-or-nothing), so a whole-operation
+	// retry is idempotent; elapsed time is charged either way.
+	TryWriteAt(r *mpi.Rank, off int64, data []byte) error
+	// WriteAtAsync books the same resources as WriteAt and stores the data
+	// immediately, but returns the virtual completion time instead of
+	// charging the clock.
+	WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64
+
+	// ReadAt reads n bytes at off; unwritten bytes read as zero.
+	ReadAt(r *mpi.Rank, off, n int64) []byte
+	// TryReadAt is ReadAt returning the typed error instead of panicking.
+	TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error)
+	// ReadAtAsync books the same resources as ReadAt and returns the data
+	// plus the virtual completion time instead of charging the clock.
+	ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64)
+
+	// WritevAt writes one list-I/O request: bufs[i] lands at exts[i]. The
+	// extents must be sorted and non-overlapping (the collective flush
+	// merges before issuing). Blocking; charges ClassIO.
+	WritevAt(r *mpi.Rank, exts []Extent, bufs [][]byte)
+	// WritevAtAsync is WritevAt returning the virtual completion time
+	// instead of charging the clock; data is durable on return.
+	WritevAtAsync(r *mpi.Rank, exts []Extent, bufs [][]byte) float64
+	// ReadvAt reads one list-I/O request, returning one buffer per extent.
+	ReadvAt(r *mpi.Rank, exts []Extent) [][]byte
+	// ReadvAtAsync is ReadvAt returning the data plus the virtual
+	// completion time instead of charging the clock.
+	ReadvAtAsync(r *mpi.Rank, exts []Extent) ([][]byte, float64)
+
+	// Peek returns the file's bytes in [off, off+n) with no simulated time
+	// cost — the staging tier serves buffer hits from it, and tests verify
+	// contents through it.
+	Peek(off, n int64) []byte
+	// Contents returns the file's bytes in [0, Size) at no time cost.
+	Contents() []byte
+}
+
+// Backend is one storage system instance. Create one per simulation run and
+// share it across ranks; implementations serialize access through the
+// engine (every operation begins with an engine sync, as lustre's do).
+type Backend interface {
+	// Open opens (creating if necessary) the named file. The stripe layout
+	// applies only on create. Open costs metadata-service time.
+	Open(r *mpi.Rank, name string, stripe Stripe) File
+	// Remove deletes a file's data and releases every per-file ledger the
+	// backend holds (lock namespaces, staged extents). No time cost.
+	Remove(name string)
+	// Drain blocks (in virtual time) until every buffered write involving
+	// the calling rank's node is durable on the final tier, charging the
+	// exposed wait to ClassIO. A pass-through backend returns immediately.
+	Drain(r *mpi.Rank)
+	// Stats returns a copy of the per-target service counters.
+	Stats() []TargetStat
+	// SetObs attaches a metrics registry (nil detaches). Observe-only: an
+	// instrumented run is bit-identical to a bare one.
+	SetObs(reg *obs.Registry)
+	// Params returns the backend's protocol-relevant properties.
+	Params() Params
+	// Name identifies the backend kind ("lustre", "listio", "bb").
+	Name() string
+}

@@ -1,0 +1,238 @@
+// Package storagetest is the conformance suite every storage.Backend must
+// pass. A backend package calls Run from its own tests with a constructor;
+// the suite exercises the whole interface — blocking, Try, Async, and
+// vectored variants — and checks the contract the consumers rely on:
+//
+//   - data is durable at issue time (Async and staged writes included);
+//   - vectored calls move exactly the bytes the scalar calls would;
+//   - Remove forgets a file completely (a reopen sees a fresh object);
+//   - two identical runs produce identical virtual times and Stats.
+//
+// The suite runs single-rank: the cross-rank semantics are covered by the
+// collective goldens, which all ride on the same backend methods.
+package storagetest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// stripe is the geometry every conformance case uses: small enough that a
+// few-KB write crosses several targets.
+var stripe = storage.Stripe{Count: 4, Size: 1 << 10}
+
+// pattern fills buf with a deterministic byte stream keyed by tag and off.
+func pattern(buf []byte, tag, off int64) {
+	for i := range buf {
+		buf[i] = byte(tag*151 + (off+int64(i))*11 + 5)
+	}
+}
+
+// run spins up a single-rank engine around body and returns the final
+// virtual clock (the determinism handle).
+func run(t *testing.T, mk func() storage.Backend, body func(r *mpi.Rank, be storage.Backend)) float64 {
+	t.Helper()
+	be := mk()
+	var end float64
+	mpi.Run(1, cluster.DefaultConfig(), 1, func(r *mpi.Rank) {
+		body(r, be)
+		end = r.Now()
+	})
+	return end
+}
+
+// Run executes the conformance suite against the backend mk constructs.
+// name labels the subtests; mk must return a fresh, identically-seeded
+// backend on every call (the determinism case compares two of them).
+func Run(t *testing.T, name string, mk func() storage.Backend) {
+	t.Run(name+"/name", func(t *testing.T) {
+		be := mk()
+		if be.Name() == "" {
+			t.Fatal("Name() is empty")
+		}
+		p := be.Params()
+		if p.CostScale <= 0 {
+			t.Fatalf("Params().CostScale = %g, want > 0", p.CostScale)
+		}
+		if p.Targets <= 0 {
+			t.Fatalf("Params().Targets = %d, want > 0", p.Targets)
+		}
+	})
+
+	t.Run(name+"/roundtrip", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "rt", stripe)
+			if got := f.Stripe(); got != stripe {
+				t.Fatalf("Stripe() = %+v, want %+v", got, stripe)
+			}
+			buf := make([]byte, 3000)
+			pattern(buf, 1, 100)
+			f.WriteAt(r, 100, buf)
+			if got := f.Size(); got < 3100 {
+				t.Fatalf("Size() = %d after write to [100,3100)", got)
+			}
+			if got := f.ReadAt(r, 100, 3000); !bytes.Equal(got, buf) {
+				t.Fatal("ReadAt returned different bytes than WriteAt stored")
+			}
+			// Overwrite a middle window and re-check both edges survive.
+			mid := make([]byte, 500)
+			pattern(mid, 2, 0)
+			f.WriteAt(r, 1000, mid)
+			want := append([]byte{}, buf...)
+			copy(want[900:], mid)
+			if got := f.ReadAt(r, 100, 3000); !bytes.Equal(got, want) {
+				t.Fatal("overwrite corrupted neighboring bytes")
+			}
+		})
+	})
+
+	t.Run(name+"/try-and-async-durable-at-issue", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "async", stripe)
+			b1 := make([]byte, 700)
+			pattern(b1, 3, 0)
+			if err := f.TryWriteAt(r, 0, b1); err != nil {
+				t.Fatalf("TryWriteAt on a healthy backend: %v", err)
+			}
+			b2 := make([]byte, 700)
+			pattern(b2, 4, 0)
+			done := f.WriteAtAsync(r, 700, b2)
+			if done < r.Now() {
+				t.Fatalf("WriteAtAsync completion %g before now %g", done, r.Now())
+			}
+			// The contract: bytes are visible immediately, not at `done`.
+			if got := f.Peek(700, 700); !bytes.Equal(got, b2) {
+				t.Fatal("async write not durable at issue time")
+			}
+			if got, err := f.TryReadAt(r, 0, 700); err != nil || !bytes.Equal(got, b1) {
+				t.Fatalf("TryReadAt: err=%v, match=%v", err, bytes.Equal(got, b1))
+			}
+			rbuf, rdone := f.ReadAtAsync(r, 700, 700)
+			if rdone < r.Now() {
+				t.Fatalf("ReadAtAsync completion %g before now %g", rdone, r.Now())
+			}
+			if !bytes.Equal(rbuf, b2) {
+				t.Fatal("ReadAtAsync returned different bytes than stored")
+			}
+		})
+	})
+
+	t.Run(name+"/vectored-matches-scalar-data", func(t *testing.T) {
+		exts := []storage.Extent{{Off: 0, Len: 512}, {Off: 2048, Len: 256}, {Off: 8192, Len: 1024}}
+		bufs := make([][]byte, len(exts))
+		for i, e := range exts {
+			bufs[i] = make([]byte, e.Len)
+			pattern(bufs[i], int64(10+i), e.Off)
+		}
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "vec", stripe)
+			f.WritevAt(r, exts, bufs)
+			got := f.ReadvAt(r, exts)
+			if len(got) != len(exts) {
+				t.Fatalf("ReadvAt returned %d bufs, want %d", len(got), len(exts))
+			}
+			for i := range exts {
+				if !bytes.Equal(got[i], bufs[i]) {
+					t.Fatalf("extent %d: vectored read != vectored write", i)
+				}
+				// Scalar reads must see the vectored writes too.
+				if sc := f.ReadAt(r, exts[i].Off, exts[i].Len); !bytes.Equal(sc, bufs[i]) {
+					t.Fatalf("extent %d: scalar read != vectored write", i)
+				}
+			}
+			// Async vectored: durable at issue, completion not in the past.
+			abufs := make([][]byte, len(exts))
+			aexts := make([]storage.Extent, len(exts))
+			for i, e := range exts {
+				aexts[i] = storage.Extent{Off: e.Off + 1<<20, Len: e.Len}
+				abufs[i] = make([]byte, e.Len)
+				pattern(abufs[i], int64(20+i), aexts[i].Off)
+			}
+			done := f.WritevAtAsync(r, aexts, abufs)
+			if done < r.Now() {
+				t.Fatalf("WritevAtAsync completion %g before now %g", done, r.Now())
+			}
+			for i, e := range aexts {
+				if !bytes.Equal(f.Peek(e.Off, e.Len), abufs[i]) {
+					t.Fatalf("extent %d: async vectored write not durable at issue", i)
+				}
+			}
+			rbufs, rdone := f.ReadvAtAsync(r, aexts)
+			if rdone < r.Now() {
+				t.Fatalf("ReadvAtAsync completion %g before now %g", rdone, r.Now())
+			}
+			for i := range aexts {
+				if !bytes.Equal(rbufs[i], abufs[i]) {
+					t.Fatalf("extent %d: ReadvAtAsync != stored bytes", i)
+				}
+			}
+		})
+	})
+
+	t.Run(name+"/remove-forgets", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "gone", stripe)
+			buf := make([]byte, 2048)
+			pattern(buf, 5, 0)
+			f.WriteAt(r, 0, buf)
+			be.Remove("gone")
+			g := be.Open(r, "gone", stripe)
+			if got := g.Size(); got != 0 {
+				t.Fatalf("reopen after Remove: Size() = %d, want 0", got)
+			}
+			// The fresh object is fully writable again.
+			pattern(buf, 6, 0)
+			g.WriteAt(r, 0, buf)
+			if got := g.ReadAt(r, 0, 2048); !bytes.Equal(got, buf) {
+				t.Fatal("reopen after Remove: write/read mismatch")
+			}
+		})
+	})
+
+	t.Run(name+"/drain-then-contents", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "drained", stripe)
+			buf := make([]byte, 4096)
+			pattern(buf, 7, 0)
+			f.WriteAt(r, 0, buf)
+			be.Drain(r)
+			if got := f.Contents(); !bytes.Equal(got, buf) {
+				t.Fatal("Contents() after Drain != written bytes")
+			}
+		})
+	})
+
+	t.Run(name+"/deterministic", func(t *testing.T) {
+		one := func() (float64, string) {
+			var stats []storage.TargetStat
+			end := run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+				f := be.Open(r, "det", stripe)
+				buf := make([]byte, 1536)
+				for i := 0; i < 8; i++ {
+					pattern(buf, int64(i), int64(i)*1536)
+					f.WriteAt(r, int64(i)*1536, buf)
+				}
+				f.WritevAt(r,
+					[]storage.Extent{{Off: 100, Len: 64}, {Off: 9000, Len: 64}},
+					[][]byte{make([]byte, 64), make([]byte, 64)})
+				f.ReadAt(r, 0, 4096)
+				be.Drain(r)
+				stats = be.Stats()
+			})
+			return end, fmt.Sprintf("%+v", stats)
+		}
+		e1, s1 := one()
+		e2, s2 := one()
+		if e1 != e2 {
+			t.Fatalf("virtual end times differ across identical runs: %g vs %g", e1, e2)
+		}
+		if s1 != s2 {
+			t.Fatalf("Stats() differ across identical runs:\n%s\nvs\n%s", s1, s2)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// CheckpointBurst models a defensive-checkpointing application: every step
+// computes for Compute seconds, then collectively dumps a contiguous
+// per-rank block into the shared checkpoint file (the N-1 pattern). It is
+// the scenario a burst-buffer staging tier exists for — the write call
+// should cost memory speed and the drain should hide under the next step's
+// compute — so unlike the paper workloads it reports the write-call spans
+// separately from end-to-end elapsed, and finishes with a Drain barrier
+// that forces every staged byte durable before the read-back.
+type CheckpointBurst struct {
+	BlockBytes int64   // real bytes per rank per checkpoint step
+	Steps      int     // checkpoint steps
+	Compute    float64 // seconds of per-rank compute before each dump
+}
+
+// CheckpointResult is a Result plus the burst-specific spans.
+type CheckpointResult struct {
+	Result
+	// WriteSecs sums the global spans of the collective write calls alone —
+	// the time the application was stalled inside a dump. With a staging
+	// tier this is what shrinks; the drain moves under compute.
+	WriteSecs float64
+	// DrainSecs is the global span of the final Drain barrier: the staged
+	// tail that did NOT fit under compute. Pass-through backends pay only
+	// the barrier itself.
+	DrainSecs float64
+}
+
+// Run executes the burst loop and returns this rank's result (spans are
+// global, identical on every rank).
+func (w CheckpointBurst) Run(r *mpi.Rank, env Env, name string) CheckpointResult {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.WorldRank()
+	n := comm.Size()
+	steps := w.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	data := make([]byte, w.BlockBytes)
+	var out CheckpointResult
+	elapsed := measure(comm, func() {
+		for s := 0; s < steps; s++ {
+			if w.Compute > 0 {
+				r.Compute(w.Compute)
+			}
+			Fill(data, me, int64(s)*w.BlockBytes)
+			off := (int64(s)*int64(n) + int64(me)) * w.BlockBytes
+			out.WriteSecs += measure(comm, func() { f.WriteAtAll(off, data) })
+		}
+		// Make the checkpoint durable: staged backends charge whatever drain
+		// tail the compute phases did not absorb.
+		out.DrainSecs = measure(comm, func() { env.FS.Drain(r) })
+	})
+	out.Result = Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.BlockBytes * int64(steps) * int64(n) * scaleOf(env),
+		Breakdown: f.Breakdown(),
+		Plan:      f.LastPlan(),
+		Metrics:   snapshotMetrics(env),
+	}
+	return out
+}
+
+// Verify checks every step's block of this rank against the fill pattern,
+// reading back through a fresh handle (after a Drain the bytes must be
+// byte-exact on the final tier regardless of backend).
+func (w CheckpointBurst) Verify(r *mpi.Rank, env Env, name string) error {
+	f := env.FS.Open(r, name, env.Stripe)
+	me := r.WorldRank()
+	n := mpi.WorldComm(r).Size()
+	steps := w.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	for s := 0; s < steps; s++ {
+		off := (int64(s)*int64(n) + int64(me)) * w.BlockBytes
+		got := f.ReadAt(r, off, w.BlockBytes)
+		for i, b := range got {
+			want := PatternByte(me, int64(s)*w.BlockBytes+int64(i))
+			if b != want {
+				return fmt.Errorf("rank %d step %d byte %d (file off %d) = %d, want %d",
+					me, s, i, off+int64(i), b, want)
+			}
+		}
+	}
+	return nil
+}

@@ -103,6 +103,31 @@ func (w IOR) Verify(r *mpi.Rank, env Env, name string) int64 {
 	return -1
 }
 
+// WriteIndependent runs the shared-file write with independent I/O — the
+// paper's "w/o Coll" baseline. Each rank issues its whole block through
+// its view in one call; with Strided set that call maps to Block/Transfer
+// noncontiguous file segments, which go to storage as per-extent requests
+// on a plain backend and as one vectored list-I/O request on a list-I/O
+// backend. This is exactly the access pattern Ching et al. built list-I/O
+// for.
+func (w IOR) WriteIndependent(r *mpi.Rank, env Env, name string) Result {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.WorldRank()
+	f.SetView(w.view(me, comm.Size()))
+	buf := make([]byte, w.Block)
+	Fill(buf, me, 0)
+	elapsed := measure(comm, func() {
+		f.WriteAt(0, buf)
+	})
+	return Result{
+		Elapsed:   elapsed,
+		VirtBytes: w.Block * int64(comm.Size()) * scaleOf(env),
+		Breakdown: f.Breakdown(),
+		Metrics:   snapshotMetrics(env),
+	}
+}
+
 // WriteFPP runs IOR's file-per-process mode: every rank writes its block
 // to its own file with independent I/O — no sharing, no collective
 // coordination. The classic foil for shared-file collective I/O: it avoids

@@ -10,17 +10,17 @@ package workload
 
 import (
 	"repro/internal/core"
-	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/storage"
 )
 
 // Env bundles what every workload run needs.
 type Env struct {
-	FS     *lustre.FS
-	Stripe lustre.StripeInfo
+	FS     storage.Backend
+	Stripe storage.Stripe
 	Opts   core.Options
 }
 
@@ -61,7 +61,7 @@ func (r Result) Bandwidth() float64 {
 
 // scaleOf returns the environment's virtual-bytes-per-real-byte factor.
 func scaleOf(env Env) int64 {
-	s := env.FS.Config().CostScale
+	s := env.FS.Params().CostScale
 	if s < 1 {
 		return 1
 	}

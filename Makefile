@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical backends paperrepro verify
+.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical backends storage-faults paperrepro verify
 
 all: build test
 
@@ -22,7 +22,7 @@ vet:
 # engine at 2 and 4 workers (DESIGN.md §12).
 race:
 	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/... ./internal/storage/... ./internal/bb/... ./internal/pvfs/...
-	$(GO) test -race -run 'TestParallel|TestHierarchicalParallel' -count=1 .
+	$(GO) test -race -run 'TestParallel|TestHierarchicalParallel|TestBurstUnderFailureDeterministic|TestChaosStorageFaults' -count=1 .
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
 # perturber hook tests, and the scenario determinism goldens + straggler
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzRetrySchedule' -fuzztime=10s ./internal/recovery
 	$(GO) test -fuzz 'FuzzNodeSplit' -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz 'FuzzExtentCoalesce' -fuzztime=10s ./internal/bb
+	$(GO) test -fuzz 'FuzzExtentRedump' -fuzztime=10s ./internal/storage
 
 # Two-level collective gate: vet the touched layers, run the hierarchy
 # property/fuzz-seed and two-level protocol suites, then the root goldens,
@@ -101,6 +102,20 @@ backends:
 	$(GO) test ./internal/storage/... ./internal/bb/... ./internal/pvfs/... -count=1
 	$(GO) test ./internal/lustre/ -run 'TestBackendConformance|TestRemove|TestStatsDeterministic' -count=1
 	$(GO) test . -run 'TestBackendSweepListIO|TestCheckpointBurst' -count=1 -v
+
+# Storage-tier fault-tolerance gate: vet the fault and backend layers, run
+# the shared fault-injection conformance leg against all three backends,
+# the extent/ledger algebra tests, and the root acceptance suite — a bb
+# node lost mid-burst with checksum-verified byte-exact read-back and
+# ParColl degrading strictly less than ext2ph, flaky drains charging retry
+# time without losing data, a dead list-I/O server carried by the scalar
+# fallback, run-twice/parallel determinism, and the seeded chaos sweep
+# (DESIGN.md §15, EXPERIMENTS.md "Checkpoint burst under failure").
+storage-faults: vet
+	$(GO) test ./internal/fault/ -count=1
+	$(GO) test ./internal/lustre/ ./internal/pvfs/ ./internal/bb/ -run 'TestBackendFaultConformance' -count=1
+	$(GO) test ./internal/storage/... -count=1
+	$(GO) test . -run 'TestCheckpointBurstSurvivesBBNodeLoss|TestCheckpointBurstUnderFlakyDrain|TestTileUnderDeadPVFSServer|TestBurstUnderFailureDeterministic|TestChaosStorageFaults' -count=1 -v
 
 # Regenerate the checked-in full-scale transcript. -timings=false drops the
 # wall-clock lines so the file is a pure function of the simulation — any

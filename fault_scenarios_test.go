@@ -97,6 +97,19 @@ func TestGoldenFaultScenarioMetrics(t *testing.T) {
 		"lossy-net/groups=4":     "elapsed=0x1.d6eca0a9479ap-04 sync=0x1.52ab3ae8d29eep-05 io=0x1.9afa8941d5f0ep-05 perturbed=49",
 		"one-agg-crash/groups=1": "elapsed=0x1.900f6dd26ab87p-02 sync=0x1.3c0d0d32f4c6p-02 io=0x1.9c9f9aef6f781p-05 perturbed=0",
 		"one-agg-crash/groups=4": "elapsed=0x1.91cdd4b2ed70ap-02 sync=0x1.9e6e627deafccp-04 io=0x1.9c31cfaa1a28p-05 perturbed=0",
+		// Storage-tier catalog additions (PR 9). All three are pinned
+		// bit-identical to healthy ON PURPOSE: the suite runs on the lustre
+		// backend, which has no staging tier and no pvfs servers, so these
+		// plans' hooks must never fire, consume a draw, or shift a clock
+		// there. (The ledger attached to faulted runs is likewise free.) The
+		// plans' actual effects are exercised on their own backends in
+		// storage_faults_test.go and the storagetest conformance suite.
+		"lost-bb-node/groups=1":     "elapsed=0x1.d56fc411bdf5ep-04 sync=0x1.509a2c87cceeep-05 io=0x1.9c2172baaaefp-05 perturbed=0",
+		"lost-bb-node/groups=4":     "elapsed=0x1.cd1b0b4381742p-04 sync=0x1.40251fd33ab74p-05 io=0x1.9c2172baaaeeep-05 perturbed=0",
+		"flaky-drain/groups=1":      "elapsed=0x1.d56fc411bdf5ep-04 sync=0x1.509a2c87cceeep-05 io=0x1.9c2172baaaefp-05 perturbed=0",
+		"flaky-drain/groups=4":      "elapsed=0x1.cd1b0b4381742p-04 sync=0x1.40251fd33ab74p-05 io=0x1.9c2172baaaeeep-05 perturbed=0",
+		"dead-pvfs-server/groups=1": "elapsed=0x1.d56fc411bdf5ep-04 sync=0x1.509a2c87cceeep-05 io=0x1.9c2172baaaefp-05 perturbed=0",
+		"dead-pvfs-server/groups=4": "elapsed=0x1.cd1b0b4381742p-04 sync=0x1.40251fd33ab74p-05 io=0x1.9c2172baaaeeep-05 perturbed=0",
 	}
 	for k, w := range want {
 		if got[k] != w {

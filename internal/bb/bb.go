@@ -23,14 +23,38 @@
 // writing through to the under-backend at full cost. Try variants also
 // write through whenever the under-backend injects request errors, so
 // fault-plan error plumbing is preserved.
+//
+// Fault tolerance (DESIGN.md §15): a fault plan's BBFails fail-stop a
+// node's staging memory at a fixed virtual time. Entries whose drains
+// completed by that instant survive (they are durable below); entries still
+// queued are LOST — the tier punches their ranges out of the under-store
+// (they read as zeroes: a loud failure, never silently stale bytes),
+// records them in a per-file lost set, and flips the node permanently to
+// write-through. The loss surfaces as a typed *storage.StagingLostError
+// from TryWriteAt (once per file) and from TryDrain (until re-dumped);
+// LostExtents (storage.LossReporter) lets the collective layer plan the
+// re-dump, and any write landing on a lost range heals it. DrainFails make
+// drain-completion acknowledgments flaky instead: each drain retries
+// through the capped exponential backoff schedule and a per-node breaker,
+// its retry time charged at the Drain barrier; while a node's breaker is
+// open, new writes on that node temporarily write through. Degrade
+// implements storage.Degrader: a metadata-only migration (durable-at-issue
+// means the bytes are already below) that honors booked drain completions
+// and flips the node to write-through for good. With a zero plan none of
+// this runs: no sweep work, no draws, no breaker consults — the healthy
+// path is bit-identical to the fault-free tier.
 package bb
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/nbio"
 	"repro/internal/obs"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -45,6 +69,14 @@ type Config struct {
 	// drain completes at the later of the pipe and the under-backend's own
 	// service. Zero leaves the under-backend's pace unthrottled.
 	DrainBandwidth float64
+	// Seed feeds the drain-retry RNG (only consulted under DrainFails).
+	Seed int64
+	// Faults, when it carries BBFails or DrainFails, arms the staging-tier
+	// failure model described in the package comment. Zero plans are inert.
+	Faults *fault.Plan
+	// Retry overrides the drain-retry backoff schedule; zero fields take
+	// recovery's defaults. Only consulted when Faults injects drain errors.
+	Retry recovery.Backoff
 }
 
 // Tier is a burst-buffer staging tier over an underlying backend.
@@ -53,13 +85,33 @@ type Tier struct {
 	cfg   Config
 	nodes map[int]*nodeState
 
+	rng    *rand.Rand           // drain-retry draws (nil unless armed)
+	retry  recovery.Backoff     // drain-retry schedule
+	brk    *recovery.BreakerSet // per-node drain breakers
+	rstats recovery.RetryStats  // the tier's own drain-retry counters
+	ledger *storage.Ledger      // forwarded to under; kept for NoteLost
+
+	// lost maps file name to punched, not-yet-re-dumped extents (coalesced);
+	// lostNew marks losses not yet surfaced through TryWriteAt, and lostFrom
+	// attributes each file's loss to the staging node that died.
+	lost     map[string][]storage.Extent
+	lostNew  map[string]bool
+	lostFrom map[string]int
+	// ufiles holds one under-backend handle per file for punching lost
+	// ranges (first open wins; handles are stateless views of the store).
+	ufiles map[string]storage.File
+
 	absorbed     int64 // virtual bytes staged at memory speed
 	drained      int64 // virtual bytes whose staged entries were reclaimed
 	writethrough int64 // virtual bytes that bypassed staging (full buffer)
+	lostBytes    int64 // real bytes punched by staging-node failures
+	redumped     int64 // real bytes of lost ranges healed by re-dump writes
 
 	obsAbsorbed *obs.Counter
 	obsDrained  *obs.Counter
 	obsWT       *obs.Counter
+	obsLost     *obs.Counter
+	obsRedumped *obs.Counter
 }
 
 // nodeState is one node's staging-buffer bookkeeping.
@@ -69,6 +121,8 @@ type nodeState struct {
 	drainEnd float64  // latest drain completion issued on this node
 	mem      *sim.Resource
 	pipe     *sim.Resource // nil unless DrainBandwidth > 0
+	failed   bool          // staging memory fail-stopped (BBFail fired)
+	wt       bool          // permanently write-through (failure or Degrade)
 
 	// dirty maps file name to the node's coalesced staged extents — the
 	// residency set reads probe for a memory-speed hit.
@@ -85,13 +139,35 @@ type staged struct {
 }
 
 var (
-	_ storage.Backend = (*Tier)(nil)
-	_ storage.File    = (*File)(nil)
+	_ storage.Backend      = (*Tier)(nil)
+	_ storage.Degrader     = (*Tier)(nil)
+	_ storage.File         = (*File)(nil)
+	_ storage.LossReporter = (*File)(nil)
 )
 
 // New wraps under with a staging tier.
 func New(under storage.Backend, cfg Config) *Tier {
-	return &Tier{under: under, cfg: cfg, nodes: make(map[int]*nodeState)}
+	t := &Tier{
+		under:    under,
+		cfg:      cfg,
+		nodes:    make(map[int]*nodeState),
+		lost:     make(map[string][]storage.Extent),
+		lostNew:  make(map[string]bool),
+		lostFrom: make(map[string]int),
+		ufiles:   make(map[string]storage.File),
+	}
+	if t.injecting() {
+		t.rng = rand.New(rand.NewSource(cfg.Seed*31337 + 7))
+		t.retry = cfg.Retry.Defaults()
+		t.brk = recovery.NewBreakerSet()
+	}
+	return t
+}
+
+// injecting reports whether the tier's own fault model is armed (the
+// under-backend's injection is a separate, composable concern).
+func (t *Tier) injecting() bool {
+	return t.cfg.Faults.HasBBFails() || t.cfg.Faults.HasDrainFails()
 }
 
 // Under returns the wrapped backend.
@@ -103,6 +179,12 @@ func (t *Tier) Counters() (absorbed, drained, writethrough int64) {
 	return t.absorbed, t.drained, t.writethrough
 }
 
+// FaultCounters returns the cumulative real-byte loss ledger: bytes punched
+// by staging-node failures and bytes of lost ranges healed by re-dumps.
+func (t *Tier) FaultCounters() (lost, redumped int64) {
+	return t.lostBytes, t.redumped
+}
+
 // SetObs attaches a metrics registry: absorbed/drained/writethrough bytes
 // count as they happen, and the under-backend is instrumented too. Pass nil
 // to detach. Observe-only.
@@ -110,24 +192,44 @@ func (t *Tier) SetObs(reg *obs.Registry) {
 	t.under.SetObs(reg)
 	if reg == nil {
 		t.obsAbsorbed, t.obsDrained, t.obsWT = nil, nil, nil
+		t.obsLost, t.obsRedumped = nil, nil
 		return
 	}
 	t.obsAbsorbed = reg.Counter("storage.bb.absorbed.bytes")
 	t.obsDrained = reg.Counter("storage.bb.drained.bytes")
 	t.obsWT = reg.Counter("storage.bb.writethrough.bytes")
+	t.obsLost = reg.Counter("storage.bb.lost.bytes")
+	t.obsRedumped = reg.Counter("storage.bb.redumped.bytes")
 }
 
 // Stats returns the under-backend's per-target counters (the tier itself
 // has no targets; its counters are the byte totals above).
 func (t *Tier) Stats() []storage.TargetStat { return t.under.Stats() }
 
+// RetryStats sums the under-backend's retry counters with the tier's own
+// drain-retry work.
+func (t *Tier) RetryStats() recovery.RetryStats {
+	s := t.under.RetryStats()
+	s.Add(t.rstats)
+	return s
+}
+
+// SetLedger forwards the integrity ledger to the under-backend (whose store
+// paths perform the tier's actual stores) and keeps it for loss events.
+func (t *Tier) SetLedger(l *storage.Ledger) {
+	t.ledger = l
+	t.under.SetLedger(l)
+}
+
 // Params inherits the under-backend's cost scale and targets. ListIO is
 // always true: staging memory is inherently list-capable (one absorb for
 // the whole extent list), and the drain uses the under-backend's own
 // vectored call — a per-extent loop there costs only hidden drain time.
+// Injecting adds the tier's own fault model to the under-backend's.
 func (t *Tier) Params() storage.Params {
 	p := t.under.Params()
 	p.ListIO = true
+	p.Injecting = p.Injecting || t.injecting()
 	return p
 }
 
@@ -136,7 +238,7 @@ func (t *Tier) Name() string { return "bb" }
 
 // Remove drops the file from the under-backend and evicts its staged
 // extents from every node (without counting them drained — they no longer
-// exist to drain).
+// exist to drain), along with any pending loss bookkeeping.
 func (t *Tier) Remove(name string) {
 	t.under.Remove(name)
 	for _, ns := range t.nodes {
@@ -151,11 +253,20 @@ func (t *Tier) Remove(name string) {
 		ns.q = kept
 		delete(ns.dirty, name)
 	}
+	delete(t.lost, name)
+	delete(t.lostNew, name)
+	delete(t.lostFrom, name)
+	delete(t.ufiles, name)
 }
 
-// node returns (creating) the calling rank's node state.
-func (t *Tier) node(r *mpi.Rank) *nodeState {
+// node returns (creating) the calling rank's node id and state.
+func (t *Tier) node(r *mpi.Rank) (int, *nodeState) {
 	id := r.W.Cluster.NodeOf(r.WorldRank())
+	return id, t.nodeByID(id)
+}
+
+// nodeByID returns (creating) the node's state.
+func (t *Tier) nodeByID(id int) *nodeState {
 	ns, ok := t.nodes[id]
 	if !ok {
 		ns = &nodeState{
@@ -168,6 +279,149 @@ func (t *Tier) node(r *mpi.Rank) *nodeState {
 		t.nodes[id] = ns
 	}
 	return ns
+}
+
+// sweep processes every staging-node failure due by virtual time now, in
+// ascending node order so the walk is deterministic. Callers hold the
+// engine sync. Free with a zero plan.
+func (t *Tier) sweep(now float64) {
+	if !t.cfg.Faults.HasBBFails() {
+		return
+	}
+	ids := make([]int, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ns := t.nodes[id]
+		if ns.failed {
+			continue
+		}
+		if at, ok := t.cfg.Faults.BBFailAt(id); ok && at <= now {
+			t.failNode(id, ns, at)
+		}
+	}
+}
+
+// failNode fail-stops one node's staging memory at virtual time at. Entries
+// whose drains completed by then survive (reclaimed normally); the rest are
+// punched out of the under-store, recorded lost, and the node flips to
+// write-through for the rest of the run. Conservative on overlap: punching
+// a queued entry's range may zero bytes an earlier, already-durable write
+// put there — a loud loss rather than silently stale data; the ledger's
+// shadow keeps the acknowledged contents, and re-dump restores them.
+func (t *Tier) failNode(id int, ns *nodeState, at float64) {
+	t.reclaim(ns, at)
+	files := make(map[string]bool)
+	for _, s := range ns.q {
+		if uf := t.ufiles[s.file]; uf != nil {
+			uf.Punch(s.ext.Off, s.ext.Len)
+		}
+		t.lost[s.file] = append(t.lost[s.file], s.ext)
+		t.lostNew[s.file] = true
+		t.lostFrom[s.file] = id
+		t.lostBytes += s.ext.Len
+		if t.obsLost != nil {
+			t.obsLost.Add(uint64(s.ext.Len))
+		}
+		files[s.file] = true
+	}
+	for file := range files {
+		t.lost[file] = storage.Coalesce(t.lost[file])
+		if t.ledger != nil {
+			t.ledger.NoteLost(file, t.lost[file])
+		}
+	}
+	ns.q = nil
+	ns.used = 0
+	for file := range ns.dirty {
+		delete(ns.dirty, file)
+	}
+	ns.failed, ns.wt = true, true
+	if ns.drainEnd > at {
+		ns.drainEnd = at
+	}
+}
+
+// heal removes any freshly-written ranges from the file's lost set — every
+// write through the tier stores in the under-backend at issue time, so a
+// write covering a lost range IS its re-dump.
+func (t *Tier) heal(file string, exts []storage.Extent) {
+	l := t.lost[file]
+	if len(l) == 0 {
+		return
+	}
+	rem := storage.Subtract(l, exts)
+	healed := storage.SumLen(l) - storage.SumLen(rem)
+	t.redumped += healed
+	if healed > 0 && t.obsRedumped != nil {
+		t.obsRedumped.Add(uint64(healed))
+	}
+	if len(rem) == 0 {
+		delete(t.lost, file)
+		delete(t.lostNew, file)
+		delete(t.lostFrom, file)
+		return
+	}
+	t.lost[file] = rem
+}
+
+// takeLoss surfaces a file's not-yet-reported staging loss as a typed
+// error, once: the caller's immediate retry proceeds (and, landing on a
+// write-through node, heals its own range), while LostExtents and TryDrain
+// cover the rest of the lost set.
+func (t *Tier) takeLoss(file string) error {
+	if !t.lostNew[file] {
+		return nil
+	}
+	t.lostNew[file] = false
+	return &storage.StagingLostError{
+		Node: t.lostFrom[file],
+		File: file,
+		Lost: append([]storage.Extent(nil), t.lost[file]...),
+	}
+}
+
+// retryDrain runs one drain-completion acknowledgment through the retry
+// engine starting at its booked completion time dEnd: each failed attempt
+// feeds the node's breaker and pushes the completion out by the backoff
+// schedule; on exhaustion the drain completes anyway at the current clock —
+// the bytes were durable at issue, so a lost acknowledgment costs time and
+// breaker state, never data. The returned time replaces the booked one, so
+// the Drain barrier charges the retry time deterministically.
+func (t *Tier) retryDrain(node int, dEnd float64) float64 {
+	brk := t.brk.Get(node)
+	attempts := 0
+	at := dEnd
+	for {
+		if h := brk.HoldOff(at); h > 0 {
+			at += h
+			t.rstats.BackoffSecs += h
+		}
+		attempts++
+		t.rstats.Attempts++
+		if attempts > 1 {
+			t.rstats.Retries++
+		}
+		if !t.cfg.Faults.DrainErrorAt(node, at, t.rng) {
+			brk.Success()
+			return at
+		}
+		t.rstats.Failures++
+		opensBefore := brk.Opens
+		brk.Failure(at)
+		if opened := brk.Opens - opensBefore; opened > 0 {
+			t.rstats.BreakerOpens += opened
+		}
+		if t.retry.Exhausted(attempts) {
+			t.rstats.Exhausted++
+			return at
+		}
+		d := t.retry.Delay(attempts, t.rng)
+		at += d
+		t.rstats.BackoffSecs += d
+	}
 }
 
 // reclaim frees staged entries whose drains have completed by virtual time
@@ -209,11 +463,19 @@ func (t *Tier) rebuildDirty(ns *nodeState) {
 
 // Drain blocks (in virtual time) until every drain issued on the calling
 // rank's node has completed, charging the exposed wait to ClassIO — the
-// checkpoint-burst "make it durable now" barrier.
+// checkpoint-burst "make it durable now" barrier. If the node's staging
+// memory is scheduled to die during the wait, the wait ends at the failure
+// instant and the undrained entries are lost then.
 func (t *Tier) Drain(r *mpi.Rank) {
 	r.P.Sync()
-	ns := t.node(r)
 	now := r.Now()
+	t.sweep(now)
+	id, ns := t.node(r)
+	if t.cfg.Faults.HasBBFails() && !ns.failed {
+		if at, ok := t.cfg.Faults.BBFailAt(id); ok && at <= ns.drainEnd {
+			t.failNode(id, ns, at)
+		}
+	}
 	if ns.drainEnd > now {
 		r.ChargeIO(ns.drainEnd - now)
 		now = r.Now()
@@ -221,9 +483,65 @@ func (t *Tier) Drain(r *mpi.Rank) {
 	t.reclaim(ns, now)
 }
 
+// TryDrain is the Drain barrier with loss reporting: after the wait it
+// reports any staged data the tier has lost and not yet seen re-dumped —
+// every call, not once, so every rank of a collective re-dump sees the same
+// remaining loss (deterministic file order, first afflicted file).
+func (t *Tier) TryDrain(r *mpi.Rank) error {
+	t.Drain(r)
+	if !t.injecting() || len(t.lost) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(t.lost))
+	for name, exts := range t.lost {
+		if len(exts) > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	name := names[0]
+	t.lostNew[name] = false
+	return &storage.StagingLostError{
+		Node: t.lostFrom[name],
+		File: name,
+		Lost: append([]storage.Extent(nil), t.lost[name]...),
+	}
+}
+
+// Degraded reports whether the node has been flipped permanently to
+// write-through (by Degrade or a staging-node failure).
+func (t *Tier) Degraded(node int) bool {
+	ns := t.nodes[node]
+	return ns != nil && ns.wt
+}
+
+// Degrade migrates the node's staged state down to the under-backend and
+// flips it permanently to write-through. Durable-at-issue makes this
+// metadata-only: the bytes already live in the under-store, so the staged
+// entries are reclaimed at their booked drain completions (counted drained,
+// never lost) and no data moves and no time is charged. Idempotent.
+func (t *Tier) Degrade(r *mpi.Rank, node int) {
+	r.P.Sync()
+	t.sweep(r.Now())
+	ns := t.nodeByID(node)
+	if !ns.wt {
+		ns.wt = true
+	}
+	if len(ns.q) > 0 {
+		t.reclaim(ns, ns.drainEnd)
+	}
+}
+
 // Open opens the file on the under-backend and wraps the handle.
 func (t *Tier) Open(r *mpi.Rank, name string, stripe storage.Stripe) storage.File {
-	return &File{t: t, name: name, uf: t.under.Open(r, name, stripe)}
+	uf := t.under.Open(r, name, stripe)
+	if _, ok := t.ufiles[name]; !ok {
+		t.ufiles[name] = uf
+	}
+	return &File{t: t, name: name, uf: uf}
 }
 
 // File is a staged handle over an under-backend file.
@@ -246,10 +564,33 @@ func (f *File) Contents() []byte { return f.uf.Contents() }
 // Peek returns the file's bytes in [off, off+n) at no time cost.
 func (f *File) Peek(off, n int64) []byte { return f.uf.Peek(off, n) }
 
+// Punch forwards to the under-store (staged reads serve through the
+// under-file's Peek, so a punched range reads zeroes immediately).
+func (f *File) Punch(off, n int64) { f.uf.Punch(off, n) }
+
+// LostExtents implements storage.LossReporter: it processes any
+// staging-node failures due by the rank's current virtual time and returns
+// the file's punched, not-yet-re-dumped extents for the caller to plan its
+// re-dump from. Marks the file's loss reported.
+func (f *File) LostExtents(r *mpi.Rank) []storage.Extent {
+	t := f.t
+	if !t.injecting() {
+		return nil
+	}
+	r.P.Sync()
+	t.sweep(r.Now())
+	if t.lostNew[f.name] {
+		t.lostNew[f.name] = false
+	}
+	return append([]storage.Extent(nil), t.lost[f.name]...)
+}
+
 // stage absorbs one extent list into the node's staging memory and issues
 // its drain, returning the write call's virtual completion time (the memory
 // absorb). Falls back to write-through when the buffer cannot hold the
-// request. Data is durable in the under-store on return either way.
+// request, when the node is degraded (failure or Degrade), or while the
+// node's drain breaker is open. Data is durable in the under-store on
+// return either way, and any write covering a lost range heals it.
 func (f *File) stage(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
 	t := f.t
 	var total int64
@@ -261,18 +602,30 @@ func (f *File) stage(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 
 	}
 	r.P.Sync()
 	now := r.Now()
-	ns := t.node(r)
+	t.sweep(now)
+	id, ns := t.node(r)
 	t.reclaim(ns, now)
 	scale := t.under.Params().CostScale
 	virtF := float64(total) * scale
 	virt := int64(virtF)
-	if t.cfg.Capacity > 0 && ns.used+virt > t.cfg.Capacity {
-		// Full: write through at the under-backend's cost.
+	wt := ns.wt
+	if !wt && t.cfg.Capacity > 0 && ns.used+virt > t.cfg.Capacity {
+		wt = true // full buffer
+	}
+	if !wt && t.cfg.Faults.HasDrainFails() && t.brk.Get(id).State(now) == recovery.BreakerOpen {
+		wt = true // flaky drains tripped the node's breaker: back off staging
+	}
+	if wt {
+		// Write through at the under-backend's cost.
 		t.writethrough += virt
 		if t.obsWT != nil {
 			t.obsWT.Add(uint64(virt))
 		}
-		return f.uf.WritevAtAsync(r, exts, bufs)
+		done := f.uf.WritevAtAsync(r, exts, bufs)
+		if t.injecting() {
+			t.heal(f.name, exts)
+		}
+		return done
 	}
 	// Absorb: the caller pays node memory only.
 	cl := r.W.Cluster.Config()
@@ -290,6 +643,9 @@ func (f *File) stage(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 
 	if dEnd < done {
 		dEnd = done
 	}
+	if t.cfg.Faults.HasDrainFails() {
+		dEnd = t.retryDrain(id, dEnd)
+	}
 	ns.used += virt
 	for _, e := range exts {
 		ns.q = append(ns.q, staged{file: f.name, ext: e, virt: 0, end: dEnd})
@@ -306,6 +662,9 @@ func (f *File) stage(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 
 	t.absorbed += virt
 	if t.obsAbsorbed != nil {
 		t.obsAbsorbed.Add(uint64(virt))
+	}
+	if t.injecting() {
+		t.heal(f.name, exts)
 	}
 	// Ride the progress engine: the drain tail hides under whatever the
 	// rank does next (compute, the next round's exchange).
@@ -336,18 +695,33 @@ func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
 	return f.WritevAtAsync(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
 }
 
-// TryWriteAt: under an error-injecting fault plan the staging tier steps
-// aside — the write goes through to the under-backend's plumbed path, so
-// typed errors (and their retry accounting) surface exactly as they would
-// without the tier. Healthy plans absorb as usual and never fail.
+// TryWriteAt: a not-yet-reported staging loss on this file surfaces first,
+// as a typed *storage.StagingLostError, before any bytes move — the
+// caller's retry then proceeds (the failed node is write-through by then)
+// and heals what it rewrites. Otherwise, under an error-injecting
+// under-backend the write goes through its plumbed path so typed errors
+// (and their retry accounting) surface exactly as they would without the
+// tier; healthy plans absorb as usual and never fail.
 func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
-	if f.t.under.Params().Injecting {
-		virt := int64(float64(len(data)) * f.t.under.Params().CostScale)
-		f.t.writethrough += virt
-		if f.t.obsWT != nil {
-			f.t.obsWT.Add(uint64(virt))
+	t := f.t
+	if t.injecting() {
+		r.P.Sync()
+		t.sweep(r.Now())
+		if err := t.takeLoss(f.name); err != nil {
+			return err
 		}
-		return f.uf.TryWriteAt(r, off, data)
+	}
+	if t.under.Params().Injecting {
+		virt := int64(float64(len(data)) * t.under.Params().CostScale)
+		t.writethrough += virt
+		if t.obsWT != nil {
+			t.obsWT.Add(uint64(virt))
+		}
+		err := f.uf.TryWriteAt(r, off, data)
+		if err == nil && t.injecting() {
+			t.heal(f.name, []storage.Extent{{Off: off, Len: int64(len(data))}})
+		}
+		return err
 	}
 	f.WriteAt(r, off, data)
 	return nil
@@ -365,7 +739,8 @@ func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
 	t := f.t
 	r.P.Sync()
 	now := r.Now()
-	ns := t.node(r)
+	t.sweep(now)
+	_, ns := t.node(r)
 	t.reclaim(ns, now)
 	cl := r.W.Cluster.Config()
 	scale := t.under.Params().CostScale
@@ -422,10 +797,20 @@ func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
 	return out[0], done
 }
 
-// TryReadAt mirrors TryWriteAt: injecting plans bypass the tier so typed
-// errors surface; healthy plans never fail.
+// TryReadAt refuses loudly while the requested range overlaps a lost,
+// not-yet-re-dumped extent — every call, so a reader can never consume
+// punched zeroes as data. Otherwise it mirrors TryWriteAt: injecting
+// under-backends get their plumbed path; healthy plans never fail.
 func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
-	if f.t.under.Params().Injecting {
+	t := f.t
+	if t.injecting() {
+		r.P.Sync()
+		t.sweep(r.Now())
+		if sect := storage.Intersect(t.lost[f.name], []storage.Extent{{Off: off, Len: n}}); len(sect) > 0 {
+			return nil, &storage.StagingLostError{Node: t.lostFrom[f.name], File: f.name, Lost: sect}
+		}
+	}
+	if t.under.Params().Injecting {
 		return f.uf.TryReadAt(r, off, n)
 	}
 	return f.ReadAt(r, off, n), nil

@@ -3,6 +3,7 @@ package bb
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/lustre"
 	"repro/internal/storage"
 	"repro/internal/storage/storagetest"
@@ -21,5 +22,22 @@ func TestBackendConformance(t *testing.T) {
 	})
 	storagetest.Run(t, "bb-tiny", func() storage.Backend {
 		return New(lustre.NewFS(lustre.DefaultConfig()), Config{Capacity: 64})
+	})
+}
+
+// TestBackendFaultConformance runs the shared fault-injection leg: the
+// staging node dies at the window's start while the pre-window write is
+// still queued behind a throttled drain pipe, so the loss surfaces as a
+// typed *storage.StagingLostError, the punched ranges read as zeroes, and
+// the script's re-dump heals them back to a clean ledger audit.
+func TestBackendFaultConformance(t *testing.T) {
+	storagetest.RunFaults(t, "bb", func() storage.Backend {
+		plan := &fault.Plan{
+			Name:    "conf-lost-node",
+			BBFails: []fault.BBFail{{Node: -1, At: storagetest.FaultAt}},
+		}
+		// 1e5 B/s drains the 2 KB pre-window write in ~20 ms, far past the
+		// node's death at FaultAt — guaranteeing it is lost, not durable.
+		return New(lustre.NewFS(lustre.DefaultConfig()), Config{DrainBandwidth: 1e5, Seed: 1, Faults: plan})
 	})
 }

@@ -1,48 +1,20 @@
 package bb
 
-import (
-	"sort"
-
-	"repro/internal/storage"
-)
+import "repro/internal/storage"
 
 // Coalesce returns the union of the given extents as a minimal sorted list
 // of disjoint extents: overlapping and adjacent runs merge, zero-length
 // runs vanish. It is the burst buffer's dirty-extent merge — the staged set
-// a read probes for residency — and a pure function, which is what the
-// FuzzExtentCoalesce target leans on: for any input, the output is sorted,
-// disjoint, non-adjacent, and covers exactly the input's byte set.
+// a read probes for residency. The implementation moved to
+// storage.Coalesce when the staging-loss bookkeeping started needing the
+// same algebra; this wrapper keeps the bb call sites and the
+// FuzzExtentCoalesce target reading unchanged.
 func Coalesce(exts []storage.Extent) []storage.Extent {
-	var out []storage.Extent
-	for _, e := range exts {
-		if e.Len > 0 {
-			out = append(out, e)
-		}
-	}
-	if len(out) == 0 {
-		return nil
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
-	w := 0
-	for _, e := range out[1:] {
-		if e.Off <= out[w].End() {
-			if e.End() > out[w].End() {
-				out[w].Len = e.End() - out[w].Off
-			}
-			continue
-		}
-		w++
-		out[w] = e
-	}
-	return out[:w+1]
+	return storage.Coalesce(exts)
 }
 
 // covered reports whether [off, off+n) lies inside a single run of the
 // coalesced (sorted, disjoint) extent list.
 func covered(exts []storage.Extent, off, n int64) bool {
-	if n <= 0 {
-		return true
-	}
-	i := sort.Search(len(exts), func(i int) bool { return exts[i].End() > off })
-	return i < len(exts) && exts[i].Off <= off && off+n <= exts[i].End()
+	return storage.Covered(exts, off, n)
 }

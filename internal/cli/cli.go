@@ -93,10 +93,27 @@ func (c *Common) Plan() *fault.Plan {
 
 // Apply copies the shared flag values onto a preset: the seed, the
 // scenario's fault plan (threaded through every runner of the preset), the
-// engine worker count, and the node topology knobs.
+// engine worker count, and the node topology knobs. A plan whose storage
+// faults cannot reach the selected backend (bb-node loss without the bb
+// tier, server failures without the listio farm) still runs — healthy at
+// that layer, by design — but gets a stderr warning so a sweep that quietly
+// measures nothing is noticed.
 func (c *Common) Apply(p *experiments.Preset) {
 	c.ApplyBase(p)
 	p.Fault = c.Plan()
+	if p.Fault == nil {
+		return
+	}
+	b := p.Backend
+	if b == "" {
+		b = "lustre"
+	}
+	if (p.Fault.HasBBFails() || p.Fault.HasDrainFails()) && b != "bb" {
+		fmt.Fprintf(os.Stderr, "warning: scenario %q injects burst-buffer faults but -backend=%s has no staging tier; those faults are inert\n", c.Scenario, b)
+	}
+	if p.Fault.HasServerFails() && b != "listio" {
+		fmt.Fprintf(os.Stderr, "warning: scenario %q injects pvfs server faults but -backend=%s is not the listio farm; those faults are inert\n", c.Scenario, b)
+	}
 }
 
 // ApplyBase copies every shared flag value except the fault plan onto a

@@ -162,6 +162,7 @@ type File struct {
 
 	viewGen int // bumped by SetView
 	planGen int // view generation the current plan was built for
+	bbEpoch int // staging-death epoch the aggregator set accounts for
 	subComm *mpi.Comm
 	subFile *mpiio.File
 	plan    Plan
@@ -235,6 +236,7 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 	if f.plan.Mode != ModeIntermediate {
 		f.subFile.SetView(f.view)
 	}
+	f.reelectDegraded()
 	f.subFile.WriteAtAll(logOff, data)
 	if tuning {
 		f.tuneEnd()
@@ -288,6 +290,7 @@ func (f *File) WriteAllBegin(logOff int64, data []byte) *nbio.Request {
 	if f.plan.Mode != ModeIntermediate {
 		f.subFile.SetView(f.view)
 	}
+	f.reelectDegraded()
 	sub := f.subFile.WriteAllBegin(logOff, data)
 	return nbio.Start(f.r, f.r.Now(), func() {
 		f.subFile.WriteAllEnd(sub)
@@ -344,6 +347,78 @@ func (f *File) Recovery() recovery.FailoverStats {
 		return recovery.FailoverStats{}
 	}
 	return f.subFile.Recovery()
+}
+
+// reelectDegraded is ParColl's storage-degradation-aware aggregator
+// re-election (DESIGN.md §15). A staging node whose memory died is not a
+// crashed rank — its process still answers, so the fail-stop watchdogs
+// have nothing to detect — but every byte it aggregates from now on pays
+// write-through pace. The unpartitioned protocol is stuck with it: ROMIO
+// fixes the aggregator set at open and has no per-call planning step to
+// revisit it. A ParColl subgroup replans per view, so it can also replan
+// per degradation epoch: the group agrees on how many scheduled staging
+// deaths its members' clocks have passed (a subgroup allgather — the cost
+// is group-confined, the paper's argument again), and on an epoch change
+// re-elects one aggregator per *healthy* node among its members. Groups
+// without a dead staging node pay only the allgather; ModeSingle pays
+// nothing and keeps its open-time aggregators. Healthy runs (no BBFails,
+// or a backend the plan cannot reach) never enter — goldens stay
+// bit-identical.
+func (f *File) reelectDegraded() {
+	if f.plan.Mode == ModeSingle || f.subFile.Hierarchical() ||
+		!f.opts.Run.Fault.HasBBFails() || !f.fs.Params().Injecting {
+		return
+	}
+	r := f.r
+	// Agree on the degradation epoch at synchronized time. [sync, subgroup]
+	old := r.SetClass(mpi.ClassSync)
+	meta := f.subComm.AllgatherInt64s([]int64{int64(f.opts.Run.Fault.BBDeadCount(r.Now()))})
+	r.SetClass(old)
+	epoch := 0
+	for _, m := range meta {
+		if int(m[0]) > epoch {
+			epoch = int(m[0])
+		}
+	}
+	if epoch == f.bbEpoch {
+		return
+	}
+	f.bbEpoch = epoch
+	dead, ok := f.opts.Run.Fault.BBDeadNodes(epoch)
+	if !ok {
+		return // a kill-all plan leaves no healthy node to move to
+	}
+	// Default selection rule, minus dead staging nodes: the first member
+	// rank on each healthy node. An all-dead group has nowhere to go.
+	var aggs []int
+	seen := make(map[int]bool)
+	for cr := 0; cr < f.subComm.Size(); cr++ {
+		n := r.W.Cluster.NodeOf(f.subComm.WorldRankOf(cr))
+		if dead[n] || seen[n] {
+			continue
+		}
+		seen[n] = true
+		aggs = append(aggs, cr)
+	}
+	if len(aggs) == 0 || equalInts(aggs, f.subFile.Aggregators()) {
+		return
+	}
+	f.subFile.SetAggregators(aggs)
+	if f.plan.MyGroup < len(f.plan.Aggregators) {
+		f.plan.Aggregators[f.plan.MyGroup] = worldOf(f.subComm, aggs)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // tuneBegin reports whether this call is an AutoTune measurement and, if
@@ -583,6 +658,7 @@ func (f *File) ensurePlan() {
 	f.plan = plan
 	f.subComm = subComm
 	f.subFile = subFile
+	f.bbEpoch = 0 // a fresh subFile starts from the open-time aggregators
 	f.absorb()
 }
 

@@ -3,8 +3,12 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/bb"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -72,6 +76,7 @@ func (p Preset) burstWorkload(compute float64) workload.CheckpointBurst {
 		BlockBytes: p.Tile.TileBytes(),
 		Steps:      4,
 		Compute:    compute,
+		Interleave: p.BurstInterleave,
 	}
 }
 
@@ -128,4 +133,88 @@ func (p Preset) BackendFor(scale float64) storage.Backend {
 	lcfg := p.Lustre
 	lcfg.CostScale = scale
 	return p.newBackend(lcfg)
+}
+
+// BurstFailurePoint is one checkpoint burst under a storage-tier fault plan.
+type BurstFailurePoint struct {
+	Backend   string
+	Scenario  string
+	Groups    int
+	WriteSecs float64 // summed global spans of the collective write calls
+	DrainSecs float64 // global span of the drain barrier, re-dump included
+	Elapsed   float64 // end-to-end seconds
+	// Verified reports byte-exact read-back AND a clean integrity-ledger
+	// audit (every extent acknowledged at issue time reads back identical).
+	Verified bool
+	// Goodput is aggregate verified bytes per elapsed second (zero when
+	// verification failed — corrupt bytes are not goodput).
+	Goodput  float64
+	Recovery recovery.FailoverStats
+	// LostBytes/Redumped are the staging tier's loss ledger (zero off bb).
+	LostBytes int64
+	Redumped  int64
+	// Breakdown is rank 0's phase accounting — under failure the sync
+	// share carries the resilient protocol's announce/watchdog traffic.
+	Breakdown mpiio.Breakdown
+}
+
+// CheckpointBurstUnderFailure runs the checkpoint-burst scenario on the
+// preset's backend under a storage-tier fault plan — the "checkpoint burst
+// under failure" experiment: a staging node dies mid-dump, the loss
+// surfaces at the write call or the drain barrier, the lost blocks are
+// re-dumped (collective redumpLost for the open call, the workload's
+// regenerate-and-rewrite loop at the barrier), and the run must still end
+// with a checksum-verified, byte-exact checkpoint. ratio sets per-step
+// compute as a multiple of the reference per-step I/O time (measured on
+// healthy pass-through lustre, as in CheckpointBurst); plan == nil runs the
+// healthy reference for goodput-degradation comparisons.
+func (p Preset) CheckpointBurstUnderFailure(nprocs, groups int, ratio float64, plan *fault.Plan) BurstFailurePoint {
+	ref := p
+	ref.Backend = "lustre"
+	ref.Fault = nil
+	refEnv := ref.envPlan(ref.TileScale, core.Options{NumGroups: groups}, nil)
+	refW := ref.burstWorkload(0)
+	var refPerStep float64
+	ref.run(nprocs, func(r *mpi.Rank) {
+		res := refW.Run(r, refEnv, "ckpt-ref")
+		if r.WorldRank() == 0 {
+			refPerStep = res.WriteSecs / float64(refW.Steps)
+		}
+	})
+
+	env := p.envPlan(p.TileScale, core.Options{NumGroups: groups}, plan)
+	w := p.burstWorkload(ratio * refPerStep)
+	pt := BurstFailurePoint{Backend: env.FS.Name(), Groups: groups, Verified: true}
+	if plan != nil {
+		pt.Scenario = plan.Name
+	}
+	var virt int64
+	mpi.RunPlanWorkers(nprocs, p.Cluster, p.Seed, plan, p.Workers, func(r *mpi.Rank) {
+		res := w.Run(r, env, "ckpt-fail")
+		mpi.WorldComm(r).Barrier()
+		if err := w.Verify(r, env, "ckpt-fail"); err != nil {
+			pt.Verified = false
+		}
+		if r.WorldRank() == 0 {
+			if env.Ledger != nil {
+				lf := env.FS.Open(r, "ckpt-fail", env.Stripe)
+				if err := env.Ledger.VerifyFile("ckpt-fail", lf); err != nil {
+					pt.Verified = false
+				}
+			}
+			pt.WriteSecs = res.WriteSecs
+			pt.DrainSecs = res.DrainSecs
+			pt.Elapsed = res.Elapsed
+			pt.Recovery = res.Recovery
+			pt.Breakdown = res.Breakdown
+			virt = res.VirtBytes
+		}
+	})
+	if tier, ok := env.FS.(*bb.Tier); ok {
+		pt.LostBytes, pt.Redumped = tier.FaultCounters()
+	}
+	if pt.Verified && pt.Elapsed > 0 {
+		pt.Goodput = float64(virt) / pt.Elapsed
+	}
+	return pt
 }

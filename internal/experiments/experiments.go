@@ -94,6 +94,14 @@ type Preset struct {
 	// BBDrainBW is the per-node drain bandwidth in bytes/second for the
 	// "bb" backend (0 = the under-backend's native pace); -bb-drain-bw.
 	BBDrainBW float64
+
+	// BurstInterleave, when positive, makes the checkpoint-burst runners
+	// stripe each rank's per-step block across the step's file range in
+	// chunks of this many real bytes (workload.CheckpointBurst.Interleave):
+	// the strided N-1 checkpoint whose dumps exercise the collective
+	// exchange, so the group count matters. Zero keeps the contiguous
+	// layout used by the published backend-sweep numbers.
+	BurstInterleave int64
 }
 
 // PaperPreset runs the paper's workload geometry shrunk 4096x (tile/IOR)
@@ -185,11 +193,20 @@ func (p Preset) envPlan(scale float64, opts core.Options, plan *fault.Plan) work
 	if opts.Workers == 0 {
 		opts.Workers = p.Workers
 	}
-	return workload.Env{
+	env := workload.Env{
 		FS:     p.newBackend(lcfg),
 		Stripe: storage.Stripe{Count: p.StripeCount, Size: stripeSize},
 		Opts:   opts,
 	}
+	if !plan.IsZero() {
+		// Faulted runs carry the integrity audit: every acknowledged store
+		// is digested at issue time and recovery runners verify read-back
+		// against it. Recording is free in virtual time and draw-free.
+		led := storage.NewLedger(p.Seed)
+		env.FS.SetLedger(led)
+		env.Ledger = led
+	}
+	return env
 }
 
 // BackendNames lists the -backend flag's valid values.
@@ -212,11 +229,16 @@ func (p Preset) newBackend(lcfg lustre.Config) storage.Backend {
 			CostScale:       lcfg.CostScale,
 			Jitter:          lcfg.Jitter,
 			Seed:            lcfg.Seed,
+			Faults:          lcfg.Faults,
+			Retry:           lcfg.Retry,
 		})
 	case "bb":
 		return bb.New(lustre.NewFS(lcfg), bb.Config{
 			Capacity:       p.BBCapacity,
 			DrainBandwidth: p.BBDrainBW,
+			Seed:           lcfg.Seed,
+			Faults:         lcfg.Faults,
+			Retry:          lcfg.Retry,
 		})
 	default:
 		panic(fmt.Sprintf("experiments: unknown backend %q (want lustre|listio|bb)", p.Backend))

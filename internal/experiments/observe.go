@@ -6,7 +6,6 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/obs"
-	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -109,10 +108,8 @@ func CaptureLustre(reg *obs.Registry, fs storage.Backend, elapsed float64) {
 	if elapsed > 0 {
 		reg.Gauge("lustre.ost.utilization.max").Set(busyMax / elapsed)
 	}
-	if rfs, ok := fs.(interface{ RetryStats() recovery.RetryStats }); ok {
-		rs := rfs.RetryStats()
-		reg.Counter("lustre.retry.attempts").Add(rs.Attempts)
-		reg.Counter("lustre.retry.failures").Add(rs.Failures)
-		reg.Counter("lustre.retry.exhausted").Add(rs.Exhausted)
-	}
+	rs := fs.RetryStats()
+	reg.Counter("lustre.retry.attempts").Add(rs.Attempts)
+	reg.Counter("lustre.retry.failures").Add(rs.Failures)
+	reg.Counter("lustre.retry.exhausted").Add(rs.Exhausted)
 }

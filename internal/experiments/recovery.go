@@ -50,6 +50,14 @@ func (p Preset) TileUnderFailure(nprocs, groups int, plan *fault.Plan) FailurePo
 		if err := p.Tile.VerifyTile(r, env, "tile-failure"); err != nil {
 			pt.Verified = false
 		}
+		if r.WorldRank() == 0 && env.Ledger != nil {
+			// Integrity audit: every acknowledged store must read back
+			// byte-identical to its issue-time digest's bytes.
+			lf := env.FS.Open(r, "tile-failure", env.Stripe)
+			if err := env.Ledger.VerifyFile("tile-failure", lf); err != nil {
+				pt.Verified = false
+			}
+		}
 		if r.WorldRank() == 0 {
 			pt.Elapsed = res.Elapsed
 			pt.Recovery = res.Recovery
@@ -116,6 +124,12 @@ func (p Preset) BTUnderFailure(nprocs, groups int, plan *fault.Plan) FailurePoin
 					pt.Verified = false
 					break
 				}
+			}
+		}
+		if r.WorldRank() == 0 && env.Ledger != nil {
+			lf := env.FS.Open(r, "bt-failure", env.Stripe)
+			if err := env.Ledger.VerifyFile("bt-failure", lf); err != nil {
+				pt.Verified = false
 			}
 		}
 		if r.WorldRank() == 0 {

@@ -22,9 +22,16 @@
 //	Net.NodeBW  -> cluster.Transfer (per-node NIC bandwidth derating)
 //	RoundNoise  -> mpiio round loops (RoundStall), the collective-wall probe
 //	OSTs        -> lustre FS.svcTime (service scaling + downtime windows)
+//	OSTFails    -> lustre FS.serve (retry engine, typed errors)
+//	BBFails     -> bb Tier (staging-memory loss, write-through degradation)
+//	DrainFails  -> bb Tier (drain retry/backoff, per-node breakers)
+//	ServerFails -> pvfs FS (per-server retry, vectored->scalar fallback)
 package fault
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Straggler slows one rank's (or every rank's) local time: every Advance —
 // CPU overheads and I/O waits alike — is stretched by Factor. It models a
@@ -122,6 +129,35 @@ type OSTFail struct {
 	Permanent bool    // failures are unrecoverable (no retry will succeed)
 }
 
+// BBFail is a fail-stop failure of one burst-buffer staging node (or all,
+// with Node == -1): at virtual time At the node's staging memory is gone.
+// Extents whose async drain to the under-backend completed by At survive;
+// everything absorbed but not yet drained is lost — the bb tier punches the
+// lost ranges out of the under-store, surfaces a typed
+// storage.StagingLostError to the next writer/drainer, and flips the node
+// permanently to write-through. The model is the storage-tier sibling of
+// Crash: a dead I/O delegate, not a lost application memory image, so the
+// ranks still hold (or can regenerate) the data and re-dump it.
+type BBFail struct {
+	Node int     // cluster node id; -1 kills every staging node
+	At   float64 // failure instant, virtual seconds
+}
+
+// DrainFail injects failures into the burst buffer's async drain writes on
+// one node (or all, with Node == -1), with the same windowing as OSTFail:
+// drains issued inside [At+k*Every, At+k*Every+For) fail with probability
+// Prob. Failed drains are retried by the tier's recovery engine (capped
+// exponential backoff, per-node circuit breaker); an open breaker flips the
+// node to write-through until its cooldown probe succeeds. Drain-retry time
+// is charged at the Drain barrier, deterministically.
+type DrainFail struct {
+	Node  int     // cluster node id; -1 applies to every staging node
+	Prob  float64 // per-drain failure probability inside a window
+	At    float64 // start of the first failure window, seconds
+	For   float64 // window length, seconds (<= 0 = open-ended)
+	Every float64 // window period, seconds (0 = one-shot)
+}
+
 // Plan is one named fault scenario: the complete, declarative description
 // of how a run is perturbed. The zero value is the healthy (unperturbed)
 // plan.
@@ -133,6 +169,14 @@ type Plan struct {
 	Net        NetFault
 	Crashes    []Crash
 	OSTFails   []OSTFail
+	// Storage-tier fail-stop families (DESIGN.md §15). BBFails and
+	// DrainFails reach only the bb backend; ServerFails (the pvfs sibling of
+	// OSTFails, same window shape, target ids are server indices) reaches
+	// only the pvfs farm. A plan whose storage faults cannot touch the
+	// selected backend is inert there — no draws, no clock shifts.
+	BBFails     []BBFail
+	DrainFails  []DrainFail
+	ServerFails []OSTFail
 }
 
 // IsZero reports whether the plan perturbs nothing.
@@ -142,7 +186,8 @@ func (p *Plan) IsZero() bool {
 	}
 	return len(p.Stragglers) == 0 && !p.RoundNoise.active() &&
 		len(p.OSTs) == 0 && !p.netActive() &&
-		len(p.Crashes) == 0 && len(p.OSTFails) == 0
+		len(p.Crashes) == 0 && len(p.OSTFails) == 0 &&
+		len(p.BBFails) == 0 && len(p.DrainFails) == 0 && len(p.ServerFails) == 0
 }
 
 func (n RoundNoise) active() bool {
@@ -286,8 +331,17 @@ func (p *Plan) OSTErrorAt(ost int, at float64, rng *rand.Rand) (failed, permanen
 	if p == nil {
 		return false, false
 	}
-	for _, f := range p.OSTFails {
-		if (f.OST != -1 && f.OST != ost) || f.Prob <= 0 {
+	return failsAt(p.OSTFails, ost, at, rng)
+}
+
+// failsAt is the shared window/probability walk behind OSTErrorAt,
+// ServerErrorAt, and DrainErrorAt: every matching entry whose window covers
+// `at` draws (unless Prob >= 1, which short-circuits draw-free), and
+// permanence accumulates across entries. Kept byte-identical to the PR-4
+// OSTErrorAt draw pattern so existing goldens cannot move.
+func failsAt(fails []OSTFail, target int, at float64, rng *rand.Rand) (failed, permanent bool) {
+	for _, f := range fails {
+		if (f.OST != -1 && f.OST != target) || f.Prob <= 0 {
 			continue
 		}
 		start := f.At
@@ -304,6 +358,122 @@ func (p *Plan) OSTErrorAt(ost int, at float64, rng *rand.Rand) (failed, permanen
 		}
 	}
 	return failed, permanent
+}
+
+// --- storage-tier hooks -----------------------------------------------------
+
+// HasBBFails reports whether the plan kills any burst-buffer staging node.
+func (p *Plan) HasBBFails() bool { return p != nil && len(p.BBFails) > 0 }
+
+// HasDrainFails reports whether the plan injects burst-buffer drain
+// failures.
+func (p *Plan) HasDrainFails() bool { return p != nil && len(p.DrainFails) > 0 }
+
+// HasServerFails reports whether the plan injects pvfs server failures.
+func (p *Plan) HasServerFails() bool { return p != nil && len(p.ServerFails) > 0 }
+
+// BBFailAt returns the earliest virtual time at which the named staging
+// node's memory dies, and whether any BBFail matches it at all. Pure
+// function of the node id — fail-stop is not probabilistic.
+func (p *Plan) BBFailAt(node int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	var at float64
+	found := false
+	for _, f := range p.BBFails {
+		if f.Node != -1 && f.Node != node {
+			continue
+		}
+		if !found || f.At < at {
+			at = f.At
+		}
+		found = true
+	}
+	return at, found
+}
+
+// BBDeadCount returns how many of the plan's staging-node deaths have
+// already happened at virtual time t. It is the degradation epoch ParColl
+// subgroups agree on before re-electing aggregators away from dead staging
+// nodes: a pure function of the plan and a virtual clock, so every rank
+// that reaches the same synchronized time computes the same count.
+func (p *Plan) BBDeadCount(t float64) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range p.BBFails {
+		if f.At <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// BBDeadNodes returns the node ids of the epoch earliest scheduled staging
+// deaths (ascending At, declaration order breaking ties) and true, or nil
+// and false when any of them kills every node (Node == -1) — then there is
+// no healthy node to re-elect onto and callers must keep their aggregators.
+func (p *Plan) BBDeadNodes(epoch int) (map[int]bool, bool) {
+	if p == nil || epoch <= 0 {
+		return nil, false
+	}
+	idx := make([]int, len(p.BBFails))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return p.BBFails[idx[a]].At < p.BBFails[idx[b]].At })
+	if epoch > len(idx) {
+		epoch = len(idx)
+	}
+	dead := make(map[int]bool, epoch)
+	for _, i := range idx[:epoch] {
+		if p.BBFails[i].Node == -1 {
+			return nil, false
+		}
+		dead[p.BBFails[i].Node] = true
+	}
+	return dead, true
+}
+
+// DrainErrorAt decides whether a drain issued on `node` at virtual time
+// `at` fails. rng is the bb tier's dedicated generator; no draw happens
+// unless a failure window covers (node, at), so plans without drain
+// failures — and drains outside every window — leave it untouched.
+func (p *Plan) DrainErrorAt(node int, at float64, rng *rand.Rand) bool {
+	if p == nil || len(p.DrainFails) == 0 {
+		return false
+	}
+	failed := false
+	for _, f := range p.DrainFails {
+		if (f.Node != -1 && f.Node != node) || f.Prob <= 0 {
+			continue
+		}
+		start := f.At
+		if f.Every > 0 && at > start {
+			k := int((at - f.At) / f.Every)
+			start = f.At + float64(k)*f.Every
+		}
+		if at < start || (f.For > 0 && at >= start+f.For) {
+			continue
+		}
+		if f.Prob >= 1 || rng.Float64() < f.Prob {
+			failed = true
+		}
+	}
+	return failed
+}
+
+// ServerErrorAt decides whether a request arriving at pvfs server `server`
+// at virtual time `at` fails, and whether permanently — the pvfs sibling of
+// OSTErrorAt, same window semantics, same draw discipline, keyed by server
+// index.
+func (p *Plan) ServerErrorAt(server int, at float64, rng *rand.Rand) (failed, permanent bool) {
+	if p == nil {
+		return false, false
+	}
+	return failsAt(p.ServerFails, server, at, rng)
 }
 
 // OSTDownDelay returns how long a request arriving at virtual time `at`

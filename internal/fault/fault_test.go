@@ -169,7 +169,7 @@ func TestRoundStall(t *testing.T) {
 
 func TestScenarioCatalog(t *testing.T) {
 	names := Names()
-	if len(names) != 7 {
+	if len(names) != 10 {
 		t.Fatalf("catalog has %d scenarios: %v", len(names), names)
 	}
 	for _, n := range names {
@@ -192,6 +192,69 @@ func TestScenarioCatalog(t *testing.T) {
 	b, _ := Scenario(HotOST)
 	if a == b {
 		t.Error("Scenario returned a shared plan")
+	}
+}
+
+func TestStorageTierHooks(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.HasBBFails() || nilPlan.HasDrainFails() || nilPlan.HasServerFails() {
+		t.Fatal("nil plan claims storage faults")
+	}
+	if _, ok := nilPlan.BBFailAt(0); ok {
+		t.Fatal("nil plan kills a bb node")
+	}
+	if nilPlan.DrainErrorAt(0, 1, nil) {
+		t.Fatal("nil plan fails a drain")
+	}
+
+	p := &Plan{
+		BBFails:     []BBFail{{Node: 2, At: 3e-3}, {Node: -1, At: 5e-3}},
+		DrainFails:  []DrainFail{{Node: 1, Prob: 1, At: 1e-2, For: 5e-3, Every: 2e-2}},
+		ServerFails: []OSTFail{{OST: 0, Prob: 1, At: 1e-3, For: 2e-3}},
+	}
+	if !p.HasBBFails() || !p.HasDrainFails() || !p.HasServerFails() || p.IsZero() {
+		t.Fatal("storage families not reported")
+	}
+	// BBFailAt: node 2 matches both entries, earliest wins; node 7 only the
+	// wildcard.
+	if at, ok := p.BBFailAt(2); !ok || at != 3e-3 {
+		t.Fatalf("BBFailAt(2) = %v, %v", at, ok)
+	}
+	if at, ok := p.BBFailAt(7); !ok || at != 5e-3 {
+		t.Fatalf("BBFailAt(7) = %v, %v", at, ok)
+	}
+
+	// DrainErrorAt: windows are [At+k*Every, At+k*Every+For); Prob 1 is
+	// draw-free (nil rng must not panic).
+	if p.DrainErrorAt(1, 5e-3, nil) {
+		t.Error("drain failed before the first window")
+	}
+	if !p.DrainErrorAt(1, 1.2e-2, nil) || !p.DrainErrorAt(1, 3.2e-2, nil) {
+		t.Error("drain inside a window did not fail")
+	}
+	if p.DrainErrorAt(1, 1.8e-2, nil) || p.DrainErrorAt(0, 1.2e-2, nil) {
+		t.Error("drain outside window or on other node failed")
+	}
+	// Probabilistic windows consume exactly one draw per covering entry.
+	q := &Plan{DrainFails: []DrainFail{{Node: -1, Prob: 0.5, At: 0, For: 1}}}
+	a, b := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+	if q.DrainErrorAt(0, 0.5, a) != (b.Float64() < 0.5) {
+		t.Error("drain draw pattern differs from a bare Float64")
+	}
+
+	// ServerErrorAt mirrors OSTErrorAt's window semantics on ServerFails.
+	if f, _ := p.ServerErrorAt(0, 2e-3, nil); !f {
+		t.Error("server request inside the window did not fail")
+	}
+	if f, _ := p.ServerErrorAt(0, 5e-3, nil); f {
+		t.Error("server request after the window failed")
+	}
+	if f, _ := p.ServerErrorAt(1, 2e-3, nil); f {
+		t.Error("surviving server failed")
+	}
+	perm := &Plan{ServerFails: []OSTFail{{OST: -1, Prob: 1, Permanent: true}}}
+	if f, pm := perm.ServerErrorAt(3, 10, nil); !f || !pm {
+		t.Error("permanent server failure not reported")
 	}
 }
 

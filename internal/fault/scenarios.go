@@ -12,13 +12,16 @@ import (
 
 // Scenario names.
 const (
-	Healthy      = "healthy"
-	OneStraggler = "one-straggler"
-	HotOST       = "hot-ost"
-	JitteryNet   = "jittery-net"
-	OneAggCrash  = "one-agg-crash"
-	FlakyOST     = "flaky-ost"
-	LossyNet     = "lossy-net"
+	Healthy        = "healthy"
+	OneStraggler   = "one-straggler"
+	HotOST         = "hot-ost"
+	JitteryNet     = "jittery-net"
+	OneAggCrash    = "one-agg-crash"
+	FlakyOST       = "flaky-ost"
+	LossyNet       = "lossy-net"
+	LostBBNode     = "lost-bb-node"
+	FlakyDrain     = "flaky-drain"
+	DeadPVFSServer = "dead-pvfs-server"
 )
 
 // scenarios maps each name to a constructor (fresh Plan per call: plans are
@@ -93,6 +96,47 @@ var scenarios = map[string]func() *Plan{
 		return &Plan{
 			Name: LossyNet,
 			Net:  NetFault{LossProb: 0.05, RTO: 5e-4},
+		}
+	},
+
+	// lost-bb-node: staging node 0's burst-buffer memory fail-stops 150 ms
+	// into the run — inside the first checkpoint step's drain window for
+	// the burst geometry, so extents absorbed at memory speed but not yet
+	// drained are gone. The bb tier punches the lost ranges, surfaces
+	// StagingLostError, flips the node to permanent write-through, and the
+	// ranks re-dump what they lost. Inert on backends without a staging
+	// tier.
+	LostBBNode: func() *Plan {
+		return &Plan{
+			Name:    LostBBNode,
+			BBFails: []BBFail{{Node: 0, At: 0.15}},
+		}
+	},
+
+	// flaky-drain: every staging node's async drains fail ~50% of the time
+	// during a 10 ms window every 20 ms — an under-backend riding an
+	// unstable path. Failures are transient: the tier's capped exponential backoff
+	// (and, under repeated bursts, its per-node breakers flipping nodes to
+	// write-through until cooldown) carries every drain through; the retry
+	// time is charged at the Drain barrier.
+	FlakyDrain: func() *Plan {
+		return &Plan{
+			Name:       FlakyDrain,
+			DrainFails: []DrainFail{{Node: -1, Prob: 0.5, At: 0, For: 1e-2, Every: 2e-2}},
+		}
+	},
+
+	// dead-pvfs-server: server 0 rejects every request during a 2 ms window
+	// starting 1 ms in, repeating every 50 ms — one list-I/O server
+	// fail-stopping and rebooting. Prob 1 short-circuits draw-free; the
+	// window is shorter than the default backoff budget, so the per-server
+	// retry loop (the vectored call's scalar fallback against the surviving
+	// farm) carries requests through. Inert on backends without a server
+	// farm.
+	DeadPVFSServer: func() *Plan {
+		return &Plan{
+			Name:        DeadPVFSServer,
+			ServerFails: []OSTFail{{OST: 0, Prob: 1, At: 1e-3, For: 2e-3, Every: 5e-2}},
 		}
 	},
 }

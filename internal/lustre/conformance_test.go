@@ -3,6 +3,8 @@ package lustre
 import (
 	"testing"
 
+	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/storage/storagetest"
 )
@@ -12,5 +14,21 @@ import (
 func TestBackendConformance(t *testing.T) {
 	storagetest.Run(t, "lustre", func() storage.Backend {
 		return NewFS(DefaultConfig())
+	})
+}
+
+// TestBackendFaultConformance runs the shared fault-injection leg: every
+// OST rejects requests inside the conformance window, the short retry
+// budget exhausts into a typed *recovery.TargetError, and a whole-operation
+// retry after the window recovers byte-exact.
+func TestBackendFaultConformance(t *testing.T) {
+	storagetest.RunFaults(t, "lustre", func() storage.Backend {
+		cfg := DefaultConfig()
+		cfg.Faults = &fault.Plan{
+			Name:     "conf-flaky-ost",
+			OSTFails: []fault.OSTFail{{OST: -1, Prob: 1, At: storagetest.FaultAt, For: storagetest.FaultFor}},
+		}
+		cfg.Retry = recovery.Backoff{MaxAttempts: 3}
+		return NewFS(cfg)
 	})
 }

@@ -72,7 +72,7 @@ type Config struct {
 	// Plans carrying OSTFails additionally make requests fail outright;
 	// those are absorbed by the retry engine (capped exponential backoff
 	// plus a per-OST circuit breaker) and surface as typed
-	// *recovery.OSTError only when permanent or budget-exhausted.
+	// *recovery.TargetError only when permanent or budget-exhausted.
 	Faults *fault.Plan
 	// Retry overrides the retry engine's backoff schedule; zero fields take
 	// recovery's defaults. Only consulted when Faults injects OST errors.
@@ -126,8 +126,12 @@ type FS struct {
 	// engine.
 	inj    bool
 	retry  recovery.Backoff
-	brk    []*recovery.Breaker // per OST
+	brk    *recovery.BreakerSet // keyed by OST id
 	rstats recovery.RetryStats
+
+	// Integrity ledger (nil unless SetLedger attached one). Recording a
+	// digest is free in virtual time, so an audited run stays bit-identical.
+	ledger *storage.Ledger
 
 	// Pre-resolved obs instruments (nil unless SetObs armed them). The
 	// healthy fast path pays one nil check per request.
@@ -235,9 +239,9 @@ func (fs *FS) Stats() []OSTStat {
 // that came back with an error still occupied the target), feeds the
 // breaker, and — unless the failure is permanent or the attempt budget is
 // spent — backs off per the capped exponential schedule and goes again.
-// Exhaustion and permanence surface as a typed *recovery.OSTError with the
-// clock already advanced past every failed attempt: failures cost time even
-// when they do not cost correctness.
+// Exhaustion and permanence surface as a typed *recovery.TargetError with
+// the clock already advanced past every failed attempt: failures cost time
+// even when they do not cost correctness.
 func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt float64, mode ldlm.Mode) (float64, error) {
 	if !fs.inj {
 		svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
@@ -248,8 +252,9 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		return end, nil
 	}
 	attempts := 0
+	brk := fs.brk.Get(ost)
 	for {
-		if h := fs.brk[ost].HoldOff(at); h > 0 {
+		if h := brk.HoldOff(at); h > 0 {
 			at += h
 			fs.rstats.BackoffSecs += h
 		}
@@ -268,7 +273,7 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 			if fs.obsWait != nil {
 				fs.obsWait.Observe(start - at)
 			}
-			fs.brk[ost].Success()
+			brk.Success()
 			return end, nil
 		}
 		fs.rstats.Failures++
@@ -277,9 +282,9 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		fs.stats[ost].BusySecs += cost
 		_, end := fs.osts[ost].Acquire(at, cost)
 		at = end
-		opensBefore := fs.brk[ost].Opens
-		fs.brk[ost].Failure(at)
-		if opened := fs.brk[ost].Opens - opensBefore; opened > 0 {
+		opensBefore := brk.Opens
+		brk.Failure(at)
+		if opened := brk.Opens - opensBefore; opened > 0 {
 			fs.rstats.BreakerOpens += opened
 			if fs.obsOpens != nil {
 				fs.obsOpens.Add(uint64(opened))
@@ -287,7 +292,7 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		}
 		if perm || fs.retry.Exhausted(attempts) {
 			fs.rstats.Exhausted++
-			return at, &recovery.OSTError{OST: ost, Attempts: attempts, Permanent: perm}
+			return at, &recovery.TargetError{Layer: "lustre", Kind: "OST", Target: ost, Attempts: attempts, Permanent: perm}
 		}
 		d := fs.retry.Delay(attempts, fs.rng)
 		at += d
@@ -330,10 +335,7 @@ func NewFS(cfg Config) *FS {
 	if cfg.Faults != nil && len(cfg.Faults.OSTFails) > 0 {
 		fs.inj = true
 		fs.retry = cfg.Retry.Defaults()
-		fs.brk = make([]*recovery.Breaker, cfg.NumOSTs)
-		for i := range fs.brk {
-			fs.brk[i] = &recovery.Breaker{}
-		}
+		fs.brk = recovery.NewBreakerSet()
 	}
 	return fs
 }
@@ -406,6 +408,19 @@ func (fs *FS) Remove(name string) {
 // OSTs by the time the call's completion wait has been charged.
 func (fs *FS) Drain(r *mpi.Rank) {}
 
+// TryDrain is Drain with error plumbing for backends that can lose staged
+// data; lustre stages nothing, so it never fails.
+func (fs *FS) TryDrain(r *mpi.Rank) error {
+	fs.Drain(r)
+	return nil
+}
+
+// SetLedger attaches an integrity ledger: every subsequent store records a
+// seeded digest of the written extent at issue time. Pass nil to detach.
+// Recording is free in virtual time and draw-free, so an audited run is
+// bit-identical to a bare one.
+func (fs *FS) SetLedger(l *storage.Ledger) { fs.ledger = l }
+
 // Params returns the backend properties the I/O protocol layers consult.
 func (fs *FS) Params() storage.Params {
 	return storage.Params{
@@ -458,7 +473,7 @@ func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
 
 // TryWriteAt is WriteAt returning the typed error instead of panicking.
 // Transient injected failures are absorbed by the retry engine and cost only
-// virtual time; a *recovery.OSTError (permanent target or exhausted budget)
+// virtual time; a *recovery.TargetError (permanent target or exhausted budget)
 // aborts the operation with NO bytes stored — the store is all-or-nothing,
 // so a caller's whole-operation retry is idempotent. Elapsed time up to and
 // including the failed attempts is charged either way.
@@ -494,7 +509,7 @@ func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
 		}
 	})
 	if firstErr == nil {
-		f.obj.store(off, data)
+		f.store(off, data)
 	}
 	r.ChargeIO(done - now)
 	f.fs.maybeTrim(r)
@@ -536,7 +551,7 @@ func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
 			done = fin
 		}
 	})
-	f.obj.store(off, data)
+	f.store(off, data)
 	f.fs.maybeTrim(r)
 	if done < now {
 		done = now
@@ -595,7 +610,7 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 }
 
 // TryReadAt is ReadAt returning the typed error instead of panicking: nil
-// data with a *recovery.OSTError when a chunk's target is permanently dead
+// data with a *recovery.TargetError when a chunk's target is permanently dead
 // or the retry budget is exhausted. Elapsed time up to the failure is
 // charged either way.
 func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
@@ -641,9 +656,24 @@ func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
 	return f.obj.load(off, n), nil
 }
 
-func (o *fileObj) store(off int64, data []byte) { o.data.Store(off, data) }
+// store commits data to the file's byte store and, when an integrity ledger
+// is attached, records the extent's issue-time digest. Zero time cost.
+func (f *File) store(off int64, data []byte) {
+	f.obj.data.Store(off, data)
+	if f.fs.ledger != nil {
+		f.fs.ledger.Record(f.obj.name, off, data)
+	}
+}
 
 func (o *fileObj) load(off, n int64) []byte { return o.data.Load(off, n) }
+
+// Punch zeroes any stored bytes in [off, off+n) without growing the file or
+// charging time. It is the fault layer's hook for modeling lost staged data:
+// a range whose durability was revoked reads back as zeroes until re-dumped,
+// so a recovery path that forgets to rewrite it cannot pass verification on
+// stale bytes. The integrity ledger is deliberately not updated — it keeps
+// the acknowledged contents, which re-dump must restore.
+func (f *File) Punch(off, n int64) { f.obj.data.Zero(off, n) }
 
 // Contents returns the file's bytes in [0, Size) — test convenience with no
 // simulated time cost.

@@ -88,7 +88,7 @@ func TestRetryDeterministic(t *testing.T) {
 }
 
 // TestPermanentFailureSurfacesTypedError: a permanently dead OST yields a
-// *recovery.OSTError from TryWriteAt/TryReadAt without storing bytes, and
+// *recovery.TargetError from TryWriteAt/TryReadAt without storing bytes, and
 // WriteAt panics on it.
 func TestPermanentFailureSurfacesTypedError(t *testing.T) {
 	cfg := DefaultConfig()
@@ -97,11 +97,11 @@ func TestPermanentFailureSurfacesTypedError(t *testing.T) {
 		// Stripe over OST 0 only: every chunk hits the dead target.
 		f := fs.Open(r, "dead", StripeInfo{Count: 1, Size: 1024})
 		err := f.TryWriteAt(r, 0, []byte("doomed"))
-		var oe *recovery.OSTError
+		var oe *recovery.TargetError
 		if !errors.As(err, &oe) {
-			t.Fatalf("TryWriteAt error = %v, want *recovery.OSTError", err)
+			t.Fatalf("TryWriteAt error = %v, want *recovery.TargetError", err)
 		}
-		if !oe.Permanent || oe.OST != 0 || oe.Attempts != 1 {
+		if !oe.Permanent || oe.Layer != "lustre" || oe.Target != 0 || oe.Attempts != 1 {
 			t.Fatalf("error detail = %+v", oe)
 		}
 		if f.Size() != 0 {

@@ -134,7 +134,8 @@ type File struct {
 	aggs  []int // comm ranks acting as I/O aggregators, ascending
 	scale float64
 	vec   bool // backend has native list-I/O: flush rounds use WritevAt/ReadvAt
-	seq   int // collective-call sequence, advances in lockstep
+	inj   bool // backend injects request errors: storage-tier recovery armed
+	seq   int  // collective-call sequence, advances in lockstep
 	xlate Translator
 	prof  Breakdown
 	prev  [mpi.NumClasses]float64
@@ -251,6 +252,7 @@ func OpenWith(comm *mpi.Comm, fs storage.Backend, name string, stripe storage.St
 		run:       run,
 		scale:     params.CostScale,
 		vec:       params.ListIO,
+		inj:       params.Injecting,
 		deadWorld: make(map[int]bool),
 	}
 	if run.Obs != nil {
@@ -332,6 +334,20 @@ func selectAggregators(comm *mpi.Comm, nodes [][]int64, hints Hints) []int {
 
 // Aggregators returns the comm ranks acting as I/O aggregators.
 func (f *File) Aggregators() []int { return f.aggs }
+
+// SetAggregators replaces the aggregator set (comm ranks) for subsequent
+// collective calls — ParColl's degradation-aware re-election hook: a
+// subgroup that learns one of its staging nodes is permanently degraded
+// re-points its collectives at the healthy nodes' ranks. File domains are
+// recomputed from f.aggs on every call, so no other handle state depends
+// on the old set. Counted as a re-election in the failover stats.
+func (f *File) SetAggregators(aggs []int) {
+	f.aggs = append([]int(nil), aggs...)
+	f.rstats.Reelections++
+	f.noteRecovery("reelections")
+	f.rlog.Append(f.r.Now(), f.comm.Rank(), "reelect",
+		fmt.Sprintf("aggregators re-elected away from degraded staging: %v", aggs))
+}
 
 // SetView installs a file view (collective in MPI; here each rank sets its
 // own, which may legitimately differ per rank).

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/perf"
 	"repro/internal/recovery"
+	"repro/internal/storage"
 )
 
 // Fail-stop fault tolerance for the collective write path.
@@ -58,8 +59,16 @@ import (
 // dead aggregator never wrote is still held by its original owners, and the
 // annex owners collect it from them.
 
-// recoveryOn reports whether this call must run the resilient round loop.
-func (f *File) recoveryOn() bool { return f.run.Fault.HasCrashes() }
+// recoveryOn reports whether this call must run the resilient round loop:
+// either the plan crashes aggregators, or the storage backend itself is
+// injecting faults (f.inj) under a plan that can kill a staging node — then
+// writes must go through the erroring Try path so a StagingLostError can
+// surface and be repaired instead of panicking mid-collective. Plans whose
+// storage faults cannot reach the selected backend leave the healthy path
+// untouched (bit-identical goldens).
+func (f *File) recoveryOn() bool {
+	return f.run.Fault.HasCrashes() || (f.inj && f.run.Fault.HasBBFails())
+}
 
 // aggCrashedNow asks the plan whether THIS rank's aggregator role is dead at
 // the given round of the current call. Only ever consulted for the rank
@@ -71,8 +80,8 @@ func (f *File) aggCrashedNow(round int) bool {
 
 // Recovery-path tags, above the independent data tags (dataTag tops out at
 // 62_563) and below the runtime's collective tag space (65_536).
-func (f *File) planTag(round int) int  { return 62564 + (f.seq%7)*128 + round%128 }
-func (f *File) annexCtlTag(round int) int { return 63500 + (f.seq%7)*64 + round%64 }
+func (f *File) planTag(round int) int      { return 62564 + (f.seq%7)*128 + round%128 }
+func (f *File) annexCtlTag(round int) int  { return 63500 + (f.seq%7)*64 + round%64 }
 func (f *File) annexDataTag(round int) int { return 64400 + (f.seq%7)*128 + round%128 }
 
 // encPlan packs one plan/heartbeat message: [st_loc, end_loc, want].
@@ -197,6 +206,7 @@ func (f *File) writeAtAllFT(logOff int64, data []byte) {
 			"failover budget exhausted; independent rewrite of all local data")
 		f.degradeWrite(ft.segs, ft.pre, data)
 	}
+	f.redumpLost(ft.segs, ft.pre, data)
 	for _, x := range ft.annexes {
 		if x.buf != nil {
 			perf.PutBuf(x.buf)
@@ -204,6 +214,52 @@ func (f *File) writeAtAllFT(logOff int64, data []byte) {
 	}
 	perf.PutBuf(s.buf)
 	f.absorbProf()
+}
+
+// redumpLost repairs staging losses at the end of a collective write: if the
+// backend can lose acknowledged-but-staged data (storage.LossReporter), each
+// rank intersects the file's lost set with its own segments and rewrites
+// exactly that — across ranks the owned sets partition the request, so every
+// lost byte this collective touched is re-dumped exactly once, healing the
+// tier's lost set as the writes land. Ranges lost from other files or other
+// calls' requests are the drain barrier's to surface (workload-level
+// recovery regenerates or re-reads them). Under a translated view the
+// segments are logical, but the translator's physical map attributes each
+// physical run to exactly one logical owner, so the intersect stays precise
+// — partitioned groups re-dump only what they lost, same as the
+// unpartitioned protocol.
+func (f *File) redumpLost(segs []datatype.Segment, pre []int64, data []byte) {
+	lr, ok := f.lf.(storage.LossReporter)
+	if !ok {
+		return
+	}
+	lost := lr.LostExtents(f.r)
+	if len(lost) == 0 {
+		return
+	}
+	var n int64
+	redump := func(off, ln, pos int64) {
+		for _, e := range storage.Intersect(lost, []storage.Extent{{Off: off, Len: ln}}) {
+			p := pos + (e.Off - off)
+			f.resilientWrite(e.Off, data[p:p+e.Len])
+			n += e.Len
+		}
+	}
+	for i, s := range segs {
+		if f.xlate == nil {
+			redump(s.Off, s.Len, pre[i])
+			continue
+		}
+		pos := pre[i]
+		for _, ph := range f.xlate.Phys(s.Off, s.Len) {
+			redump(ph.Off, ph.Len, pos)
+			pos += ph.Len
+		}
+	}
+	if n > 0 {
+		f.rlog.Append(f.r.Now(), f.comm.Rank(), "redump",
+			fmt.Sprintf("re-dumped %d bytes lost to a staging-node failure", n))
+	}
 }
 
 // run executes the resilient round loop until every main and annex window is
@@ -553,22 +609,39 @@ func (f *File) writeStaged(extents []datatype.Segment, buf []byte, w0 int64) {
 	}
 }
 
-// resilientWrite writes through lustre's erroring path, absorbing transient
-// budget exhaustion by re-issuing the whole (idempotent, all-or-nothing)
-// operation; each failed pass has already advanced the clock past its
-// attempts, so a bounded failure window always drains. A permanent target
-// failure is unrecoverable at this layer and panics.
+// resilientWrite writes through the backend's erroring path, absorbing
+// transient budget exhaustion by re-issuing the whole (idempotent,
+// all-or-nothing) operation; each failed pass has already advanced the clock
+// past its attempts, so a bounded failure window always drains. A staging
+// loss (a burst-buffer node died with this file's undrained extents) is
+// likewise survivable: the tier has already flipped the failed node to
+// write-through, so the immediate retry lands durably on the under-backend,
+// and the extents lost from earlier calls are re-dumped at the end of the
+// collective call (redumpLost). Only a permanent target failure is
+// unrecoverable at this layer and panics.
 func (f *File) resilientWrite(off int64, data []byte) {
 	for {
 		err := f.lf.TryWriteAt(f.r, off, data)
 		if err == nil {
 			return
 		}
-		var oe *recovery.OSTError
+		var sl *storage.StagingLostError
+		if errors.As(err, &sl) {
+			f.noteStagingLost(sl)
+			continue
+		}
+		var oe *recovery.TargetError
 		if errors.As(err, &oe) && oe.Permanent {
 			panic(fmt.Sprintf("mpiio: unrecoverable write at %d: %v", off, err))
 		}
 	}
+}
+
+// noteStagingLost records a surfaced staging loss in the recovery log and
+// telemetry. The loss itself is repaired by redumpLost.
+func (f *File) noteStagingLost(sl *storage.StagingLostError) {
+	f.rstats.Degradations++
+	f.rlog.Append(f.r.Now(), f.comm.Rank(), "staging-lost", sl.Error())
 }
 
 // degradeWrite is the graceful-degradation fallback: rewrite all of this
@@ -610,14 +683,22 @@ func (f *File) readAtAllFT(logOff, n int64) []byte {
 	return out
 }
 
-// resilientRead mirrors resilientWrite for reads.
+// resilientRead mirrors resilientWrite for reads. A staging loss is fatal
+// here: the reader holds no copy of the lost bytes, so retrying cannot make
+// progress — the writer's re-dump (redumpLost, or the workload's drain-level
+// recovery) must land before anyone reads the range, and a read that beats
+// it is a real data-loss bug that must fail loudly.
 func (f *File) resilientRead(off, n int64) []byte {
 	for {
 		data, err := f.lf.TryReadAt(f.r, off, n)
 		if err == nil {
 			return data
 		}
-		var oe *recovery.OSTError
+		var sl *storage.StagingLostError
+		if errors.As(err, &sl) {
+			panic(fmt.Sprintf("mpiio: read at %d overlaps staged data lost to a bb node failure and not yet re-dumped: %v", off, err))
+		}
+		var oe *recovery.TargetError
 		if errors.As(err, &oe) && oe.Permanent {
 			panic(fmt.Sprintf("mpiio: unrecoverable read at %d: %v", off, err))
 		}

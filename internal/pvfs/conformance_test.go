@@ -3,6 +3,8 @@ package pvfs
 import (
 	"testing"
 
+	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/storage/storagetest"
 )
@@ -12,5 +14,21 @@ import (
 func TestBackendConformance(t *testing.T) {
 	storagetest.Run(t, "listio", func() storage.Backend {
 		return NewFS(DefaultConfig())
+	})
+}
+
+// TestBackendFaultConformance runs the shared fault-injection leg: every
+// server fail-stops inside the conformance window, the vectored call's
+// scalar-fallback retry loop exhausts into a typed *recovery.TargetError,
+// and a whole-operation retry after the window recovers byte-exact.
+func TestBackendFaultConformance(t *testing.T) {
+	storagetest.RunFaults(t, "listio", func() storage.Backend {
+		cfg := DefaultConfig()
+		cfg.Faults = &fault.Plan{
+			Name:        "conf-dead-servers",
+			ServerFails: []fault.OSTFail{{OST: -1, Prob: 1, At: storagetest.FaultAt, For: storagetest.FaultFor}},
+		}
+		cfg.Retry = recovery.Backoff{MaxAttempts: 3}
+		return NewFS(cfg)
 	})
 }

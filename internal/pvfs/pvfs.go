@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -40,6 +42,17 @@ type Config struct {
 	CostScale       float64 // virtual bytes per real byte (default 1)
 	Jitter          float64 // relative service-time noise per request
 	Seed            int64
+	// Faults, when it carries ServerFails, makes requests against afflicted
+	// servers fail inside the plan's windows. Each server is an independent
+	// failure domain per Ching et al.: a vectored call falls back to scalar
+	// semantics — every surviving server's portion is served on schedule
+	// while the failed server's portion retries alone (capped exponential
+	// backoff, per-server breaker), and only permanence or budget
+	// exhaustion surfaces a typed *recovery.TargetError.
+	Faults *fault.Plan
+	// Retry overrides the retry engine's backoff schedule; zero fields take
+	// recovery's defaults. Only consulted when Faults injects server errors.
+	Retry recovery.Backoff
 }
 
 // DefaultConfig mirrors lustre.DefaultConfig's hardware: 72 servers at
@@ -67,6 +80,12 @@ type FS struct {
 	stats     []storage.TargetStat
 	sinceTrim int
 
+	inj    bool // fault plan injects server errors; zero plans stay inert
+	retry  recovery.Backoff
+	brk    *recovery.BreakerSet // per-server breakers
+	rstats recovery.RetryStats
+	ledger *storage.Ledger
+
 	obsReqs *obs.Counter // storage.listio.requests (nil unless SetObs)
 }
 
@@ -88,6 +107,11 @@ func NewFS(cfg Config) *FS {
 	}
 	for i := range fs.servers {
 		fs.servers[i] = sim.NewResource(fmt.Sprintf("pvfs%d", i))
+	}
+	if cfg.Faults.HasServerFails() {
+		fs.inj = true
+		fs.retry = cfg.Retry.Defaults()
+		fs.brk = recovery.NewBreakerSet()
 	}
 	return fs
 }
@@ -125,6 +149,7 @@ func (fs *FS) Params() storage.Params {
 		CostScale: fs.cfg.CostScale,
 		Targets:   fs.cfg.NumServers,
 		ListIO:    true,
+		Injecting: fs.inj,
 	}
 }
 
@@ -134,6 +159,16 @@ func (fs *FS) Name() string { return "listio" }
 
 // Drain is a no-op: the servers buffer nothing.
 func (fs *FS) Drain(r *mpi.Rank) {}
+
+// TryDrain never fails: the servers buffer nothing, so nothing can be lost.
+func (fs *FS) TryDrain(r *mpi.Rank) error { return nil }
+
+// RetryStats returns the retry-engine counters (all zero without a plan).
+func (fs *FS) RetryStats() recovery.RetryStats { return fs.rstats }
+
+// SetLedger attaches an integrity ledger (nil detaches): every stored extent
+// records a seeded digest at issue time. Free and draw-free.
+func (fs *FS) SetLedger(l *storage.Ledger) { fs.ledger = l }
 
 // Config returns the file system's parameters.
 func (fs *FS) Config() Config { return fs.cfg }
@@ -272,6 +307,92 @@ func (f *File) serveList(at float64, per map[int]float64) float64 {
 	return done
 }
 
+// serveListTry is serveList with fault injection: every touched server is
+// still visited in ascending order, but each portion runs through serveOne's
+// retry loop independently. That is the vectored call's scalar fallback —
+// surviving servers serve on schedule while the failed server's portion
+// retries alone; the completion time covers every portion (retries included)
+// and the first typed error is returned. Without an armed plan it defers to
+// serveList, draw-for-draw identical to the healthy model.
+func (f *File) serveListTry(at float64, per map[int]float64) (float64, error) {
+	fs := f.fs
+	if !fs.inj {
+		return f.serveList(at, per), nil
+	}
+	done := at
+	var firstErr error
+	for s := 0; s < len(fs.servers); s++ {
+		virt, ok := per[s]
+		if !ok {
+			continue
+		}
+		end, err := fs.serveOne(s, at, virt)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if end > done {
+			done = end
+		}
+	}
+	return done, firstErr
+}
+
+// serveOne books one server's portion of a vectored call under an armed
+// fault plan: each attempt honors the server's breaker hold-off, consults
+// the plan, and on failure pays the request overhead, feeds the breaker, and
+// — unless the failure is permanent or the attempt budget is spent — backs
+// off per the capped exponential schedule and goes again. Exhaustion and
+// permanence surface as a typed *recovery.TargetError with the clock already
+// advanced past every failed attempt.
+func (fs *FS) serveOne(s int, at, virt float64) (float64, error) {
+	attempts := 0
+	brk := fs.brk.Get(s)
+	for {
+		if h := brk.HoldOff(at); h > 0 {
+			at += h
+			fs.rstats.BackoffSecs += h
+		}
+		attempts++
+		fs.rstats.Attempts++
+		if attempts > 1 {
+			fs.rstats.Retries++
+		}
+		failed, perm := fs.cfg.Faults.ServerErrorAt(s, at, fs.rng)
+		if !failed {
+			st := &fs.stats[s]
+			st.Requests++
+			st.Bytes += int64(virt)
+			svc := (fs.cfg.RequestOverhead + virt/fs.cfg.ServerBandwidth) * fs.noise()
+			st.BusySecs += svc
+			_, end := fs.servers[s].Acquire(at, svc)
+			brk.Success()
+			if fs.obsReqs != nil {
+				fs.obsReqs.Inc()
+			}
+			return end, nil
+		}
+		fs.rstats.Failures++
+		fs.stats[s].Errors++
+		cost := fs.cfg.RequestOverhead * fs.noise()
+		fs.stats[s].BusySecs += cost
+		fs.stats[s].FaultSecs += cost
+		_, end := fs.servers[s].Acquire(at, cost)
+		at = end
+		opensBefore := brk.Opens
+		brk.Failure(at)
+		if opened := brk.Opens - opensBefore; opened > 0 {
+			fs.rstats.BreakerOpens += opened
+		}
+		if perm || fs.retry.Exhausted(attempts) {
+			fs.rstats.Exhausted++
+			return at, &recovery.TargetError{Layer: "pvfs", Kind: "server", Target: s, Attempts: attempts, Permanent: perm}
+		}
+		d := fs.retry.Delay(attempts, fs.rng)
+		at += d
+		fs.rstats.BackoffSecs += d
+	}
+}
+
 // totalLen sums the extents' real bytes.
 func totalLen(exts []storage.Extent) int64 {
 	var n int64
@@ -282,10 +403,13 @@ func totalLen(exts []storage.Extent) int64 {
 }
 
 // writev books one vectored write's resources and returns its virtual
-// completion time; the data is stored before return.
-func (f *File) writev(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
+// completion time; the data is stored before return — unless a server
+// failure outlives the retry engine, in which case NO bytes are stored
+// (all-or-nothing: a whole-operation retry is idempotent) and the elapsed
+// time of every portion, retries included, is still in the returned clock.
+func (f *File) writev(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) (float64, error) {
 	if totalLen(exts) == 0 {
-		return r.Now()
+		return r.Now(), nil
 	}
 	cl := r.W.Cluster
 	r.P.Sync()
@@ -293,23 +417,29 @@ func (f *File) writev(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64
 	lat := cl.Config().Latency
 	virtTotal := float64(totalLen(exts)) * f.fs.cfg.CostScale
 	_, txEnd := cl.TxNIC(r.WorldRank()).Acquire(now, virtTotal/cl.Config().NICBandwidth)
-	done := f.serveList(txEnd+lat, f.perServerBytes(exts)) + lat
-	for i, e := range exts {
-		if e.Off < 0 {
-			panic("pvfs: negative offset")
+	done, err := f.serveListTry(txEnd+lat, f.perServerBytes(exts))
+	done += lat
+	if err == nil {
+		for i, e := range exts {
+			if e.Off < 0 {
+				panic("pvfs: negative offset")
+			}
+			f.obj.data.Store(e.Off, bufs[i][:e.Len])
+			if f.fs.ledger != nil {
+				f.fs.ledger.Record(f.obj.name, e.Off, bufs[i][:e.Len])
+			}
 		}
-		f.obj.data.Store(e.Off, bufs[i][:e.Len])
 	}
 	f.fs.maybeTrim(r)
 	if done < now {
 		done = now
 	}
-	return done
+	return done, err
 }
 
 // readv books one vectored read's resources and returns the data plus its
-// virtual completion time.
-func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
+// virtual completion time. On a post-retry server failure the data is nil.
+func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64, error) {
 	out := make([][]byte, len(exts))
 	for i, e := range exts {
 		if e.Off < 0 {
@@ -318,45 +448,75 @@ func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
 		out[i] = f.obj.data.Load(e.Off, e.Len)
 	}
 	if totalLen(exts) == 0 {
-		return out, r.Now()
+		return out, r.Now(), nil
 	}
 	cl := r.W.Cluster
 	r.P.Sync()
 	now := r.Now()
 	lat := cl.Config().Latency
-	served := f.serveList(now+lat, f.perServerBytes(exts))
+	served, err := f.serveListTry(now+lat, f.perServerBytes(exts))
 	virtTotal := float64(totalLen(exts)) * f.fs.cfg.CostScale
 	_, rxEnd := cl.RxNIC(r.WorldRank()).Acquire(served+lat, virtTotal/cl.Config().NICBandwidth)
 	f.fs.maybeTrim(r)
 	if rxEnd < now {
 		rxEnd = now
 	}
-	return out, rxEnd
+	if err != nil {
+		return nil, rxEnd, err
+	}
+	return out, rxEnd, nil
+}
+
+// TryWritevAt is WritevAt with error plumbing: elapsed time (failed attempts
+// included) is charged either way; on error no bytes are stored.
+func (f *File) TryWritevAt(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) error {
+	done, err := f.writev(r, exts, bufs)
+	r.ChargeIO(done - r.Now())
+	return err
 }
 
 // WritevAt writes one list-I/O request, charging ClassIO for the wait.
 func (f *File) WritevAt(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) {
-	done := f.writev(r, exts, bufs)
-	r.ChargeIO(done - r.Now())
+	if err := f.TryWritevAt(r, exts, bufs); err != nil {
+		panic(fmt.Sprintf("pvfs: WritevAt on %q: %v", f.obj.name, err))
+	}
 }
 
 // WritevAtAsync is WritevAt returning the virtual completion time instead
 // of charging the clock; data is durable on return.
 func (f *File) WritevAtAsync(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) float64 {
-	return f.writev(r, exts, bufs)
+	done, err := f.writev(r, exts, bufs)
+	if err != nil {
+		panic(fmt.Sprintf("pvfs: WritevAtAsync on %q: %v", f.obj.name, err))
+	}
+	return done
+}
+
+// TryReadvAt is ReadvAt with error plumbing: elapsed time is charged either
+// way; on error the data is nil.
+func (f *File) TryReadvAt(r *mpi.Rank, exts []storage.Extent) ([][]byte, error) {
+	out, done, err := f.readv(r, exts)
+	r.ChargeIO(done - r.Now())
+	return out, err
 }
 
 // ReadvAt reads one list-I/O request, charging ClassIO for the wait.
 func (f *File) ReadvAt(r *mpi.Rank, exts []storage.Extent) [][]byte {
-	out, done := f.readv(r, exts)
-	r.ChargeIO(done - r.Now())
+	out, err := f.TryReadvAt(r, exts)
+	if err != nil {
+		panic(fmt.Sprintf("pvfs: ReadvAt on %q: %v", f.obj.name, err))
+	}
 	return out
 }
 
 // ReadvAtAsync is ReadvAt returning the data plus the virtual completion
 // time instead of charging the clock.
 func (f *File) ReadvAtAsync(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64) {
-	return f.readv(r, exts)
+	out, done, err := f.readv(r, exts)
+	if err != nil {
+		panic(fmt.Sprintf("pvfs: ReadvAtAsync on %q: %v", f.obj.name, err))
+	}
+	return out, done
 }
 
 // WriteAt is the one-extent vectored write.
@@ -364,10 +524,10 @@ func (f *File) WriteAt(r *mpi.Rank, off int64, data []byte) {
 	f.WritevAt(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
 }
 
-// TryWriteAt never fails: the pvfs model injects no request errors.
+// TryWriteAt is WriteAt surfacing post-retry server failures as typed
+// *recovery.TargetError values instead of panicking.
 func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
-	f.WriteAt(r, off, data)
-	return nil
+	return f.TryWritevAt(r, []storage.Extent{{Off: off, Len: int64(len(data))}}, [][]byte{data})
 }
 
 // WriteAtAsync is the one-extent vectored async write.
@@ -380,9 +540,14 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 	return f.ReadvAt(r, []storage.Extent{{Off: off, Len: n}})[0]
 }
 
-// TryReadAt never fails: the pvfs model injects no request errors.
+// TryReadAt is ReadAt surfacing post-retry server failures as typed
+// *recovery.TargetError values instead of panicking.
 func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
-	return f.ReadAt(r, off, n), nil
+	out, err := f.TryReadvAt(r, []storage.Extent{{Off: off, Len: n}})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
 }
 
 // ReadAtAsync is the one-extent vectored async read.
@@ -390,3 +555,7 @@ func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
 	out, done := f.ReadvAtAsync(r, []storage.Extent{{Off: off, Len: n}})
 	return out[0], done
 }
+
+// Punch zeroes stored bytes in [off, off+n) at no time cost — the staging
+// tier's durability-revocation hook. The ledger is deliberately untouched.
+func (f *File) Punch(off, n int64) { f.obj.data.Zero(off, n) }

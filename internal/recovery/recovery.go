@@ -215,26 +215,73 @@ func (p Policy) Defaults() Policy {
 
 // --- typed errors -----------------------------------------------------------
 
-// OSTError is the typed failure the lustre client surfaces when a request
-// against one OST cannot be served: either the retry budget was exhausted on
-// transient errors, or the plan marked the failure permanent.
-type OSTError struct {
-	OST       int  // the failing target
-	Attempts  int  // attempts consumed before giving up
-	Permanent bool // true: unrecoverable by retry, by injection decree
+// TargetError is the typed failure a storage layer surfaces when a request
+// against one of its targets cannot be served: either the retry budget was
+// exhausted on transient errors, or the plan marked the failure permanent.
+// Every backend shares the shape; Layer and Kind name the failure domain in
+// that backend's own vocabulary ("lustre"/"OST", "pvfs"/"server",
+// "bb"/"node"), so error text stays layer-appropriate while callers handle
+// one type.
+type TargetError struct {
+	Layer     string // storage layer reporting the failure
+	Kind      string // the layer's noun for its failure domain
+	Target    int    // the failing target id within that domain
+	Attempts  int    // attempts consumed before giving up
+	Permanent bool   // true: unrecoverable by retry, by injection decree
 }
 
-func (e *OSTError) Error() string {
-	kind := "transient"
+func (e *TargetError) Error() string {
+	sev := "transient"
 	if e.Permanent {
-		kind = "permanent"
+		sev = "permanent"
 	}
-	return fmt.Sprintf("lustre: OST %d %s failure after %d attempt(s)", e.OST, kind, e.Attempts)
+	return fmt.Sprintf("%s: %s %d %s failure after %d attempt(s)", e.Layer, e.Kind, e.Target, sev, e.Attempts)
 }
+
+// --- breaker sets ------------------------------------------------------------
+
+// BreakerSet lazily allocates one Breaker per integer target id. Lustre
+// OSTs, pvfs servers, and bb nodes are all independent failure domains
+// wanting the same trip/cooldown machinery; a set keyed by the layer's own
+// target ids lets them share it without agreeing on a global id space.
+type BreakerSet struct {
+	Threshold int     // per-breaker trip threshold (0 = Breaker default)
+	Cooldown  float64 // per-breaker cooldown seconds (0 = Breaker default)
+	m         map[int]*Breaker
+}
+
+// NewBreakerSet returns an empty set whose breakers use the Breaker
+// defaults.
+func NewBreakerSet() *BreakerSet { return &BreakerSet{} }
+
+// Get returns the breaker for target, creating it closed on first use.
+func (s *BreakerSet) Get(target int) *Breaker {
+	if s.m == nil {
+		s.m = make(map[int]*Breaker)
+	}
+	k := s.m[target]
+	if k == nil {
+		k = &Breaker{Threshold: s.Threshold, Cooldown: s.Cooldown}
+		s.m[target] = k
+	}
+	return k
+}
+
+// Opens sums the trip counts over every breaker in the set.
+func (s *BreakerSet) Opens() uint64 {
+	var n uint64
+	for _, k := range s.m {
+		n += k.Opens
+	}
+	return n
+}
+
+// Len reports how many targets have a breaker allocated.
+func (s *BreakerSet) Len() int { return len(s.m) }
 
 // --- recovery accounting ----------------------------------------------------
 
-// RetryStats counts the lustre retry engine's work. Counters are plain
+// RetryStats counts a storage layer's retry-engine work. Counters are plain
 // uint64s mutated by one proc at a time under the simulator's cooperative
 // schedule.
 type RetryStats struct {

@@ -121,14 +121,47 @@ func TestPolicyDefaults(t *testing.T) {
 	}
 }
 
-func TestOSTError(t *testing.T) {
-	e := &OSTError{OST: 3, Attempts: 6}
+func TestTargetError(t *testing.T) {
+	e := &TargetError{Layer: "lustre", Kind: "OST", Target: 3, Attempts: 6}
 	if e.Error() != "lustre: OST 3 transient failure after 6 attempt(s)" {
 		t.Fatalf("transient message = %q", e.Error())
 	}
-	p := &OSTError{OST: 0, Attempts: 1, Permanent: true}
-	if p.Error() != "lustre: OST 0 permanent failure after 1 attempt(s)" {
+	p := &TargetError{Layer: "pvfs", Kind: "server", Target: 0, Attempts: 1, Permanent: true}
+	if p.Error() != "pvfs: server 0 permanent failure after 1 attempt(s)" {
 		t.Fatalf("permanent message = %q", p.Error())
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	s := NewBreakerSet()
+	if s.Len() != 0 || s.Opens() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	a := s.Get(3)
+	if a != s.Get(3) {
+		t.Fatal("Get is not stable per target")
+	}
+	if a == s.Get(7) {
+		t.Fatal("distinct targets share a breaker")
+	}
+	for i := 0; i < 4; i++ { // default threshold
+		a.Failure(0.001 * float64(i))
+	}
+	if a.State(0.003) != BreakerOpen || s.Opens() != 1 {
+		t.Fatalf("set breaker did not trip: state=%v opens=%d", a.State(0.003), s.Opens())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// Configured sets hand their settings to new breakers.
+	c := &BreakerSet{Threshold: 1, Cooldown: 0.5}
+	k := c.Get(0)
+	k.Failure(0)
+	if k.State(0) != BreakerOpen {
+		t.Fatal("configured threshold not applied")
+	}
+	if k.State(0.6) != BreakerHalfOpen {
+		t.Fatal("configured cooldown not applied")
 	}
 }
 

@@ -46,6 +46,29 @@ func (s *ByteStore) Store(off int64, data []byte) {
 	}
 }
 
+// Zero clears any stored bytes in [off, off+n) without growing the file:
+// only already-allocated pages are touched, so zeroing an unwritten range is
+// free and Size never moves. It is Punch's storage primitive — revoked
+// durability reads back as zeroes.
+func (s *ByteStore) Zero(off, n int64) {
+	end := off + n
+	for off < end {
+		page := off >> pageBits
+		po := off & (PageSize - 1)
+		l := int64(PageSize) - po
+		if l > end-off {
+			l = end - off
+		}
+		if buf, ok := s.pages[page]; ok {
+			z := buf[po : po+l]
+			for i := range z {
+				z[i] = 0
+			}
+		}
+		off += l
+	}
+}
+
 // Load reads n bytes at off; unwritten bytes are zero.
 func (s *ByteStore) Load(off, n int64) []byte {
 	out := make([]byte, n)

@@ -1,0 +1,23 @@
+package storage
+
+import "fmt"
+
+// StagingLostError is the typed failure a staging tier surfaces when a
+// node's staging memory died holding absorbed-but-undrained extents of the
+// file: the writes were acknowledged at memory speed, their durability on
+// the under-backend was booked asynchronously, and the node fail-stopped
+// before the drain completed. The tier has already punched the lost ranges
+// (they read back as zeroes) and flipped the node to write-through, so the
+// caller's recovery is to re-dump the lost extents — an immediate retry of
+// the failed write lands durably, and redump paths use Lost (plus
+// LossReporter for later calls) to rewrite what earlier calls lost.
+type StagingLostError struct {
+	Node int      // the failed staging node
+	File string   // file whose staged extents died
+	Lost []Extent // coalesced byte ranges lost, pending re-dump
+}
+
+func (e *StagingLostError) Error() string {
+	return fmt.Sprintf("bb: node %d staging memory lost with %d undrained extent(s) (%d bytes) of %q",
+		e.Node, len(e.Lost), SumLen(e.Lost), e.File)
+}

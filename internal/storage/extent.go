@@ -1,0 +1,122 @@
+package storage
+
+import "sort"
+
+// Extent set algebra over (offset, length) byte ranges. Inputs may be
+// arbitrary (unsorted, overlapping, zero-length); outputs are always
+// canonical — sorted, disjoint, non-adjacent, no zero-length runs. The
+// burst buffer's dirty-set merge, the staging-loss bookkeeping (lost sets
+// shrink by Subtract as re-dumps land), and the collective layer's re-dump
+// planning (RedumpPlan) all ride these three pure functions, and
+// FuzzExtentRedump pins their joint invariants.
+
+// Coalesce returns the union of the given extents as a minimal sorted list
+// of disjoint extents: overlapping and adjacent runs merge, zero-length
+// runs vanish. The input slice is not modified.
+func Coalesce(exts []Extent) []Extent {
+	var out []Extent
+	for _, e := range exts {
+		if e.Len > 0 {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	w := 0
+	for _, e := range out[1:] {
+		if e.Off <= out[w].End() {
+			if e.End() > out[w].End() {
+				out[w].Len = e.End() - out[w].Off
+			}
+			continue
+		}
+		w++
+		out[w] = e
+	}
+	return out[:w+1]
+}
+
+// Covered reports whether [off, off+n) lies inside a single run of the
+// coalesced (sorted, disjoint) extent list.
+func Covered(exts []Extent, off, n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	i := sort.Search(len(exts), func(i int) bool { return exts[i].End() > off })
+	return i < len(exts) && exts[i].Off <= off && off+n <= exts[i].End()
+}
+
+// Intersect returns the canonical byte-set intersection of a and b.
+func Intersect(a, b []Extent) []Extent {
+	ca, cb := Coalesce(a), Coalesce(b)
+	var out []Extent
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		lo := ca[i].Off
+		if cb[j].Off > lo {
+			lo = cb[j].Off
+		}
+		hi := ca[i].End()
+		if cb[j].End() < hi {
+			hi = cb[j].End()
+		}
+		if hi > lo {
+			out = append(out, Extent{Off: lo, Len: hi - lo})
+		}
+		if ca[i].End() < cb[j].End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract returns the canonical byte set of a minus b.
+func Subtract(a, b []Extent) []Extent {
+	ca, cb := Coalesce(a), Coalesce(b)
+	var out []Extent
+	j := 0
+	for _, e := range ca {
+		lo := e.Off
+		for j < len(cb) && cb[j].End() <= lo {
+			j++
+		}
+		k := j
+		for k < len(cb) && cb[k].Off < e.End() {
+			if cb[k].Off > lo {
+				out = append(out, Extent{Off: lo, Len: cb[k].Off - lo})
+			}
+			if cb[k].End() > lo {
+				lo = cb[k].End()
+			}
+			k++
+		}
+		if lo < e.End() {
+			out = append(out, Extent{Off: lo, Len: e.End() - lo})
+		}
+	}
+	return out
+}
+
+// SumLen returns the total byte count of the extent list (callers pass
+// canonical lists; overlapping input counts bytes twice).
+func SumLen(exts []Extent) int64 {
+	var n int64
+	for _, e := range exts {
+		n += e.Len
+	}
+	return n
+}
+
+// RedumpPlan returns the canonical set of bytes a rank must rewrite to
+// repair a staging loss: the intersection of the lost set with the extents
+// the rank owns (and can regenerate or still holds). Across ranks whose
+// owned sets partition the file, the per-rank plans partition the lost set
+// — every lost byte is re-dumped exactly once, with no overlap; that is the
+// FuzzExtentRedump invariant.
+func RedumpPlan(lost, owned []Extent) []Extent {
+	return Intersect(lost, owned)
+}

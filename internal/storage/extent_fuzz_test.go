@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"testing"
+)
+
+// FuzzExtentRedump pins the joint invariants of the extent algebra under
+// the re-dump planner: for an arbitrary lost set and an arbitrary partition
+// of the file into per-rank owned sets, the per-rank RedumpPlans must (a)
+// each be canonical (sorted, disjoint, positive lengths), (b) stay inside
+// both the lost set and the rank's owned set, and (c) jointly cover every
+// lost byte inside the file exactly once — no byte re-dumped twice, none
+// forgotten. This is the property the collective recovery path and the
+// checkpoint workload's regenerate-and-rewrite loop rely on.
+func FuzzExtentRedump(f *testing.F) {
+	f.Add([]byte{10, 5, 40, 8, 3, 7, 9}, uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 0, 255, 255, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, nOwners uint8) {
+		const span = int64(1 << 12)
+		owners := int64(nOwners%8) + 1
+
+		// Decode raw into an arbitrary (unsorted, overlapping) lost set.
+		var lost []Extent
+		for i := 0; i+1 < len(raw) && len(lost) < 64; i += 2 {
+			off := int64(raw[i]) * 17 % (span + 64) // may poke past span
+			n := int64(raw[i+1]) % 96
+			lost = append(lost, Extent{Off: off, Len: n})
+		}
+
+		// Owners partition [0, span) into contiguous blocks.
+		block := span / owners
+		owned := make([][]Extent, owners)
+		for i := int64(0); i < owners; i++ {
+			end := (i + 1) * block
+			if i == owners-1 {
+				end = span
+			}
+			owned[i] = []Extent{{Off: i * block, Len: end - i*block}}
+		}
+
+		var union []Extent
+		var total int64
+		for i := int64(0); i < owners; i++ {
+			plan := RedumpPlan(lost, owned[i])
+			// Canonical: sorted, disjoint, positive lengths.
+			for j, e := range plan {
+				if e.Len <= 0 {
+					t.Fatalf("owner %d: plan extent %d has length %d", i, j, e.Len)
+				}
+				if j > 0 && e.Off <= plan[j-1].End() {
+					t.Fatalf("owner %d: plan not sorted/disjoint at %d: %v", i, j, plan)
+				}
+			}
+			// Plan ⊆ lost and ⊆ owned.
+			if SumLen(Subtract(plan, lost)) != 0 {
+				t.Fatalf("owner %d: plan %v reaches outside the lost set %v", i, plan, lost)
+			}
+			if SumLen(Subtract(plan, owned[i])) != 0 {
+				t.Fatalf("owner %d: plan %v reaches outside its owned set %v", i, plan, owned[i])
+			}
+			total += SumLen(plan)
+			union = append(union, plan...)
+		}
+
+		// Exactly-once coverage of lost ∩ [0, span): the union equals the
+		// in-file lost set, and the per-owner totals sum to its size (no
+		// overlap — owners partition the file).
+		inFile := Intersect(lost, []Extent{{Off: 0, Len: span}})
+		cu := Coalesce(union)
+		if SumLen(Subtract(cu, inFile)) != 0 || SumLen(Subtract(inFile, cu)) != 0 {
+			t.Fatalf("union of plans %v != lost∩file %v", cu, inFile)
+		}
+		if want := SumLen(inFile); total != want {
+			t.Fatalf("plans cover %d bytes total, want %d (exactly once)", total, want)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// peekStore adapts a ByteStore to the Verify peek signature.
+func peekStore(bs *ByteStore) func(off, n int64) []byte {
+	return func(off, n int64) []byte { return bs.Load(off, n) }
+}
+
+func TestLedgerVerify(t *testing.T) {
+	led := NewLedger(1)
+	bs := NewByteStore()
+	data := bytes.Repeat([]byte{0xab}, 100)
+	bs.Store(50, data)
+	led.Record("f", 50, data)
+	if err := led.Verify("f", peekStore(bs)); err != nil {
+		t.Fatalf("clean verify: %v", err)
+	}
+	if got := SumLen(led.Acked("f")); got != 100 {
+		t.Fatalf("acked %d bytes, want 100", got)
+	}
+	// Corruption (a punch without a re-dump) must fail the audit; the
+	// acknowledged contents are the contract, so restoring them passes it.
+	bs.Zero(60, 10)
+	if err := led.Verify("f", peekStore(bs)); err == nil {
+		t.Fatal("verify passed over zeroed acknowledged bytes")
+	}
+	bs.Store(60, data[10:20])
+	if err := led.Verify("f", peekStore(bs)); err != nil {
+		t.Fatalf("verify after restore: %v", err)
+	}
+}
+
+func TestLedgerOverwriteLatestWins(t *testing.T) {
+	led := NewLedger(1)
+	bs := NewByteStore()
+	first := bytes.Repeat([]byte{0x11}, 64)
+	second := bytes.Repeat([]byte{0x22}, 32)
+	bs.Store(0, first)
+	led.Record("f", 0, first)
+	bs.Store(16, second)
+	led.Record("f", 16, second)
+	if err := led.Verify("f", peekStore(bs)); err != nil {
+		t.Fatalf("verify after overwrite: %v", err)
+	}
+	if got := len(led.Digests("f")); got != 2 {
+		t.Fatalf("digest log has %d entries, want 2 (one per store)", got)
+	}
+}
+
+func TestLedgerSeedSaltsDigests(t *testing.T) {
+	a, b := NewLedger(1), NewLedger(2)
+	data := []byte("same bytes, different salt")
+	a.Record("f", 0, data)
+	b.Record("f", 0, data)
+	if a.Digests("f")[0].Sum == b.Digests("f")[0].Sum {
+		t.Fatal("digests under different seeds collided")
+	}
+	c := NewLedger(1)
+	c.Record("f", 0, data)
+	if a.Digests("f")[0].Sum != c.Digests("f")[0].Sum {
+		t.Fatal("digests under one seed differ across runs")
+	}
+}
+
+func TestLedgerNoteLostKeepsContract(t *testing.T) {
+	led := NewLedger(1)
+	bs := NewByteStore()
+	data := bytes.Repeat([]byte{0x5a}, 40)
+	bs.Store(0, data)
+	led.Record("f", 0, data)
+	led.NoteLost("f", []Extent{{Off: 0, Len: 40}})
+	if got := led.LostEvents(); got != 1 {
+		t.Fatalf("LostEvents() = %d, want 1", got)
+	}
+	// The loss note changes nothing about what must read back.
+	if got := SumLen(led.Acked("f")); got != 40 {
+		t.Fatalf("acked %d bytes after NoteLost, want 40", got)
+	}
+	bs.Zero(0, 40)
+	if err := led.Verify("f", peekStore(bs)); err == nil {
+		t.Fatal("verify passed though the lost bytes were never re-dumped")
+	}
+}

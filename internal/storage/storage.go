@@ -31,6 +31,7 @@ package storage
 import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/recovery"
 )
 
 // Stripe is a file's striping layout, fixed at create time (lustre.StripeInfo
@@ -126,6 +127,25 @@ type File interface {
 	Peek(off, n int64) []byte
 	// Contents returns the file's bytes in [0, Size) at no time cost.
 	Contents() []byte
+
+	// Punch zeroes any stored bytes in [off, off+n) without growing the
+	// file or charging time — the fault layer's hook for revoking
+	// durability when a staging node dies with undrained extents: the range
+	// reads as zeroes until re-dumped, so recovery cannot silently pass on
+	// stale bytes. An attached integrity Ledger is deliberately left
+	// untouched; it keeps the acknowledged contents re-dump must restore.
+	Punch(off, n int64)
+}
+
+// LossReporter is the optional File capability the collective layer uses to
+// repair staging losses: implemented by backends that can lose
+// acknowledged-but-staged data (the bb tier). LostExtents processes any
+// staging-node failures due by the rank's current virtual time and returns
+// the file's punched, not-yet-re-dumped extents (sorted, coalesced). The
+// caller re-dumps its own intersection through writes, which heal the lost
+// set as they land.
+type LossReporter interface {
+	LostExtents(r *mpi.Rank) []Extent
 }
 
 // Backend is one storage system instance. Create one per simulation run and
@@ -142,13 +162,49 @@ type Backend interface {
 	// the calling rank's node is durable on the final tier, charging the
 	// exposed wait to ClassIO. A pass-through backend returns immediately.
 	Drain(r *mpi.Rank)
+	// TryDrain is Drain with error plumbing: after the barrier it reports
+	// any staged data the backend has lost and not yet seen re-dumped, as a
+	// typed *StagingLostError. Backends that stage nothing never fail.
+	TryDrain(r *mpi.Rank) error
 	// Stats returns a copy of the per-target service counters.
 	Stats() []TargetStat
+	// RetryStats returns the backend's retry-engine counters — attempts,
+	// failures, backoff time — summed over its layers (a staging tier adds
+	// its drain-retry work to the under-backend's). All zero when no fault
+	// plan injects errors into this backend.
+	RetryStats() recovery.RetryStats
 	// SetObs attaches a metrics registry (nil detaches). Observe-only: an
 	// instrumented run is bit-identical to a bare one.
 	SetObs(reg *obs.Registry)
+	// SetLedger attaches an integrity ledger (nil detaches): every store
+	// records a seeded digest of the written extent at issue time, for
+	// checksum-verified read-back in recovery tests. Recording is free in
+	// virtual time and draw-free. Staging tiers forward the ledger to the
+	// under-backend that performs their actual stores.
+	SetLedger(l *Ledger)
 	// Params returns the backend's protocol-relevant properties.
 	Params() Params
 	// Name identifies the backend kind ("lustre", "listio", "bb").
 	Name() string
+}
+
+// Degrader is the optional Backend capability for mid-run hot-swap:
+// implemented by staging tiers that can migrate an open node's dirty state
+// down to the under-backend and stop staging on it — voluntarily (an
+// operator draining a node) or because the node's breaker opened. The
+// durable-at-issue contract makes migration metadata-only: the bytes are
+// already in the under-store, so Degrade reclaims the staging residency,
+// honors in-flight drains at their booked completion times, and flips the
+// node permanently to write-through. No data moves, no time is charged.
+type Degrader interface {
+	Backend
+	// Under returns the backend writes degrade to.
+	Under() Backend
+	// Degraded reports whether the node has been flipped to write-through
+	// (by Degrade, a staging-node failure, or an open drain breaker gone
+	// permanent).
+	Degraded(node int) bool
+	// Degrade migrates the node's staged state to the under-backend and
+	// flips it permanently to write-through. Idempotent.
+	Degrade(r *mpi.Rank, node int)
 }

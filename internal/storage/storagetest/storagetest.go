@@ -14,11 +14,13 @@ package storagetest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/recovery"
 	"repro/internal/storage"
 )
 
@@ -207,6 +209,76 @@ func Run(t *testing.T, name string, mk func() storage.Backend) {
 		})
 	})
 
+	t.Run(name+"/punch-zeroes-in-place", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "punched", stripe)
+			buf := make([]byte, 4096)
+			pattern(buf, 8, 0)
+			f.WriteAt(r, 0, buf)
+			f.Punch(1000, 500)
+			if got := f.Size(); got != 4096 {
+				t.Fatalf("Size() = %d after Punch, want 4096 (Punch must not shrink)", got)
+			}
+			for i, b := range f.Peek(1000, 500) {
+				if b != 0 {
+					t.Fatalf("byte %d = %#x after Punch, want 0", 1000+i, b)
+				}
+			}
+			if !bytes.Equal(f.Peek(0, 1000), buf[:1000]) || !bytes.Equal(f.Peek(1500, 2596), buf[1500:]) {
+				t.Fatal("Punch disturbed bytes outside its range")
+			}
+			// A rewrite heals the hole completely.
+			f.WriteAt(r, 1000, buf[1000:1500])
+			if got := f.ReadAt(r, 0, 4096); !bytes.Equal(got, buf) {
+				t.Fatal("rewrite after Punch did not restore the original bytes")
+			}
+		})
+	})
+
+	t.Run(name+"/healthy-trydrain-and-zero-retrystats", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			f := be.Open(r, "healthy", stripe)
+			buf := make([]byte, 2048)
+			pattern(buf, 9, 0)
+			f.WriteAt(r, 0, buf)
+			if err := be.TryDrain(r); err != nil {
+				t.Fatalf("TryDrain on a healthy backend: %v", err)
+			}
+			if rs := be.RetryStats(); rs != (recovery.RetryStats{}) {
+				t.Fatalf("RetryStats() = %+v on a healthy backend, want all zero", rs)
+			}
+		})
+	})
+
+	t.Run(name+"/ledger-audits-stores", func(t *testing.T) {
+		run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+			led := storage.NewLedger(42)
+			be.SetLedger(led)
+			f := be.Open(r, "audited", stripe)
+			buf := make([]byte, 3000)
+			pattern(buf, 12, 0)
+			f.WriteAt(r, 512, buf)
+			be.Drain(r)
+			if got := storage.SumLen(led.Acked("audited")); got != 3000 {
+				t.Fatalf("ledger acknowledged %d bytes, want 3000", got)
+			}
+			if err := led.VerifyFile("audited", f); err != nil {
+				t.Fatalf("ledger audit of a healthy run: %v", err)
+			}
+			// The audit must actually bite: punching acknowledged bytes
+			// without a re-dump is exactly the corruption it exists to catch.
+			f.Punch(1024, 256)
+			if err := led.VerifyFile("audited", f); err == nil {
+				t.Fatal("ledger audit passed over punched (corrupt) bytes")
+			}
+			f.WriteAt(r, 1024, buf[512:768])
+			if err := led.VerifyFile("audited", f); err != nil {
+				t.Fatalf("ledger audit after healing rewrite: %v", err)
+			}
+			be.SetLedger(nil)
+		})
+	})
+
 	t.Run(name+"/deterministic", func(t *testing.T) {
 		one := func() (float64, string) {
 			var stats []storage.TargetStat
@@ -233,6 +305,143 @@ func Run(t *testing.T, name string, mk func() storage.Backend) {
 		}
 		if s1 != s2 {
 			t.Fatalf("Stats() differ across identical runs:\n%s\nvs\n%s", s1, s2)
+		}
+	})
+}
+
+// Fault-window timing shared by RunFaults and the backend plans it runs
+// against. A conforming constructor arms its fault plan so that requests
+// (or staged drains) issued inside [FaultAt, FaultAt+FaultFor) fail, and
+// the window is one-shot: the script writes once before the window, once
+// inside it (expecting the typed error), then recovers past its end.
+const (
+	FaultAt  = 1e-3 // virtual seconds into the run the fault window opens
+	FaultFor = 8e-3 // window length: longer than any default retry budget
+)
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunFaults is the fault-injection conformance leg: inject → typed error →
+// recover → checksum-verified read-back. mk must return a fresh backend
+// whose fault plan fails requests inside the [FaultAt, FaultAt+FaultFor)
+// window — via OSTFails, ServerFails, or a BBFail at FaultAt with a drain
+// slow enough that the pre-window write is still staged (one-shot windows;
+// see the constants above). The script accepts either typed failure the
+// storage seam defines:
+//
+//   - *recovery.TargetError — a retry engine exhausted its budget (or hit
+//     permanence) against a failing target; the failed write stored nothing
+//     (all-or-nothing) and a whole-operation retry after the window lands;
+//   - *storage.StagingLostError — a staging node died holding the earlier
+//     acknowledged write; the lost ranges read as zeroes until the caller
+//     re-dumps them, which the script does from its master image.
+//
+// Either way the run must end with TryDrain clean, every byte equal to the
+// master image, and the integrity ledger's audit passing. The whole script
+// runs twice and must land on the identical virtual clock.
+func RunFaults(t *testing.T, name string, mk func() storage.Backend) {
+	t.Run(name+"/inject-recover-verify", func(t *testing.T) {
+		one := func() float64 {
+			return run(t, mk, func(r *mpi.Rank, be storage.Backend) {
+				led := storage.NewLedger(7)
+				be.SetLedger(led)
+				f := be.Open(r, "flt", stripe)
+				master := make([]byte, 8192)
+
+				// Before the window: a healthy write must succeed.
+				w1 := make([]byte, 2048)
+				pattern(w1, 30, 0)
+				if now := r.Now(); now >= FaultAt {
+					t.Fatalf("clock %g already inside the fault window before the first write", now)
+				}
+				if err := f.TryWriteAt(r, 0, w1); err != nil {
+					t.Fatalf("TryWriteAt before the fault window: %v", err)
+				}
+				copy(master, w1)
+
+				// Step into the window and write again: the typed error must
+				// surface, and all-or-nothing means the target range stays
+				// untouched.
+				if now := r.Now(); now < FaultAt {
+					r.Compute(FaultAt - now + FaultFor/8)
+				}
+				w2 := make([]byte, 1024)
+				pattern(w2, 31, 4096)
+				err := f.TryWriteAt(r, 4096, w2)
+				if err == nil {
+					t.Fatal("TryWriteAt inside the fault window succeeded, want a typed error")
+				}
+				if !allZero(f.Peek(4096, 1024)) {
+					t.Fatal("failed TryWriteAt left bytes behind (all-or-nothing violated)")
+				}
+				var sl *storage.StagingLostError
+				var te *recovery.TargetError
+				switch {
+				case errors.As(err, &sl):
+					// Staging loss: the plan killed the node holding w1.
+					if sl.File != "flt" || len(sl.Lost) == 0 {
+						t.Fatalf("StagingLostError names file %q with %d extents, want %q with some", sl.File, len(sl.Lost), "flt")
+					}
+					for _, e := range sl.Lost {
+						if !allZero(f.Peek(e.Off, e.Len)) {
+							t.Fatalf("lost range [%d,%d) not punched to zeroes", e.Off, e.End())
+						}
+					}
+					// Re-dump the lost ranges from the master image.
+					for _, e := range sl.Lost {
+						if err := f.TryWriteAt(r, e.Off, master[e.Off:e.End()]); err != nil {
+							t.Fatalf("re-dump of lost range [%d,%d): %v", e.Off, e.End(), err)
+						}
+					}
+				case errors.As(err, &te):
+					// Retry exhaustion against a failing target: the engine
+					// must have actually retried before giving up.
+					if te.Attempts < 2 {
+						t.Fatalf("TargetError after %d attempt(s), want >= 2 (no retry ran)", te.Attempts)
+					}
+					if rs := be.RetryStats(); rs.Failures == 0 || rs.Exhausted == 0 {
+						t.Fatalf("RetryStats() = %+v after exhaustion, want Failures > 0 and Exhausted > 0", rs)
+					}
+				default:
+					t.Fatalf("fault-window error %v (%T) is neither *storage.StagingLostError nor *recovery.TargetError", err, err)
+				}
+
+				// Recover: step past the window, retry the failed write until
+				// it lands (a staging tier's first retry goes straight through
+				// write-through; a retry engine's succeeds once healthy).
+				if now := r.Now(); now < FaultAt+FaultFor {
+					r.Compute(FaultAt + FaultFor - now + FaultFor/8)
+				}
+				for i := 0; ; i++ {
+					if err := f.TryWriteAt(r, 4096, w2); err == nil {
+						break
+					} else if i >= 8 {
+						t.Fatalf("TryWriteAt still failing after the window: %v", err)
+					}
+					r.Compute(FaultFor)
+				}
+				copy(master[4096:], w2)
+
+				if err := be.TryDrain(r); err != nil {
+					t.Fatalf("TryDrain after recovery: %v", err)
+				}
+				if got, rerr := f.TryReadAt(r, 0, 8192); rerr != nil || !bytes.Equal(got, master) {
+					t.Fatalf("read-back after recovery: err=%v, bytes match=%v", rerr, rerr == nil && bytes.Equal(got, master))
+				}
+				if err := led.Verify("flt", f.Peek); err != nil {
+					t.Fatalf("integrity-ledger audit after recovery: %v", err)
+				}
+			})
+		}
+		if e1, e2 := one(), one(); e1 != e2 {
+			t.Fatalf("fault-recovery runs land on different virtual clocks: %g vs %g", e1, e2)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/recovery"
+	"repro/internal/storage"
 )
 
 // TileIO models the MPI-Tile-IO benchmark of the paper's §5.2: a dense 2D
@@ -60,6 +62,75 @@ func (w TileIO) View(rank, nprocs int) datatype.View {
 // TileBytes returns the per-process data size.
 func (w TileIO) TileBytes() int64 { return w.TileX * w.TileY * w.Elem }
 
+// drainFT is the fault-aware durability barrier closing a faulted write:
+// under injected staging-node failures a loss can land after the last
+// collective call, when no write remains to surface it, so the read path
+// would observe punched bytes. The barrier drains the backend, and a
+// reported staging loss makes every rank regenerate the lost ranges inside
+// its own tile rows (tile data is a pure function of rank and offset) and
+// rewrite them at write-through cost, then synchronize and retry. On every
+// other configuration — any healthy run, any backend without staging — it
+// is a no-op and charges nothing.
+func (w TileIO) drainFT(r *mpi.Rank, comm *mpi.Comm, env Env, name string, steps int) {
+	if !(env.FS.Params().Injecting && env.Opts.Run.Fault.HasBBFails()) {
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		err := env.FS.TryDrain(r)
+		var sl *storage.StagingLostError
+		if err != nil {
+			if !errors.As(err, &sl) || sl.File != name || attempt >= 4 {
+				panic(fmt.Sprintf("tileio: drain of %q failed: %v", name, err))
+			}
+		}
+		// Agree collectively whether anyone still sees a loss: a rank whose
+		// barrier ran after the others' repairs healed everything must keep
+		// iterating in lockstep with the ranks that are re-dumping.
+		hit := int64(0)
+		if sl != nil {
+			hit = 1
+		}
+		if comm.AllreduceInt64([]int64{hit}, mpi.OpMax)[0] == 0 {
+			return
+		}
+		if sl != nil {
+			w.redump(r, env, name, sl.Lost, comm.Size(), steps)
+		}
+		comm.Barrier()
+	}
+}
+
+// redump rewrites this rank's intersection of its tile view with the lost
+// set: each view segment's overlap is regenerated from the fill pattern
+// and written back through the erroring path. Across ranks the tiles
+// partition the dataset, so every lost byte is re-dumped exactly once.
+func (w TileIO) redump(r *mpi.Rank, env Env, name string, lost []storage.Extent, n, steps int) {
+	f := env.FS.Open(r, name, env.Stripe)
+	me := r.WorldRank()
+	v := w.View(me, n)
+	ext := v.Filetype.Extent()
+	per := w.TileBytes()
+	for s := 0; s < steps; s++ {
+		local := int64(s) * per
+		for _, sg := range v.Filetype.Segments() {
+			off := v.Disp + int64(s)*ext + sg.Off
+			for _, e := range storage.Intersect(lost, []storage.Extent{{Off: off, Len: sg.Len}}) {
+				seg := make([]byte, e.Len)
+				Fill(seg, me, local+(e.Off-off))
+				for {
+					// A not-yet-reported second loss can surface here;
+					// the report consumes it, and the retry lands
+					// write-through on the degraded node.
+					if werr := f.TryWriteAt(r, e.Off, seg); werr == nil {
+						break
+					}
+				}
+			}
+			local += sg.Len
+		}
+	}
+}
+
 // Write renders every tile collectively and returns this rank's Result.
 func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
@@ -92,6 +163,7 @@ func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 				f.WriteAtAll(off, data)
 			}
 		}
+		w.drainFT(r, comm, env, name, steps)
 	})
 	bd := f.Breakdown()
 	var ovl mpiio.OverlapStats

@@ -22,6 +22,9 @@ type Env struct {
 	FS     storage.Backend
 	Stripe storage.Stripe
 	Opts   core.Options
+	// Ledger, when non-nil, is the integrity audit attached to FS: recovery
+	// runners verify read-back against it after faulted runs.
+	Ledger *storage.Ledger
 }
 
 // Result is one rank's view of a finished run.

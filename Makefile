@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical backends storage-faults paperrepro verify
+.PHONY: all build test bench bench-large race vet faults fuzz recovery obs hierarchical backends storage-faults tenancy paperrepro verify
 
 all: build test
 
@@ -21,7 +21,7 @@ vet:
 # parallel-identity suite, which drives every layer through the parallel
 # engine at 2 and 4 workers (DESIGN.md §12).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/... ./internal/storage/... ./internal/bb/... ./internal/pvfs/...
+	$(GO) test -race ./internal/sim/... ./internal/fault/... ./internal/lustre/... ./internal/nbio/... ./internal/recovery/... ./internal/obs/... ./internal/storage/... ./internal/bb/... ./internal/pvfs/... ./internal/tenancy/... ./internal/job/...
 	$(GO) test -race -run 'TestParallel|TestHierarchicalParallel|TestBurstUnderFailureDeterministic|TestChaosStorageFaults' -count=1 .
 
 # Fault-injection gate: vet the fault layer, then run its unit tests, the
@@ -74,14 +74,15 @@ recovery: vet
 # Tier-1.5 gate + benchmark regression harness: vet, race-check the engine,
 # run the full bench suite with allocation stats, and regenerate the
 # machine-readable report (see DESIGN.md, "Performance model of the
-# simulator", for how to read BENCH_8.json; BENCH_1.json is the PR-1
+# simulator", for how to read BENCH_10.json; BENCH_1.json is the PR-1
 # baseline to diff allocs/op against, BENCH_3.json the pre-recovery one,
 # BENCH_4.json the pre-hierarchy one, BENCH_7.json the pre-backend-seam
-# one; the emit step also asserts the flat 1024-proc path's allocs/op
-# stays within 1% of the BENCH_7.json baseline).
+# one, BENCH_8.json the pre-tenancy one; the emit step also asserts the
+# flat 256-proc path's allocs/op stays within 1% of the BENCH_8.json
+# baseline).
 bench: vet race
 	$(GO) test -bench=. -benchmem -run '^$$' .
-	BENCH_JSON=BENCH_8.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
+	BENCH_JSON=BENCH_10.json $(GO) test -run '^TestEmitBenchJSON$$' -count=1 -v .
 
 # Large-scale tier: the 1024/4096-proc Fig1 points under the partitioned
 # parallel engine (GOMAXPROCS workers), plus the 256-proc serial-vs-parallel
@@ -123,6 +124,19 @@ storage-faults: vet
 paperrepro:
 	$(GO) run ./cmd/paperrepro -procs 1024 -timings=false > paperrepro_output.txt
 
-# The full verification sweep: tier-1 build+test, vet, and a transcript
-# regeneration so paperrepro_output.txt can't drift from the code.
-verify: all vet paperrepro
+# Multi-tenancy gate: vet the tenancy/job/qos layers, run the trace and
+# spec unit tests, the tenancy determinism suite (run-twice and 1-vs-4
+# worker bit-identity, healthy and one-straggler, byte-exact verification),
+# the QoS acceptance tests (FIFO slowdown > 1, fair-share lowering the small
+# job's p99, ParColl confining the straggler), and the spec-equals-flags
+# golden over every cmd tool (DESIGN.md §16, EXPERIMENTS.md
+# "Shared-filesystem interference").
+tenancy: vet
+	$(GO) test ./internal/job/... ./internal/qos/... -count=1
+	$(GO) test ./internal/tenancy/... -count=1 -v
+	$(GO) test ./internal/cli/ -run 'TestSpecEqualsFlags' -count=1
+
+# The full verification sweep: tier-1 build+test, vet, the tenancy gate,
+# and a transcript regeneration so paperrepro_output.txt can't drift from
+# the code.
+verify: all vet tenancy paperrepro

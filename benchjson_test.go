@@ -1,6 +1,6 @@
 // The benchmark regression harness: TestEmitBenchJSON reruns the Figure 1
 // collective-wall benchmark under testing.Benchmark and writes a
-// machine-readable report (BENCH_8.json) with wall-clock cost (ns/op,
+// machine-readable report (BENCH_10.json) with wall-clock cost (ns/op,
 // allocs/op, bytes/op), simulator throughput (virtual events per wall
 // second), and the simulated metrics themselves. `make bench` drives it;
 // DESIGN.md ("Performance model of the simulator") explains how to read
@@ -14,8 +14,10 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // TestEmitBenchJSON writes the benchmark report to the path named by the
@@ -91,12 +93,53 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Logf("%s: %.0f ns/op, %.0f allocs/op, sync=%.1f%%",
 			point.Name, point.NsPerOp, point.AllocsPerOp, 100*point.Metrics["sync_share"])
 	}
+	// Multi-tenant point: a 4-job 256-proc mixed trace under fair-share QoS
+	// (DESIGN.md §16), so the report tracks the tenancy layer's wall-clock
+	// and allocation cost alongside the single-job paths.
+	{
+		tr := tenancy.Trace{
+			Jobs: []job.Spec{
+				{Name: "tile-hog", Workload: job.WorkloadTileIO, Procs: 128, Groups: 8},
+				{Name: "btio", Workload: job.WorkloadBTIO, Procs: 64, Groups: 4, Arrival: 0.002, Steps: 2},
+				{Name: "ior", Workload: job.WorkloadIOR, Procs: 32, Groups: 4, Arrival: 0.004},
+				{Name: "ckpt", Workload: job.WorkloadCheckpoint, Procs: 32, Groups: 4,
+					Arrival: 0.006, Steps: 2, BlockBytes: 4 << 10, Interleave: 1 << 10},
+			},
+			Policy: "fair",
+		}
+		var tp tenancy.Report
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				tp, err = tenancy.Run(p, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		point := perf.BenchPoint{
+			Name:        "Tenancy4JobsFair/procs=256",
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+			Metrics: map[string]float64{
+				"jobs":        float64(len(tp.Jobs)),
+				"makespan":    tp.End,
+				"hog_coll_p99": tp.Jobs[0].P99,
+			},
+		}
+		rep.Add(point)
+		t.Logf("%s: %.0f ns/op, %.0f allocs/op, makespan=%.4fs",
+			point.Name, point.NsPerOp, point.AllocsPerOp, tp.End)
+	}
 	// Healthy-path allocation guard: the flat 256-proc Fig1 point on the
 	// default lustre backend must not have grown its allocs/op by more than
-	// 1% over the BENCH_7.json baseline — the storage.Backend seam and the
-	// vectored flush path must cost nothing when the backend has no native
-	// list-I/O.
-	if base, err := perf.ReadBenchReport("BENCH_7.json"); err == nil {
+	// 1% over the BENCH_8.json baseline — the per-job QoS/latency plumbing
+	// (JobID threading, admission hook, latency recorder field) must cost
+	// nothing on the single-job path.
+	if base, err := perf.ReadBenchReport("BENCH_8.json"); err == nil {
 		var want float64
 		for _, bp := range base.Points {
 			if bp.Name == "Fig1CollectiveWall/procs=256" {
@@ -104,9 +147,9 @@ func TestEmitBenchJSON(t *testing.T) {
 			}
 		}
 		if want > 0 && flatAllocs > 0 {
-			t.Logf("healthy-path guard: %.0f allocs/op vs BENCH_7 baseline %.0f", flatAllocs, want)
+			t.Logf("healthy-path guard: %.0f allocs/op vs BENCH_8 baseline %.0f", flatAllocs, want)
 			if flatAllocs > want*1.01 {
-				t.Errorf("healthy-path allocs/op regressed: %.0f > 1%% over BENCH_7 baseline %.0f", flatAllocs, want)
+				t.Errorf("healthy-path allocs/op regressed: %.0f > 1%% over BENCH_8 baseline %.0f", flatAllocs, want)
 			}
 		}
 	}

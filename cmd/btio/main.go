@@ -13,6 +13,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/stats"
 )
 
@@ -21,6 +22,7 @@ func main() {
 	c := cli.Register(576)
 	c.RegisterScenario("")
 	flag.Parse()
+	c.ResolveSpec(job.WorkloadBTIO)
 
 	p := experiments.PaperPreset()
 	c.Apply(&p)

@@ -4,6 +4,19 @@
 // into synchronization, point-to-point exchange, and file I/O — the data
 // behind Figures 1 and 2 (the "collective wall").
 //
+// Modes are subcommands:
+//
+//	collwall wall       profile the collective wall across process counts (default)
+//	collwall sweep      straggler-severity sweep, ext2ph vs ParColl
+//	collwall overlap    compute/IO-ratio sweep, blocking vs split collectives
+//	collwall failures   fail-stop recovery comparison (-scenario names the plan, default all)
+//	collwall scenarios  baseline vs ParColl under fault scenarios (-scenario, default all)
+//	collwall gantt      per-rank timeline of one run at -procs ranks
+//
+// The pre-subcommand spellings (-sweep, -overlap, -failures NAME, -gantt N,
+// bare -scenario NAME) still work as deprecated aliases for one release and
+// print a warning naming the subcommand to use instead.
+//
 // Observability: every mode accepts -trace-out and -metrics. Both run one
 // instrumented tile write at the mode's -procs/-groups (under -scenario's
 // plan when one is named), export it as a Perfetto/Chrome trace_event JSON
@@ -26,50 +39,106 @@ import (
 	"repro/internal/trace"
 )
 
+// modes lists the subcommands in help order; "wall" is the default.
+var modes = []string{"wall", "sweep", "overlap", "failures", "scenarios", "gantt"}
+
+// dispatch splits the argument list into a subcommand and the remaining
+// flag arguments. An argument list that does not start with a known
+// subcommand comes back with mode "" — the legacy flag-driven surface.
+func dispatch(args []string) (mode string, rest []string) {
+	if len(args) > 0 {
+		for _, m := range modes {
+			if args[0] == m {
+				return m, args[1:]
+			}
+		}
+	}
+	return "", args
+}
+
+// legacyMode maps the pre-subcommand flag surface onto a mode name and the
+// flag that selected it ("" when the plain default ran — no deprecation to
+// warn about). Precedence matches the historical if-chain: gantt, overlap,
+// sweep, failures, scenario.
+func legacyMode(gantt int, failures string, sweep, overlap bool, scenario string) (mode, flagName string) {
+	switch {
+	case gantt > 0:
+		return "gantt", "-gantt"
+	case overlap:
+		return "overlap", "-overlap"
+	case sweep:
+		return "sweep", "-sweep"
+	case failures != "":
+		return "failures", "-failures"
+	case scenario != "":
+		return "scenarios", "-scenario"
+	}
+	return "wall", ""
+}
+
 func main() {
+	mode, rest := dispatch(os.Args[1:])
 	maxProcs := flag.Int("maxprocs", 512, "largest process count to profile")
 	minProcs := flag.Int("minprocs", 16, "smallest process count to profile")
-	gantt := flag.Int("gantt", 0, "render a per-rank timeline of one run with this many ranks (s=sync e=exchange i=io)")
-	failures := flag.String("failures", "", "run the fail-stop recovery comparison under a named scenario ('all' runs the catalog) with byte-level read-back verification")
-	sweep := flag.Bool("sweep", false, "sweep straggler severity for ext2ph vs ParColl (the collective-wall demonstration)")
-	overlap := flag.Bool("overlap", false, "sweep compute/IO ratio for blocking vs split collectives (healthy and one-straggler)")
-	groups := flag.Int("groups", 8, "ParColl subgroup count for -scenario, -sweep and -overlap")
-	severities := flag.String("severities", "0,1,2,4,8", "comma-separated severity levels for -sweep")
-	ratios := flag.String("ratios", "0,0.25,0.5,1,2", "comma-separated compute/IO ratios for -overlap")
-	steps := flag.Int("steps", 6, "collective dumps per run for -overlap")
+	gantt := flag.Int("gantt", 0, "deprecated alias for `collwall gantt` with this many ranks")
+	failures := flag.String("failures", "", "deprecated alias for `collwall failures -scenario NAME`")
+	sweep := flag.Bool("sweep", false, "deprecated alias for `collwall sweep`")
+	overlap := flag.Bool("overlap", false, "deprecated alias for `collwall overlap`")
+	groups := flag.Int("groups", 8, "ParColl subgroup count for the sweep, overlap, failures and scenarios modes")
+	severities := flag.String("severities", "0,1,2,4,8", "comma-separated severity levels for the sweep mode")
+	ratios := flag.String("ratios", "0,0.25,0.5,1,2", "comma-separated compute/IO ratios for the overlap mode")
+	steps := flag.Int("steps", 6, "collective dumps per run for the overlap mode")
 	c := cli.Register(64)
-	c.RegisterScenario("run baseline vs ParColl under a named fault scenario ('all' runs the catalog: " + strings.Join(fault.Names(), ", ") + ")")
+	c.RegisterScenario("fault scenario for the failures and scenarios modes ('all' runs the catalog: " + strings.Join(fault.Names(), ", ") + ")")
 	c.RegisterObs()
-	flag.Parse()
+	flag.CommandLine.Parse(rest)
+	c.ResolveSpec("")
+
+	ganttN := c.Procs
+	scenName := c.Scenario
+	if mode == "" {
+		var legacyFlag string
+		mode, legacyFlag = legacyMode(*gantt, *failures, *sweep, *overlap, c.Scenario)
+		if legacyFlag != "" {
+			fmt.Fprintf(os.Stderr, "warning: selecting the mode with %s is deprecated; use `collwall %s` (alias kept for one release)\n", legacyFlag, mode)
+		}
+		if *gantt > 0 {
+			ganttN = *gantt
+		}
+		if *failures != "" {
+			scenName = *failures
+		}
+	}
+	if scenName == "" {
+		scenName = "all"
+	}
 
 	// The observability surface rides along with whatever mode ran.
 	defer maybeObserve(c, *groups)
 
-	if *gantt > 0 {
-		renderGantt(c, *gantt)
-		return
-	}
-	if *overlap {
+	switch mode {
+	case "gantt":
+		renderGantt(c, ganttN)
+	case "overlap":
 		runOverlap(c, *groups, *steps, cli.ParseFloats("ratio", *ratios))
-		return
-	}
-	if *sweep {
+	case "sweep":
 		runSweep(c, *groups, cli.ParseFloats("severity", *severities))
-		return
+	case "failures":
+		runFailures(c, scenName, *groups)
+	case "scenarios":
+		runScenarios(c, scenName, *groups)
+	default:
+		runWall(c, *minProcs, *maxProcs)
 	}
-	if *failures != "" {
-		runFailures(c, *failures, *groups)
-		return
-	}
-	if c.Scenario != "" {
-		runScenarios(c, *groups)
-		return
-	}
+}
 
+// runWall is the default mode: the collective-wall profile across process
+// counts (Figures 1 and 2).
+func runWall(c *cli.Common, minProcs, maxProcs int) {
 	p := experiments.PaperPreset()
 	c.ApplyBase(&p)
 	var procs []int
-	for n := *minProcs; n <= *maxProcs; n *= 2 {
+	for n := minProcs; n <= maxProcs; n *= 2 {
 		procs = append(procs, n)
 	}
 	points := p.CollectiveWall(procs)
@@ -205,8 +274,8 @@ func runSweep(c *cli.Common, groups int, severities []float64) {
 
 // runScenarios profiles baseline vs ParColl tile writes under one named
 // fault scenario, or the whole catalog.
-func runScenarios(c *cli.Common, groups int) {
-	name, nprocs := c.Scenario, c.Procs
+func runScenarios(c *cli.Common, name string, groups int) {
+	nprocs := c.Procs
 	p := experiments.BenchPreset()
 	c.ApplyBase(&p)
 	var pts []experiments.ScenarioPoint

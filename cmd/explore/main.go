@@ -33,6 +33,7 @@ func main() {
 	c := cli.Register(128)
 	c.RegisterScenario("")
 	flag.Parse()
+	c.ResolveSpec("")
 
 	vals := parseValues(*param, *values)
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/stats"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	c := cli.Register(256)
 	c.RegisterScenario("")
 	flag.Parse()
+	c.ResolveSpec(job.WorkloadFlashIO)
 
 	p := experiments.PaperPreset()
 	c.Apply(&p)

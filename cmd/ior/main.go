@@ -12,6 +12,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/mpi"
 	"repro/internal/stats"
 	"repro/internal/viz"
@@ -28,6 +29,7 @@ func main() {
 	c := cli.Register(128)
 	c.RegisterScenario("")
 	flag.Parse()
+	c.ResolveSpec(job.WorkloadIOR)
 
 	p := experiments.PaperPreset()
 	c.Apply(&p)

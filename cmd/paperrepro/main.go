@@ -40,6 +40,7 @@ func main() {
 	c = cli.Register(512)
 	c.RegisterScenario("")
 	flag.Parse()
+	c.ResolveSpec("")
 
 	var p experiments.Preset
 	switch *presetName {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,7 @@ func main() {
 	c := cli.Register(64)
 	c.RegisterScenario("")
 	flag.Parse()
+	c.ResolveSpec(job.WorkloadTileIO)
 
 	p := experiments.PaperPreset()
 	c.Apply(&p)

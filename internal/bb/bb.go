@@ -54,6 +54,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nbio"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -219,6 +220,18 @@ func (t *Tier) RetryStats() recovery.RetryStats {
 func (t *Tier) SetLedger(l *storage.Ledger) {
 	t.ledger = l
 	t.under.SetLedger(l)
+}
+
+// SetQoS forwards the admission policy to the under-backend: the shared
+// targets behind the tier are where cross-job contention lives, while the
+// tier's staging memory is per-node and needs no arbitration.
+func (t *Tier) SetQoS(p qos.Policy) { t.under.SetQoS(p) }
+
+// RetryStatsByJob returns the under-backend's per-job retry counters. The
+// tier's own drain-retry work is node-scoped background activity with no
+// issuing job, so it stays in the aggregate RetryStats only.
+func (t *Tier) RetryStatsByJob() map[int]recovery.RetryStats {
+	return t.under.RetryStatsByJob()
 }
 
 // Params inherits the under-backend's cost scale and targets. ListIO is

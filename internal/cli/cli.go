@@ -17,10 +17,16 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/job"
 )
 
 // Common holds the flag values shared by every cmd tool. Zero value is
 // usable; Register wires the fields to the default flag set.
+//
+// The flags are a thin parser over job.Spec: ResolveSpec turns them into a
+// declarative spec (or loads one from the -spec file, which overrides
+// them), and Apply/ApplyBase route through experiments.ApplySpec — so a
+// flag invocation and the equivalent spec file are the same code path.
 type Common struct {
 	JSON       bool   // -json: machine-readable output
 	Seed       int64  // -seed: simulation seed
@@ -35,6 +41,11 @@ type Common struct {
 	Backend    string  // -backend: storage backend (lustre, listio, bb)
 	BBCapacity int64   // -bb-capacity: burst-buffer virtual bytes per node
 	BBDrainBW  float64 // -bb-drain-bw: burst-buffer drain bytes/sec per node
+
+	SpecPath string // -spec: job spec JSON file overriding the flags above
+
+	workload string    // the tool's workload, recorded by ResolveSpec
+	spec     *job.Spec // the resolved spec, cached by ResolveSpec
 }
 
 // Register installs -json, -seed, -procs and -workers on the default flag
@@ -56,6 +67,8 @@ func Register(defaultProcs int) *Common {
 		"burst-buffer capacity in virtual bytes per node (0 = unlimited; writes past it fall through to the backing store)")
 	flag.Float64Var(&c.BBDrainBW, "bb-drain-bw", 0,
 		"burst-buffer drain bandwidth in bytes/sec per node (0 = unthrottled; only the backing store paces the drain)")
+	flag.StringVar(&c.SpecPath, "spec", "",
+		"job spec JSON file (the declarative form of these flags); its values override the flag values")
 	return c
 }
 
@@ -91,16 +104,106 @@ func (c *Common) Plan() *fault.Plan {
 	return plan
 }
 
-// Apply copies the shared flag values onto a preset: the seed, the
-// scenario's fault plan (threaded through every runner of the preset), the
-// engine worker count, and the node topology knobs. A plan whose storage
-// faults cannot reach the selected backend (bb-node loss without the bb
-// tier, server failures without the listio farm) still runs — healthy at
-// that layer, by design — but gets a stderr warning so a sweep that quietly
-// measures nothing is noticed.
+// ResolveSpec resolves the tool's effective job spec and caches it for
+// Apply/ApplyBase. With -spec unset the spec is built from the flag values
+// (so flags and specs are one code path, not two); with -spec set the file
+// is decoded, defaulted and validated, and its values are copied BACK onto
+// the Common fields so tools keep reading c.Procs, c.Seed etc. as before.
+// workloadName is the tool's workload ("" for multi-workload drivers like
+// collwall, which accept any workload and use only the machine knobs); a
+// spec file naming a different workload is fatal. Call after flag.Parse.
+func (c *Common) ResolveSpec(workloadName string) job.Spec {
+	c.workload = workloadName
+	var s job.Spec
+	if c.SpecPath != "" {
+		data, err := os.ReadFile(c.SpecPath)
+		if err != nil {
+			Fatalf("reading -spec: %v", err)
+		}
+		s, err = job.Decode(data)
+		if err != nil {
+			Fatalf("%v", err)
+		}
+		if s.Workload == "" {
+			if workloadName != "" {
+				s.Workload = workloadName
+			} else {
+				s.Workload = job.WorkloadTileIO // multi-workload driver: machine knobs only
+			}
+		}
+		if workloadName != "" && s.Workload != workloadName {
+			Fatalf("-spec %s describes a %q job but this tool runs %q", c.SpecPath, s.Workload, workloadName)
+		}
+		if s.Procs == 0 {
+			s.Procs = c.Procs
+		}
+	} else {
+		s = c.flagSpec(workloadName)
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		Fatalf("%v", err)
+	}
+	c.Seed, c.Procs, c.Scenario = s.Seed, s.Procs, s.Scenario
+	c.Workers, c.PEsPerNode, c.IntraNode = s.Workers, s.PEsPerNode, s.IntraNode
+	c.Backend, c.BBCapacity, c.BBDrainBW = s.Backend, s.BBCapacity, s.BBDrainBW
+	c.spec = &s
+	return s
+}
+
+// flagSpec is the declarative form of the flag values: the spec that -spec
+// would have to contain to reproduce this invocation's shared knobs.
+func (c *Common) flagSpec(workloadName string) job.Spec {
+	if workloadName == "" {
+		// Multi-workload drivers use the spec for machine knobs only; any
+		// valid workload name satisfies validation.
+		workloadName = job.WorkloadTileIO
+	}
+	return job.Spec{
+		Workload:   workloadName,
+		Procs:      c.Procs,
+		Seed:       c.Seed,
+		Scenario:   c.Scenario,
+		Backend:    c.Backend,
+		BBCapacity: c.BBCapacity,
+		BBDrainBW:  c.BBDrainBW,
+		Workers:    c.Workers,
+		PEsPerNode: c.PEsPerNode,
+		IntraNode:  c.IntraNode,
+	}
+}
+
+// resolved returns the cached spec, building one from the flags when the
+// tool never called ResolveSpec. Apply/ApplyBase consume only the machine
+// knobs, so a zero Procs (a Common built outside Register) is tolerated
+// here; ResolveSpec is where the full job geometry gets validated.
+func (c *Common) resolved() job.Spec {
+	if c.spec != nil {
+		return *c.spec
+	}
+	s := c.flagSpec(c.workload)
+	if s.Procs == 0 {
+		s.Procs = 1
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		Fatalf("%v", err)
+	}
+	return s
+}
+
+// Apply copies the shared knobs onto a preset via the declarative spec
+// path (experiments.ApplySpec): the seed, the scenario's fault plan
+// (threaded through every runner of the preset), the engine worker count,
+// and the node topology knobs. A plan whose storage faults cannot reach the
+// selected backend (bb-node loss without the bb tier, server failures
+// without the listio farm) still runs — healthy at that layer, by design —
+// but gets a stderr warning so a sweep that quietly measures nothing is
+// noticed.
 func (c *Common) Apply(p *experiments.Preset) {
-	c.ApplyBase(p)
-	p.Fault = c.Plan()
+	if err := p.ApplySpec(c.resolved()); err != nil {
+		Fatalf("%v", err)
+	}
 	if p.Fault == nil {
 		return
 	}
@@ -116,38 +219,14 @@ func (c *Common) Apply(p *experiments.Preset) {
 	}
 }
 
-// ApplyBase copies every shared flag value except the fault plan onto a
-// preset — for tools (collwall's modes) that resolve -scenario themselves.
+// ApplyBase copies every shared knob except the fault plan onto a preset —
+// for tools (collwall's modes) that resolve -scenario themselves.
 func (c *Common) ApplyBase(p *experiments.Preset) {
-	p.Seed = c.Seed
-	p.Workers = c.Workers
-	if c.PEsPerNode != 0 {
-		if c.PEsPerNode < 2 || c.PEsPerNode > 64 {
-			Fatalf("bad -pes-per-node %d: want 2..64", c.PEsPerNode)
-		}
-		p.Cluster.PEsPerNode = c.PEsPerNode
+	s := c.resolved()
+	s.Scenario = ""
+	if err := p.ApplySpecBase(s); err != nil {
+		Fatalf("%v", err)
 	}
-	p.IntraNode = c.IntraNode
-	if c.Backend != "" {
-		ok := false
-		for _, n := range experiments.BackendNames() {
-			if c.Backend == n {
-				ok = true
-			}
-		}
-		if !ok {
-			Fatalf("bad -backend %q: want one of %s", c.Backend, strings.Join(experiments.BackendNames(), ", "))
-		}
-		p.Backend = c.Backend
-	}
-	if c.BBCapacity < 0 {
-		Fatalf("bad -bb-capacity %d: want >= 0", c.BBCapacity)
-	}
-	if c.BBDrainBW < 0 {
-		Fatalf("bad -bb-drain-bw %g: want >= 0", c.BBDrainBW)
-	}
-	p.BBCapacity = c.BBCapacity
-	p.BBDrainBW = c.BBDrainBW
 }
 
 // EmitJSON prints {"experiment": name, "workers": n, "points": points} with

@@ -231,6 +231,7 @@ func (f *File) Close() mpiio.Breakdown {
 // logOff. All communicator members must call it; after partitioning, the
 // call is collective only within the rank's subgroup.
 func (f *File) WriteAtAll(logOff int64, data []byte) {
+	t0 := f.r.Now()
 	tuning := f.tuneBegin()
 	f.ensurePlan()
 	if f.plan.Mode != ModeIntermediate {
@@ -242,6 +243,9 @@ func (f *File) WriteAtAll(logOff int64, data []byte) {
 		f.tuneEnd()
 	}
 	f.absorb()
+	if rec := f.opts.Run.Lat; rec != nil {
+		rec.Add(f.r.Now() - t0)
+	}
 }
 
 // WriteAt writes independently through the view — no coordination, each
@@ -265,6 +269,7 @@ func (f *File) ReadAt(logOff, n int64) []byte {
 
 // ReadAtAll collectively reads n view-logical bytes at logOff.
 func (f *File) ReadAtAll(logOff, n int64) []byte {
+	t0 := f.r.Now()
 	tuning := f.tuneBegin()
 	f.ensurePlan()
 	if f.plan.Mode != ModeIntermediate {
@@ -275,6 +280,9 @@ func (f *File) ReadAtAll(logOff, n int64) []byte {
 		f.tuneEnd()
 	}
 	f.absorb()
+	if rec := f.opts.Run.Lat; rec != nil {
+		rec.Add(f.r.Now() - t0)
+	}
 	return out
 }
 

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/obs"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -112,4 +116,30 @@ func CaptureLustre(reg *obs.Registry, fs storage.Backend, elapsed float64) {
 	reg.Counter("lustre.retry.attempts").Add(rs.Attempts)
 	reg.Counter("lustre.retry.failures").Add(rs.Failures)
 	reg.Counter("lustre.retry.exhausted").Add(rs.Exhausted)
+
+	// Per-job attribution: multi-tenant runs get one bucket per JobID that
+	// recorded retry events. Single-job tools degrade to a lone "job0"
+	// bucket (their ranks all carry JobID 0); when the backend has only
+	// node-scoped counters with no issuing job (a staging tier's background
+	// drains), the aggregate is reported as job0 so the telemetry never
+	// silently drops work.
+	by := fs.RetryStatsByJob()
+	if len(by) == 0 && rs != (recovery.RetryStats{}) {
+		by = map[int]recovery.RetryStats{0: rs}
+	}
+	ids := make([]int, 0, len(by))
+	for id := range by {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		jr := by[id]
+		prefix := fmt.Sprintf("lustre.retry.job%d.", id)
+		reg.Counter(prefix + "attempts").Add(jr.Attempts)
+		reg.Counter(prefix + "retries").Add(jr.Retries)
+		reg.Counter(prefix + "failures").Add(jr.Failures)
+		reg.Counter(prefix + "breaker_opens").Add(jr.BreakerOpens)
+		reg.Counter(prefix + "exhausted").Add(jr.Exhausted)
+		reg.Gauge(prefix + "backoff_secs").Set(jr.BackoffSecs)
+	}
 }

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// TestBackendNamesAgree pins the two backend catalogs to each other:
+// internal/job is a leaf package and cannot import this one, so it carries
+// its own copy of the list — this test is what keeps them one list.
+func TestBackendNamesAgree(t *testing.T) {
+	if !reflect.DeepEqual(job.BackendNames(), BackendNames()) {
+		t.Fatalf("job.BackendNames() = %v, experiments.BackendNames() = %v",
+			job.BackendNames(), BackendNames())
+	}
+}
+
+func TestApplySpec(t *testing.T) {
+	p := BenchPreset()
+	err := (&p).ApplySpec(job.Spec{
+		Workload: job.WorkloadIOR, Procs: 8, Seed: 9, Workers: 4,
+		Backend: "bb", BBCapacity: 1 << 20, BBDrainBW: 1e6,
+		Scenario: "one-straggler", PEsPerNode: 4, IntraNode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.Workers != 4 || p.Backend != "bb" || p.BBCapacity != 1<<20 ||
+		p.BBDrainBW != 1e6 || p.Cluster.PEsPerNode != 4 || !p.IntraNode {
+		t.Fatalf("knobs not applied: %+v", p)
+	}
+	if p.Fault == nil {
+		t.Fatal("scenario not resolved to a fault plan")
+	}
+	// Clearing the scenario clears the plan — ApplySpec owns the field.
+	if err := (&p).ApplySpec(job.Spec{Workload: job.WorkloadIOR, Procs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fault != nil {
+		t.Fatal("empty scenario left a stale fault plan")
+	}
+
+	if err := (&p).ApplySpec(job.Spec{Workload: "mystery", Procs: 8}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if err := (&p).ApplySpec(job.Spec{Workload: job.WorkloadIOR, Procs: 8, Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestOptionsForBTIntermediate pins the geometry rule the tenancy layer
+// depends on: partitioned BT-IO materializes the intermediate view (the
+// Figure 10 configuration); everything else does not.
+func TestOptionsForBTIntermediate(t *testing.T) {
+	if !OptionsFor(job.Spec{Workload: job.WorkloadBTIO, Groups: 4}).MaterializeIntermediate {
+		t.Fatal("partitioned BT-IO must materialize the intermediate view")
+	}
+	if OptionsFor(job.Spec{Workload: job.WorkloadBTIO, Groups: 1}).MaterializeIntermediate {
+		t.Fatal("unpartitioned BT-IO must not materialize")
+	}
+	if OptionsFor(job.Spec{Workload: job.WorkloadTileIO, Groups: 4}).MaterializeIntermediate {
+		t.Fatal("tile-IO must not materialize")
+	}
+	opts := OptionsFor(job.Spec{Workload: job.WorkloadIOR, Groups: 2,
+		Hints: job.Hints{CBNodes: 8, CBBufferSize: 1 << 16}})
+	if opts.NumGroups != 2 || opts.Hints.CBNodes != 8 || opts.Hints.CBBufferSize != 1<<16 {
+		t.Fatalf("hints not threaded: %+v", opts)
+	}
+}
+
+func TestWorkloadForOverrides(t *testing.T) {
+	p := BenchPreset()
+	w, scale, err := WorkloadFor(p, job.Spec{Workload: job.WorkloadBTIO, Procs: 4, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BT == nil || w.BT.Steps != 2 {
+		t.Fatalf("BT steps override not applied: %+v", w)
+	}
+	if scale != p.BTScale {
+		t.Fatalf("scale = %v, want BTScale %v", scale, p.BTScale)
+	}
+	cw, _, err := WorkloadFor(p, job.Spec{Workload: job.WorkloadCheckpoint, Procs: 4,
+		BlockBytes: 8 << 10, Steps: 3, Interleave: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Burst == nil || cw.Burst.BlockBytes != 8<<10 || cw.Burst.Steps != 3 || cw.Burst.Interleave != 2<<10 {
+		t.Fatalf("checkpoint overrides not applied: %+v", cw.Burst)
+	}
+	if _, _, err := WorkloadFor(p, job.Spec{Workload: job.WorkloadCheckpoint, Procs: 4,
+		BlockBytes: 5 << 10, Interleave: 2 << 10}); err == nil {
+		t.Fatal("indivisible interleave accepted")
+	}
+	if _, _, err := WorkloadFor(p, job.Spec{Workload: "mystery", Procs: 4}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

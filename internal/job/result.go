@@ -1,0 +1,39 @@
+package job
+
+// Result is one job's outcome in a run — single-job tools fill the subset
+// they measure; the tenancy layer fills everything including the
+// interference metrics. All times are virtual seconds; quantiles come from
+// the exact per-call recorder (obs.LatencyRecorder), so equal runs produce
+// bit-identical Results.
+type Result struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	Procs    int    `json:"procs"`
+
+	// Arrival is the spec's start offset; End the virtual time the job's
+	// last rank finished (drain and verification included).
+	Arrival float64 `json:"arrival"`
+	End     float64 `json:"end"`
+
+	// Bytes is the job's virtual payload; BW = Bytes / (End - Arrival).
+	Bytes int64   `json:"bytes"`
+	BW    float64 `json:"bw"`
+
+	// CollCalls counts blocking collective I/O calls sampled; P50/P99 are
+	// exact nearest-rank quantiles of their per-call virtual latency.
+	CollCalls int     `json:"coll_calls"`
+	P50       float64 `json:"p50"`
+	P99       float64 `json:"p99"`
+
+	// Slowdown metrics versus the same spec run alone on an identical
+	// machine (1 = no interference). Zero when no isolated baseline was
+	// measured.
+	Slowdown    float64 `json:"slowdown,omitempty"`
+	SlowdownP99 float64 `json:"slowdown_p99,omitempty"`
+
+	// Verified reports byte-exact read-back of the job's output files.
+	Verified bool `json:"verified"`
+}
+
+// Elapsed is the job's makespan in virtual seconds.
+func (r Result) Elapsed() float64 { return r.End - r.Arrival }

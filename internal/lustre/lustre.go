@@ -24,6 +24,7 @@ import (
 	"repro/internal/ldlm"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -124,10 +125,16 @@ type FS struct {
 	// healthy path never touches any of it, so plans without OSTFails are
 	// bit-identical (and allocation-identical) to builds without the
 	// engine.
-	inj    bool
-	retry  recovery.Backoff
-	brk    *recovery.BreakerSet // keyed by OST id
-	rstats recovery.RetryStats
+	inj      bool
+	retry    recovery.Backoff
+	brk      *recovery.BreakerSet // keyed by OST id
+	rstats   recovery.RetryStats
+	rstatsBy map[int]*recovery.RetryStats // per JobID; lazily populated
+
+	// Server-side admission policy (nil = unshaped FIFO fast path). Every
+	// request's service start passes through qos.Admit, keyed by the
+	// issuing rank's JobID, before the OST ledger books it — DESIGN.md §16.
+	qos qos.Policy
 
 	// Integrity ledger (nil unless SetLedger attached one). Recording a
 	// digest is free in virtual time, so an audited run stays bit-identical.
@@ -242,9 +249,12 @@ func (fs *FS) Stats() []OSTStat {
 // Exhaustion and permanence surface as a typed *recovery.TargetError with
 // the clock already advanced past every failed attempt: failures cost time
 // even when they do not cost correctness.
-func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt float64, mode ldlm.Mode) (float64, error) {
+func (fs *FS) serve(obj string, ost, rank, job int, at float64, off, ln int64, virt float64, mode ldlm.Mode) (float64, error) {
 	if !fs.inj {
 		svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
+		if fs.qos != nil {
+			at = fs.qos.Admit(ost, job, at, svc)
+		}
 		start, end := fs.osts[ost].Acquire(at, svc)
 		if fs.obsWait != nil {
 			fs.obsWait.Observe(start - at)
@@ -253,15 +263,19 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 	}
 	attempts := 0
 	brk := fs.brk.Get(ost)
+	jr := fs.jobRetry(job)
 	for {
 		if h := brk.HoldOff(at); h > 0 {
 			at += h
 			fs.rstats.BackoffSecs += h
+			jr.BackoffSecs += h
 		}
 		attempts++
 		fs.rstats.Attempts++
+		jr.Attempts++
 		if attempts > 1 {
 			fs.rstats.Retries++
+			jr.Retries++
 			if fs.obsRetries != nil {
 				fs.obsRetries.Inc()
 			}
@@ -269,6 +283,9 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		failed, perm := fs.cfg.Faults.OSTErrorAt(ost, at, fs.rng)
 		if !failed {
 			svc := fs.svcTime(obj, ost, rank, at, off, ln, virt, mode)
+			if fs.qos != nil {
+				at = fs.qos.Admit(ost, job, at, svc)
+			}
 			start, end := fs.osts[ost].Acquire(at, svc)
 			if fs.obsWait != nil {
 				fs.obsWait.Observe(start - at)
@@ -277,6 +294,7 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 			return end, nil
 		}
 		fs.rstats.Failures++
+		jr.Failures++
 		fs.stats[ost].Errors++
 		cost := fs.cfg.RequestOverhead * fs.noise()
 		fs.stats[ost].BusySecs += cost
@@ -286,18 +304,35 @@ func (fs *FS) serve(obj string, ost, rank int, at float64, off, ln int64, virt f
 		brk.Failure(at)
 		if opened := brk.Opens - opensBefore; opened > 0 {
 			fs.rstats.BreakerOpens += opened
+			jr.BreakerOpens += opened
 			if fs.obsOpens != nil {
 				fs.obsOpens.Add(uint64(opened))
 			}
 		}
 		if perm || fs.retry.Exhausted(attempts) {
 			fs.rstats.Exhausted++
+			jr.Exhausted++
 			return at, &recovery.TargetError{Layer: "lustre", Kind: "OST", Target: ost, Attempts: attempts, Permanent: perm}
 		}
 		d := fs.retry.Delay(attempts, fs.rng)
 		at += d
 		fs.rstats.BackoffSecs += d
+		jr.BackoffSecs += d
 	}
+}
+
+// jobRetry returns job's retry-counter bucket, creating it on first touch.
+// Only the injection path calls it, so healthy runs allocate nothing.
+func (fs *FS) jobRetry(job int) *recovery.RetryStats {
+	jr := fs.rstatsBy[job]
+	if jr == nil {
+		if fs.rstatsBy == nil {
+			fs.rstatsBy = make(map[int]*recovery.RetryStats)
+		}
+		jr = &recovery.RetryStats{}
+		fs.rstatsBy[job] = jr
+	}
+	return jr
 }
 
 // noise returns the multiplicative service-time factor for one request.
@@ -343,6 +378,20 @@ func NewFS(cfg Config) *FS {
 // RetryStats returns a copy of the retry engine's counters (all zero when
 // the plan injects no OST errors).
 func (fs *FS) RetryStats() recovery.RetryStats { return fs.rstats }
+
+// RetryStatsByJob returns the retry counters keyed by the issuing rank's
+// JobID — empty on healthy runs, one job-0 bucket for single-job tools.
+func (fs *FS) RetryStatsByJob() map[int]recovery.RetryStats {
+	out := make(map[int]recovery.RetryStats, len(fs.rstatsBy))
+	for id, jr := range fs.rstatsBy {
+		out[id] = *jr
+	}
+	return out
+}
+
+// SetQoS installs a server-side admission policy (nil detaches). The nil
+// path is branch-identical to pre-QoS builds; see DESIGN.md §16.
+func (fs *FS) SetQoS(p qos.Policy) { fs.qos = p }
 
 // Config returns the file system's parameters.
 func (fs *FS) Config() Config { return fs.cfg }
@@ -500,7 +549,7 @@ func (f *File) TryWriteAt(r *mpi.Rank, off int64, data []byte) error {
 		virt := float64(l) * cfg.CostScale
 		_, txEnd := tx.Acquire(now, virt/nicBW)
 		ost := f.ostIndexFor(unit)
-		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), r.JobID(), txEnd+lat, o, l, virt, ldlm.PW)
 		if err != nil {
 			firstErr = err
 		}
@@ -541,7 +590,7 @@ func (f *File) WriteAtAsync(r *mpi.Rank, off int64, data []byte) float64 {
 		virt := float64(l) * cfg.CostScale
 		_, txEnd := tx.Acquire(now, virt/nicBW)
 		ost := f.ostIndexFor(unit)
-		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), txEnd+lat, o, l, virt, ldlm.PW)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), r.JobID(), txEnd+lat, o, l, virt, ldlm.PW)
 		if err != nil {
 			// The nonblocking path has no error plumbing; collectives gate
 			// to the blocking resilient path under failure plans.
@@ -581,7 +630,7 @@ func (f *File) ReadAtAsync(r *mpi.Rank, off, n int64) ([]byte, float64) {
 	f.chunks(off, n, func(o, l, unit int64) {
 		virt := float64(l) * cfg.CostScale
 		ost := f.ostIndexFor(unit)
-		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), r.JobID(), now+lat, o, l, virt, ldlm.PR)
 		if err != nil {
 			panic(fmt.Sprintf("lustre: ReadAtAsync rank %d off %d: %v", r.WorldRank(), off, err))
 		}
@@ -635,7 +684,7 @@ func (f *File) TryReadAt(r *mpi.Rank, off, n int64) ([]byte, error) {
 		}
 		virt := float64(l) * cfg.CostScale
 		ost := f.ostIndexFor(unit)
-		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), now+lat, o, l, virt, ldlm.PR)
+		ostEnd, err := f.fs.serve(f.obj.name, ost, r.WorldRank(), r.JobID(), now+lat, o, l, virt, ldlm.PR)
 		if err != nil {
 			firstErr = err
 			if fin := ostEnd + lat; fin > done {

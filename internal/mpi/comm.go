@@ -37,16 +37,27 @@ type Comm struct {
 	local bool
 }
 
-// WorldComm returns the communicator spanning all ranks.
+// WorldComm returns the communicator spanning the rank's world: all ranks
+// normally, the job's members when a job namespace is armed (SetJob). The
+// job case is what lets every workload — all written against "the world" —
+// run unmodified inside a multi-tenant trace. Isolation needs no context
+// tricks: member sets of different jobs are disjoint, so point-to-point
+// traffic lands in different procs' mailboxes and rendezvous collectives
+// key on different anchor ranks even at equal (ctx, seq).
 func WorldComm(r *Rank) *Comm {
-	n := r.WorldSize()
-	members := make([]int, n)
-	w2c := make(map[int]int, n)
-	for i := range members {
-		members[i] = i
-		w2c[i] = i
+	members := r.JobMembers()
+	if members == nil {
+		n := r.WorldSize()
+		members = make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
 	}
-	return &Comm{r: r, members: members, worldToComm: w2c, me: r.WorldRank(), ctx: 0}
+	w2c := make(map[int]int, len(members))
+	for i, w := range members {
+		w2c[w] = i
+	}
+	return &Comm{r: r, members: members, worldToComm: w2c, me: r.JobRank(), ctx: 0}
 }
 
 // RankHandle returns the Rank this communicator view belongs to.

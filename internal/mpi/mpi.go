@@ -43,6 +43,17 @@ type Rank struct {
 	tracer *trace.Recorder
 	reg    *obs.Registry
 
+	// Job namespace (DESIGN.md §16). Single-job runs leave it disarmed:
+	// jobMembers nil means the rank belongs to job 0 spanning the whole
+	// world, and every Job* accessor degrades to its World* counterpart —
+	// bit-identical to the pre-tenancy runtime. The tenancy layer arms it
+	// per rank before the workload body runs, making WorldComm return the
+	// job's communicator and giving the storage service loops a JobID to
+	// key QoS admission and per-job accounting on.
+	jobID      int
+	jobMembers []int // world ranks of this rank's job, ascending; nil = all
+	jobRank    int   // index of this rank within jobMembers
+
 	// Pre-resolved per-level point-to-point instruments (nil when no
 	// registry is attached): every message through sendOwned counts under
 	// intra or inter depending on whether source and destination share a
@@ -168,6 +179,53 @@ func (r *Rank) WorldRank() int { return r.P.ID() }
 
 // WorldSize returns the global number of ranks.
 func (r *Rank) WorldSize() int { return r.W.Cluster.NumProcs() }
+
+// SetJob arms the rank's job namespace: id is the JobID the storage layers
+// key QoS and accounting on, members the ascending world ranks of the job
+// (which must include this rank). From here on WorldComm returns the job's
+// communicator, so workload code written against "the world" runs unchanged
+// inside a multi-tenant trace. Call before any communication.
+func (r *Rank) SetJob(id int, members []int) {
+	me := -1
+	for i, w := range members {
+		if w == r.WorldRank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: SetJob(%d): rank %d not in members", id, r.WorldRank()))
+	}
+	r.jobID = id
+	r.jobMembers = members
+	r.jobRank = me
+}
+
+// JobID returns the rank's job id (0 when no namespace is armed — the
+// single-job degenerate case every pre-tenancy tool runs in).
+func (r *Rank) JobID() int { return r.jobID }
+
+// JobRank returns the rank's index within its job (WorldRank when no
+// namespace is armed). Workloads use it as their data-pattern identity so a
+// job's file contents are independent of where the trace placed it.
+func (r *Rank) JobRank() int {
+	if r.jobMembers == nil {
+		return r.WorldRank()
+	}
+	return r.jobRank
+}
+
+// JobSize returns the number of ranks in the rank's job (WorldSize when no
+// namespace is armed).
+func (r *Rank) JobSize() int {
+	if r.jobMembers == nil {
+		return r.WorldSize()
+	}
+	return len(r.jobMembers)
+}
+
+// JobMembers returns the world ranks of the rank's job in job-rank order
+// (nil when no namespace is armed; shared slice — do not modify).
+func (r *Rank) JobMembers() []int { return r.jobMembers }
 
 // Now returns the rank's virtual clock in seconds.
 func (r *Rank) Now() float64 { return r.P.Now() }

@@ -87,6 +87,13 @@ type RunOptions struct {
 	// duration histograms, hidden/exposed overlap, and recovery event
 	// counters. Like Trace it only reads virtual clocks.
 	Obs *obs.Registry
+	// Lat, when non-nil, receives one sample per blocking collective call
+	// (core.File.WriteAtAll/ReadAtAll): the caller's elapsed virtual seconds
+	// inside the call. The multi-tenant layer attaches one recorder per job
+	// to report exact p50/p99 collective-call latency; like Trace and Obs it
+	// only reads virtual clocks, so an instrumented run is bit-identical to
+	// a bare one.
+	Lat *obs.LatencyRecorder
 }
 
 func (h Hints) cb() int64 {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -80,11 +81,17 @@ type FS struct {
 	stats     []storage.TargetStat
 	sinceTrim int
 
-	inj    bool // fault plan injects server errors; zero plans stay inert
-	retry  recovery.Backoff
-	brk    *recovery.BreakerSet // per-server breakers
-	rstats recovery.RetryStats
-	ledger *storage.Ledger
+	inj      bool // fault plan injects server errors; zero plans stay inert
+	retry    recovery.Backoff
+	brk      *recovery.BreakerSet // per-server breakers
+	rstats   recovery.RetryStats
+	rstatsBy map[int]*recovery.RetryStats // per JobID; lazily populated
+	ledger   *storage.Ledger
+
+	// Server-side admission policy (nil = unshaped fast path); every
+	// list-I/O request's start passes through qos.Admit keyed by the
+	// issuing rank's JobID — DESIGN.md §16.
+	qos qos.Policy
 
 	obsReqs *obs.Counter // storage.listio.requests (nil unless SetObs)
 }
@@ -165,6 +172,32 @@ func (fs *FS) TryDrain(r *mpi.Rank) error { return nil }
 
 // RetryStats returns the retry-engine counters (all zero without a plan).
 func (fs *FS) RetryStats() recovery.RetryStats { return fs.rstats }
+
+// RetryStatsByJob returns the retry counters keyed by the issuing rank's
+// JobID — empty on healthy runs, one job-0 bucket for single-job tools.
+func (fs *FS) RetryStatsByJob() map[int]recovery.RetryStats {
+	out := make(map[int]recovery.RetryStats, len(fs.rstatsBy))
+	for id, jr := range fs.rstatsBy {
+		out[id] = *jr
+	}
+	return out
+}
+
+// jobRetry returns job's retry-counter bucket, creating it on first touch.
+func (fs *FS) jobRetry(job int) *recovery.RetryStats {
+	jr := fs.rstatsBy[job]
+	if jr == nil {
+		if fs.rstatsBy == nil {
+			fs.rstatsBy = make(map[int]*recovery.RetryStats)
+		}
+		jr = &recovery.RetryStats{}
+		fs.rstatsBy[job] = jr
+	}
+	return jr
+}
+
+// SetQoS installs a server-side admission policy (nil detaches).
+func (fs *FS) SetQoS(p qos.Policy) { fs.qos = p }
 
 // SetLedger attaches an integrity ledger (nil detaches): every stored extent
 // records a seeded digest at issue time. Free and draw-free.
@@ -283,7 +316,7 @@ func (f *File) perServerBytes(exts []storage.Extent) map[int]float64 {
 // starting at virtual time `at`, and returns the slowest completion. One
 // request (one overhead, one jitter draw) per server regardless of how many
 // extents land on it — the list-I/O economics.
-func (f *File) serveList(at float64, per map[int]float64) float64 {
+func (f *File) serveList(at float64, per map[int]float64, job int) float64 {
 	fs := f.fs
 	done := at
 	for s := 0; s < len(fs.servers); s++ {
@@ -296,7 +329,11 @@ func (f *File) serveList(at float64, per map[int]float64) float64 {
 		st.Bytes += int64(virt)
 		svc := (fs.cfg.RequestOverhead + virt/fs.cfg.ServerBandwidth) * fs.noise()
 		st.BusySecs += svc
-		_, end := fs.servers[s].Acquire(at, svc)
+		sat := at
+		if fs.qos != nil {
+			sat = fs.qos.Admit(s, job, at, svc)
+		}
+		_, end := fs.servers[s].Acquire(sat, svc)
 		if end > done {
 			done = end
 		}
@@ -314,10 +351,10 @@ func (f *File) serveList(at float64, per map[int]float64) float64 {
 // retries alone; the completion time covers every portion (retries included)
 // and the first typed error is returned. Without an armed plan it defers to
 // serveList, draw-for-draw identical to the healthy model.
-func (f *File) serveListTry(at float64, per map[int]float64) (float64, error) {
+func (f *File) serveListTry(at float64, per map[int]float64, job int) (float64, error) {
 	fs := f.fs
 	if !fs.inj {
-		return f.serveList(at, per), nil
+		return f.serveList(at, per, job), nil
 	}
 	done := at
 	var firstErr error
@@ -326,7 +363,7 @@ func (f *File) serveListTry(at float64, per map[int]float64) (float64, error) {
 		if !ok {
 			continue
 		}
-		end, err := fs.serveOne(s, at, virt)
+		end, err := fs.serveOne(s, at, virt, job)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -344,18 +381,22 @@ func (f *File) serveListTry(at float64, per map[int]float64) (float64, error) {
 // off per the capped exponential schedule and goes again. Exhaustion and
 // permanence surface as a typed *recovery.TargetError with the clock already
 // advanced past every failed attempt.
-func (fs *FS) serveOne(s int, at, virt float64) (float64, error) {
+func (fs *FS) serveOne(s int, at, virt float64, job int) (float64, error) {
 	attempts := 0
 	brk := fs.brk.Get(s)
+	jr := fs.jobRetry(job)
 	for {
 		if h := brk.HoldOff(at); h > 0 {
 			at += h
 			fs.rstats.BackoffSecs += h
+			jr.BackoffSecs += h
 		}
 		attempts++
 		fs.rstats.Attempts++
+		jr.Attempts++
 		if attempts > 1 {
 			fs.rstats.Retries++
+			jr.Retries++
 		}
 		failed, perm := fs.cfg.Faults.ServerErrorAt(s, at, fs.rng)
 		if !failed {
@@ -364,6 +405,9 @@ func (fs *FS) serveOne(s int, at, virt float64) (float64, error) {
 			st.Bytes += int64(virt)
 			svc := (fs.cfg.RequestOverhead + virt/fs.cfg.ServerBandwidth) * fs.noise()
 			st.BusySecs += svc
+			if fs.qos != nil {
+				at = fs.qos.Admit(s, job, at, svc)
+			}
 			_, end := fs.servers[s].Acquire(at, svc)
 			brk.Success()
 			if fs.obsReqs != nil {
@@ -372,6 +416,7 @@ func (fs *FS) serveOne(s int, at, virt float64) (float64, error) {
 			return end, nil
 		}
 		fs.rstats.Failures++
+		jr.Failures++
 		fs.stats[s].Errors++
 		cost := fs.cfg.RequestOverhead * fs.noise()
 		fs.stats[s].BusySecs += cost
@@ -382,14 +427,17 @@ func (fs *FS) serveOne(s int, at, virt float64) (float64, error) {
 		brk.Failure(at)
 		if opened := brk.Opens - opensBefore; opened > 0 {
 			fs.rstats.BreakerOpens += opened
+			jr.BreakerOpens += opened
 		}
 		if perm || fs.retry.Exhausted(attempts) {
 			fs.rstats.Exhausted++
+			jr.Exhausted++
 			return at, &recovery.TargetError{Layer: "pvfs", Kind: "server", Target: s, Attempts: attempts, Permanent: perm}
 		}
 		d := fs.retry.Delay(attempts, fs.rng)
 		at += d
 		fs.rstats.BackoffSecs += d
+		jr.BackoffSecs += d
 	}
 }
 
@@ -417,7 +465,7 @@ func (f *File) writev(r *mpi.Rank, exts []storage.Extent, bufs [][]byte) (float6
 	lat := cl.Config().Latency
 	virtTotal := float64(totalLen(exts)) * f.fs.cfg.CostScale
 	_, txEnd := cl.TxNIC(r.WorldRank()).Acquire(now, virtTotal/cl.Config().NICBandwidth)
-	done, err := f.serveListTry(txEnd+lat, f.perServerBytes(exts))
+	done, err := f.serveListTry(txEnd+lat, f.perServerBytes(exts), r.JobID())
 	done += lat
 	if err == nil {
 		for i, e := range exts {
@@ -454,7 +502,7 @@ func (f *File) readv(r *mpi.Rank, exts []storage.Extent) ([][]byte, float64, err
 	r.P.Sync()
 	now := r.Now()
 	lat := cl.Config().Latency
-	served, err := f.serveListTry(now+lat, f.perServerBytes(exts))
+	served, err := f.serveListTry(now+lat, f.perServerBytes(exts), r.JobID())
 	virtTotal := float64(totalLen(exts)) * f.fs.cfg.CostScale
 	_, rxEnd := cl.RxNIC(r.WorldRank()).Acquire(served+lat, virtTotal/cl.Config().NICBandwidth)
 	f.fs.maybeTrim(r)

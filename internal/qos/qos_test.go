@@ -1,0 +1,129 @@
+package qos
+
+import "testing"
+
+func TestFIFOIsIdentity(t *testing.T) {
+	p := NewFIFO()
+	for i := 0; i < 10; i++ {
+		at := float64(i) * 0.001
+		if got := p.Admit(3, i%2, at, 0.002); got != at {
+			t.Fatalf("Admit(%g) = %g, want identity", at, got)
+		}
+	}
+	u := p.Usage()
+	if u[0].Requests != 5 || u[1].Requests != 5 {
+		t.Fatalf("usage = %+v, want 5 requests per job", u)
+	}
+	if u[0].DelaySecs != 0 {
+		t.Fatalf("FIFO recorded delay %g", u[0].DelaySecs)
+	}
+}
+
+func TestFairShareAloneIsServicePaced(t *testing.T) {
+	p := NewFairShare(0.05)
+	const svc = 0.002
+	// A single job issuing back-to-back requests (arrivals spaced by its own
+	// service time) must see zero added delay: spacing = 1*svc.
+	for i := 0; i < 20; i++ {
+		at := float64(i) * svc
+		// Accumulated finish tags can differ from i*svc in the last ulp;
+		// anything beyond rounding noise would be real shaping.
+		if got := p.Admit(0, 0, at, svc); got-at > 1e-9 {
+			t.Fatalf("request %d admitted at %g, want ~%g (alone => unshaped)", i, got, at)
+		}
+	}
+}
+
+func TestFairShareSpacesContendingJobs(t *testing.T) {
+	p := NewFairShare(0.05)
+	const svc = 0.002
+	// Job 1 is a hog: a burst of requests all arriving at ~t=0. Job 0 has
+	// touched the target just before, so the hog sees n=2 and its k-th
+	// request is admitted no earlier than 2k*svc.
+	p.Admit(0, 0, 0, svc)
+	var prev float64
+	for k := 0; k < 10; k++ {
+		got := p.Admit(0, 1, 1e-9, svc)
+		if k > 0 && got < prev+2*svc-1e-12 {
+			t.Fatalf("hog request %d admitted at %g, want >= %g (2*svc spacing)", k, got, prev+2*svc)
+		}
+		prev = got
+	}
+	if d := p.Usage()[1].DelaySecs; d <= 0 {
+		t.Fatalf("hog delay = %g, want > 0", d)
+	}
+}
+
+func TestFairShareForgetsIdleJobs(t *testing.T) {
+	p := NewFairShare(0.01)
+	const svc = 0.002
+	p.Admit(0, 0, 0, svc)
+	// Well past the window, job 1 runs alone: spacing must be 1*svc again.
+	at := 1.0
+	if got := p.Admit(0, 1, at, svc); got != at {
+		t.Fatalf("post-window request admitted at %g, want %g", got, at)
+	}
+	if got := p.Admit(0, 1, at+svc, svc); got != at+svc {
+		t.Fatalf("second post-window request admitted at %g, want %g", got, at+svc)
+	}
+}
+
+func TestTokenBucketThrottlesBeyondBurst(t *testing.T) {
+	p := NewTokenBucket(0.5, 0.004)
+	const svc = 0.002
+	// First two requests fit in the burst; the third must wait for refill.
+	if got := p.Admit(0, 0, 0, svc); got != 0 {
+		t.Fatalf("first request delayed to %g", got)
+	}
+	if got := p.Admit(0, 0, 0, svc); got != 0 {
+		t.Fatalf("second request delayed to %g", got)
+	}
+	got := p.Admit(0, 0, 0, svc)
+	want := svc / 0.5 // full-deficit refill wait
+	if got < want-1e-12 {
+		t.Fatalf("third request admitted at %g, want >= %g", got, want)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, n := range Names() {
+		p, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Fatalf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := New("wrr"); err == nil {
+		t.Fatal("New(wrr) succeeded, want error")
+	}
+	if p, err := New(""); err != nil || p.Name() != "fifo" {
+		t.Fatalf("New(\"\") = %v, %v; want fifo", p, err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same admission sequence must produce bit-identical starts and
+	// usage — policies may not consult clocks or randomness.
+	run := func() ([]float64, map[int]JobUsage) {
+		p := NewFairShare(0.05)
+		var starts []float64
+		for i := 0; i < 100; i++ {
+			starts = append(starts, p.Admit(i%4, i%3, float64(i)*1e-4, 0.002))
+		}
+		return starts, p.Usage()
+	}
+	s1, u1 := run()
+	s2, u2 := run()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("replay diverged at %d: %g vs %g", i, s1[i], s2[i])
+		}
+	}
+	for _, id := range JobIDs(u1) {
+		if u1[id] != u2[id] {
+			t.Fatalf("usage diverged for job %d", id)
+		}
+	}
+}

@@ -31,6 +31,7 @@ package storage
 import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 )
 
@@ -182,6 +183,23 @@ type Backend interface {
 	// virtual time and draw-free. Staging tiers forward the ledger to the
 	// under-backend that performs their actual stores.
 	SetLedger(l *Ledger)
+	// SetQoS installs a server-side admission policy (nil detaches): every
+	// request's earliest service start is shaped by Admit, keyed by the
+	// issuing rank's JobID, before the target's ledger books it. Staging
+	// tiers forward the policy to the under-backend whose targets are the
+	// shared contention point. A nil policy is the unshaped fast path and
+	// runs bit-identically to pre-QoS builds; qos.NewFIFO shapes nothing
+	// but keeps per-job usage accounting.
+	SetQoS(p qos.Policy)
+	// RetryStatsByJob returns the retry-engine counters keyed by the JobID
+	// of the issuing rank, so interference under faults is attributable.
+	// Backends return only jobs that recorded events — a healthy run's map
+	// is empty, and single-job tools degrade to one job-0 bucket (their
+	// ranks all carry JobID 0). Aggregate RetryStats stays authoritative;
+	// per-job buckets sum to it, except counters a staging tier accrues on
+	// node-scoped background drains, which have no issuing job and stay
+	// aggregate-only.
+	RetryStatsByJob() map[int]recovery.RetryStats
 	// Params returns the backend's protocol-relevant properties.
 	Params() Params
 	// Name identifies the backend kind ("lustre", "listio", "bb").

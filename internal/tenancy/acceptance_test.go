@@ -1,0 +1,127 @@
+package tenancy
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/qos"
+)
+
+// Acceptance tests for the multi-tenant layer, pinning the three properties
+// the EXPERIMENTS.md "Shared-filesystem interference" section reports:
+//
+//  (a) sharing costs: under FIFO every tenant of the mixed trace runs
+//      slower than the same job isolated on the same machine;
+//  (b) QoS works: fair-share strictly lowers the small latency-sensitive
+//      job's p99 collective-call latency versus FIFO, without giving up
+//      more than 5% aggregate throughput;
+//  (c) ParColl confines cross-job interference: with a straggler loose on
+//      the shared machine, the afflicted job's p99 collective-call latency
+//      — absolute and as a slowdown over healthy-isolated — is strictly
+//      lower when the jobs run partitioned than under unpartitioned ext2ph.
+
+// TestFIFOSlowdownAboveOne is (a).
+func TestFIFOSlowdownAboveOne(t *testing.T) {
+	tr := MixedTrace(8)
+	tr.Policy = qos.NameFIFO
+	rep, err := RunWithBaseline(experiments.BenchPreset(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range rep.Jobs {
+		if !j.Verified {
+			t.Errorf("job %s failed verification", j.Name)
+		}
+		if j.Slowdown <= 1 {
+			t.Errorf("job %s: slowdown vs isolated = %.4f, want > 1 (sharing must cost)", j.Name, j.Slowdown)
+		}
+		if j.QoSDelaySecs != 0 {
+			t.Errorf("job %s: FIFO charged %.6fs admission delay, want 0", j.Name, j.QoSDelaySecs)
+		}
+	}
+}
+
+// TestFairShareLowersSmallJobP99 is (b). The small checkpoint job is the
+// latency-sensitive tenant; fair queueing throttles the hog's burst so the
+// small job's collective calls stop queueing behind it.
+func TestFairShareLowersSmallJobP99(t *testing.T) {
+	reps, err := Sweep(experiments.BenchPreset(), MixedTrace(8), []string{qos.NameFIFO, qos.NameFairShare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, fair := reps[0], reps[1]
+	small := len(fifo.Jobs) - 1 // ckpt-small is last in MixedTrace
+	if name := fifo.Jobs[small].Name; name != "ckpt-small" {
+		t.Fatalf("small job is %q, want ckpt-small", name)
+	}
+	if fair.Jobs[small].P99 >= fifo.Jobs[small].P99 {
+		t.Errorf("fair-share did not lower the small job's p99: fair %.6f >= fifo %.6f",
+			fair.Jobs[small].P99, fifo.Jobs[small].P99)
+	}
+	if fair.Jobs[small].SlowdownP99 >= fifo.Jobs[small].SlowdownP99 {
+		t.Errorf("fair-share did not lower the small job's p99 slowdown: fair %.4f >= fifo %.4f",
+			fair.Jobs[small].SlowdownP99, fifo.Jobs[small].SlowdownP99)
+	}
+	// Shaping must not cost meaningful aggregate throughput.
+	agg := func(rep Report) float64 {
+		var bytes int64
+		for _, j := range rep.Jobs {
+			bytes += j.Bytes
+		}
+		return float64(bytes) / rep.End
+	}
+	if f, o := agg(fair), agg(fifo); f < 0.95*o {
+		t.Errorf("fair-share gave up too much throughput: %.0f vs %.0f bytes/s (%.1f%%)",
+			f, o, 100*f/o)
+	}
+	// Fair queueing must actually have shaped someone: the hog pays delay.
+	if fair.Jobs[0].QoSDelaySecs <= 0 {
+		t.Errorf("fair-share charged the hog no admission delay")
+	}
+}
+
+// TestParCollConfinesStraggler is (c): the collective-wall claim under
+// multi-tenancy. One rank of the hog straggles; under ext2ph (groups=1)
+// every globally synchronized round of the hog waits for it, so the hog's
+// p99 collective-call latency explodes; ParColl pays the straggler only in
+// its own subgroup and the other subgroups' calls stay fast.
+func TestParCollConfinesStraggler(t *testing.T) {
+	p := experiments.BenchPreset()
+	run := func(parcoll bool) Report {
+		tr := MixedTrace(8)
+		tr.Scenario = "one-straggler"
+		if !parcoll {
+			for i := range tr.Jobs {
+				tr.Jobs[i].Groups = 1
+			}
+		}
+		rep, err := RunWithBaseline(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range rep.Jobs {
+			if !j.Verified {
+				t.Fatalf("parcoll=%v: job %s failed verification under the straggler", parcoll, j.Name)
+			}
+		}
+		return rep
+	}
+	ext2ph, parcoll := run(false), run(true)
+	// The straggler lives in the hog (world rank 1; the hog spans ranks
+	// 0..15 of the 37-rank trace).
+	hog := 0
+	if e, pc := ext2ph.Jobs[hog].P99, parcoll.Jobs[hog].P99; pc >= e {
+		t.Errorf("ParColl did not confine the straggler: hog p99 %.6f (parcoll) >= %.6f (ext2ph)", pc, e)
+	}
+	if e, pc := ext2ph.Jobs[hog].SlowdownP99, parcoll.Jobs[hog].SlowdownP99; pc >= e {
+		t.Errorf("ParColl did not degrade less: hog p99 slowdown %.4f (parcoll) >= %.4f (ext2ph)", pc, e)
+	}
+	// Under both protocols the straggler must actually hurt: the hog's p99
+	// slowdown over healthy-isolated is well above one.
+	for _, rep := range []Report{ext2ph, parcoll} {
+		if rep.Jobs[hog].SlowdownP99 <= 1 {
+			t.Errorf("policy %s: straggler did not degrade the hog (slowdown p99 %.4f)",
+				rep.Policy, rep.Jobs[hog].SlowdownP99)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tenancy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/obs"
+)
+
+func counterValue(s obs.Snapshot, name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestRunObservedPerJobMetrics pins the observability surface of a trace
+// run: per-job "job/<name>/" gauges from the report, and — under a fault
+// plan that trips the retry engine — the shared backend's per-JobID
+// "lustre.retry.jobN.*" counter buckets from CaptureLustre.
+func TestRunObservedPerJobMetrics(t *testing.T) {
+	tr := Trace{
+		Jobs: []job.Spec{
+			{Name: "a", Workload: job.WorkloadIOR, Procs: 4, Groups: 2},
+			{Name: "b", Workload: job.WorkloadIOR, Procs: 4, Groups: 2, Arrival: 0.002},
+		},
+		Scenario: "flaky-ost",
+	}
+	reg := obs.New()
+	rep, err := RunObserved(experiments.BenchPreset(), tr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	for _, j := range rep.Jobs {
+		found := false
+		for _, g := range snap.Gauges {
+			if g.Name == "job/"+j.Name+"/elapsed_secs" {
+				found = true
+				if g.Value != j.Elapsed() {
+					t.Errorf("gauge %s = %g, report says %g", g.Name, g.Value, j.Elapsed())
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no elapsed gauge for job %s", j.Name)
+		}
+	}
+
+	// The flaky OST must have tripped retries, and the backend must bucket
+	// them by JobID: total attempts split across the job counters.
+	total, ok := counterValue(snap, "lustre.retry.attempts")
+	if !ok || total == 0 {
+		t.Fatalf("flaky-ost produced no retry attempts (counter present=%v, total=%d)", ok, total)
+	}
+	var perJob uint64
+	seen := 0
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "lustre.retry.job") && strings.HasSuffix(c.Name, ".attempts") {
+			perJob += c.Value
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no per-job retry buckets in the snapshot")
+	}
+	if perJob != total {
+		t.Errorf("per-job attempt buckets sum to %d, aggregate says %d", perJob, total)
+	}
+
+	// The per-report retry stats agree with the counters.
+	var repAttempts uint64
+	for _, j := range rep.Jobs {
+		repAttempts += uint64(j.Retry.Attempts)
+	}
+	if repAttempts != total {
+		t.Errorf("report retry attempts %d != counter %d", repAttempts, total)
+	}
+}
+
+// TestRunObservedHealthyHasNoRetryBuckets pins the graceful degradation:
+// a healthy trace publishes no retry counters at all (no "job0" fallback
+// noise when there is nothing to attribute).
+func TestRunObservedHealthyHasNoRetryBuckets(t *testing.T) {
+	tr := Trace{Jobs: []job.Spec{{Name: "a", Workload: job.WorkloadIOR, Procs: 4}}}
+	reg := obs.New()
+	if _, err := RunObserved(experiments.BenchPreset(), tr, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range reg.Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "lustre.retry.job") && c.Value != 0 {
+			t.Errorf("healthy run published per-job retry counter %s=%d", c.Name, c.Value)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/datatype"
 	"repro/internal/mpi"
@@ -108,7 +110,7 @@ func (w BTIO) DumpBytes(nprocs int) int64 {
 func (w BTIO) Write(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.View(me, comm.Size()))
 	per := w.DumpBytes(comm.Size())
 	data := make([]byte, per)
@@ -149,11 +151,35 @@ func (w BTIO) Write(r *mpi.Rank, env Env, name string) Result {
 	}
 }
 
+// Verify checks every dump's bytes for this rank against the pattern by
+// reading them back collectively through a handle opened with the same
+// options as the write — the round trip BT-IO itself performs. Reading
+// through the view (rather than raw file offsets) is what makes this valid
+// under MaterializeIntermediate, where the on-disk arrangement differs from
+// the unpartitioned protocol's but views map back identically. All ranks of
+// the communicator must call it. Returns the first mismatch.
+func (w BTIO) Verify(r *mpi.Rank, env Env, name string) error {
+	comm := mpi.WorldComm(r)
+	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
+	me := r.JobRank()
+	f.SetView(w.View(me, comm.Size()))
+	per := w.DumpBytes(comm.Size())
+	for s := 0; s < w.Steps; s++ {
+		got := f.ReadAtAll(int64(s)*per, per)
+		for i, b := range got {
+			if want := PatternByte(me, int64(s)*per+int64(i)); b != want {
+				return fmt.Errorf("rank %d: dump %d byte %d = %d, want %d", me, s, i, b, want)
+			}
+		}
+	}
+	return nil
+}
+
 // Read reads all dumps back collectively.
 func (w BTIO) Read(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.View(me, comm.Size()))
 	per := w.DumpBytes(comm.Size())
 	elapsed := measure(comm, func() {

@@ -91,7 +91,7 @@ type CheckpointResult struct {
 func (w CheckpointBurst) Run(r *mpi.Rank, env Env, name string) CheckpointResult {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	n := comm.Size()
 	if w.Interleave > 0 {
 		f.SetView(w.view(me, n))
@@ -179,7 +179,7 @@ func (w CheckpointBurst) drain(r *mpi.Rank, comm *mpi.Comm, env Env, name string
 // blocks partition the file, so every lost byte is re-dumped exactly once.
 func (w CheckpointBurst) redump(r *mpi.Rank, env Env, name string, lost []storage.Extent, n, steps int) {
 	f := env.FS.Open(r, name, env.Stripe)
-	me := r.WorldRank()
+	me := r.JobRank()
 	for s := 0; s < steps; s++ {
 		for c := int64(0); c < w.chunks(); c++ {
 			off := w.chunkAt(me, n, s, c)
@@ -205,7 +205,7 @@ func (w CheckpointBurst) redump(r *mpi.Rank, env Env, name string, lost []storag
 // byte-exact on the final tier regardless of backend).
 func (w CheckpointBurst) Verify(r *mpi.Rank, env Env, name string) error {
 	f := env.FS.Open(r, name, env.Stripe)
-	me := r.WorldRank()
+	me := r.JobRank()
 	n := mpi.WorldComm(r).Size()
 	steps := w.Steps
 	if steps < 1 {

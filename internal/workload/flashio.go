@@ -62,7 +62,7 @@ func (w FlashIO) specs(nprocs int) []hdf5lite.Spec {
 func (w FlashIO) WriteCheckpoint(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	cf := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	per := w.PerProcBytes()
 	data := make([]byte, per)
 	var h *hdf5lite.File
@@ -98,7 +98,7 @@ func (a indepFile) ReadAtAll(off, n int64) []byte  { return a.f.ReadAt(off, n) }
 func (w FlashIO) WriteCheckpointIndependent(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	mf := mpiio.OpenWith(comm, env.FS, name, env.Stripe, env.Opts.Hints, env.Opts.Run)
-	me := r.WorldRank()
+	me := r.JobRank()
 	per := w.PerProcBytes()
 	bb := w.BlockBytes()
 	data := make([]byte, per)
@@ -134,7 +134,7 @@ func (w FlashIO) VerifyCheckpoint(r *mpi.Rank, env Env, name string) error {
 	if len(ds) != w.NVars {
 		return fmt.Errorf("flashio: %d datasets, want %d", len(ds), w.NVars)
 	}
-	me := r.WorldRank()
+	me := r.JobRank()
 	per := w.PerProcBytes()
 	for v, d := range ds {
 		got := lf.ReadAt(r, d.Base+int64(me)*per, per)

@@ -38,7 +38,7 @@ func (w IOR) view(rank, nprocs int) datatype.View {
 func (w IOR) Write(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.view(me, comm.Size()))
 	buf := make([]byte, w.Transfer)
 	elapsed := measure(comm, func() {
@@ -64,7 +64,7 @@ func (w IOR) Write(r *mpi.Rank, env Env, name string) Result {
 func (w IOR) Read(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.view(me, comm.Size()))
 	elapsed := measure(comm, func() {
 		for off := int64(0); off < w.Block; off += w.Transfer {
@@ -88,7 +88,7 @@ func (w IOR) Read(r *mpi.Rank, env Env, name string) Result {
 // pattern, returning the first mismatching rank-local offset or -1.
 func (w IOR) Verify(r *mpi.Rank, env Env, name string) int64 {
 	f := env.FS.Open(r, name, env.Stripe)
-	me := r.WorldRank()
+	me := r.JobRank()
 	v := w.view(me, mpi.WorldComm(r).Size())
 	var pos int64
 	for _, s := range v.Map(0, w.Block) {
@@ -113,7 +113,7 @@ func (w IOR) Verify(r *mpi.Rank, env Env, name string) int64 {
 func (w IOR) WriteIndependent(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.view(me, comm.Size()))
 	buf := make([]byte, w.Block)
 	Fill(buf, me, 0)
@@ -134,7 +134,7 @@ func (w IOR) WriteIndependent(r *mpi.Rank, env Env, name string) Result {
 // both the collective wall and lock conflicts, at the cost of N files.
 func (w IOR) WriteFPP(r *mpi.Rank, env Env, prefix string) Result {
 	comm := mpi.WorldComm(r)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f := env.FS.Open(r, fmt.Sprintf("%s.%08d", prefix, me), env.Stripe)
 	buf := make([]byte, w.Transfer)
 	elapsed := measure(comm, func() {
@@ -157,7 +157,7 @@ func (w IOR) WriteFPP(r *mpi.Rank, env Env, prefix string) Result {
 // VerifyFPP checks this rank's per-process file against the pattern,
 // returning the first mismatching offset or -1.
 func (w IOR) VerifyFPP(r *mpi.Rank, env Env, prefix string) int64 {
-	me := r.WorldRank()
+	me := r.JobRank()
 	f := env.FS.Open(r, fmt.Sprintf("%s.%08d", prefix, me), env.Stripe)
 	got := f.ReadAt(r, 0, w.Block)
 	for i, b := range got {

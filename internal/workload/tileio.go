@@ -106,7 +106,7 @@ func (w TileIO) drainFT(r *mpi.Rank, comm *mpi.Comm, env Env, name string, steps
 // partition the dataset, so every lost byte is re-dumped exactly once.
 func (w TileIO) redump(r *mpi.Rank, env Env, name string, lost []storage.Extent, n, steps int) {
 	f := env.FS.Open(r, name, env.Stripe)
-	me := r.WorldRank()
+	me := r.JobRank()
 	v := w.View(me, n)
 	ext := v.Filetype.Extent()
 	per := w.TileBytes()
@@ -135,7 +135,7 @@ func (w TileIO) redump(r *mpi.Rank, env Env, name string, lost []storage.Extent,
 func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.View(me, comm.Size()))
 	data := make([]byte, w.TileBytes())
 	Fill(data, me, 0)
@@ -191,7 +191,7 @@ func (w TileIO) Write(r *mpi.Rank, env Env, name string) Result {
 func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
 	comm := mpi.WorldComm(r)
 	f := core.Open(comm, env.FS, name, env.Stripe, env.Opts)
-	me := r.WorldRank()
+	me := r.JobRank()
 	f.SetView(w.View(me, comm.Size()))
 	steps := w.Steps
 	if steps < 1 {
@@ -243,7 +243,7 @@ func (w TileIO) Read(r *mpi.Rank, env Env, name string) Result {
 // the first mismatch.
 func (w TileIO) VerifyTile(r *mpi.Rank, env Env, name string) error {
 	comm := mpi.WorldComm(r)
-	me := r.WorldRank()
+	me := r.JobRank()
 	v := w.View(me, comm.Size())
 	lf := env.FS.Open(r, name, env.Stripe)
 	var pos int64
